@@ -1,0 +1,46 @@
+// Fig. 5: message timeout T_o vs probability of loss P_l, with NO network
+// faults injected and a fully loaded producer.
+//
+// Paper's observations to reproduce:
+//  - under at-most-once delivery, T_o below ~1500 ms causes message loss
+//    even on a healthy network (full-load queueing tails);
+//  - at-least-once delivery reduces that loss significantly.
+#include <cstdio>
+
+#include "bench_runner.hpp"
+#include "bench_util.hpp"
+#include "testbed/experiment.hpp"
+
+int main() {
+  using namespace ks;
+  const auto n = bench::messages_per_run(12000);
+  const std::vector<Duration> timeouts =
+      bench::full_mode()
+          ? std::vector<Duration>{millis(250), millis(500), millis(750),
+                                  millis(1000), millis(1250), millis(1500),
+                                  millis(2000)}
+          : std::vector<Duration>{millis(250), millis(500), millis(1000),
+                                  millis(1500), millis(2000)};
+
+  std::printf("# Fig. 5 — P_l vs message timeout T_o (no faults, full load)\n");
+  std::printf("# messages per run: %llu\n\n",
+              static_cast<unsigned long long>(n));
+
+  bench::Table table({"T_o (ms)", "P_l at-most-once", "P_l at-least-once"});
+  for (auto t_o : timeouts) {
+    testbed::Scenario sc;
+    sc.message_size = 200;
+    sc.message_timeout = t_o;
+    sc.source_mode = testbed::SourceMode::kOnDemand;
+    sc.num_messages = n;
+    sc.semantics = kafka::DeliverySemantics::kAtMostOnce;
+    const auto amo = bench::run_averaged(sc, bench::repeats());
+    sc.semantics = kafka::DeliverySemantics::kAtLeastOnce;
+    const auto alo = bench::run_averaged(sc, bench::repeats());
+
+    table.row({bench::fmt("%.0f", to_millis(t_o)), bench::pct(amo.p_loss),
+               bench::pct(alo.p_loss)});
+  }
+  table.print();
+  return 0;
+}

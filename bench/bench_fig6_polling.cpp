@@ -1,0 +1,46 @@
+// Fig. 6: polling interval delta vs probability of loss P_l, with no
+// faults injected and T_o fixed at 500 ms.
+//
+// Paper's observations to reproduce:
+//  - at full load (delta = 0) the probability of loss exceeds 45%;
+//  - delta = 90 ms brings P_l below 10%.
+#include <cstdio>
+
+#include "bench_runner.hpp"
+#include "bench_util.hpp"
+#include "testbed/experiment.hpp"
+
+int main() {
+  using namespace ks;
+  const auto n = bench::messages_per_run(12000);
+  const std::vector<Duration> polls =
+      bench::full_mode()
+          ? std::vector<Duration>{0,          millis(5),  millis(10),
+                                  millis(20), millis(30), millis(50),
+                                  millis(70), millis(90)}
+          : std::vector<Duration>{0, millis(5), millis(20), millis(50),
+                                  millis(90)};
+
+  std::printf("# Fig. 6 — P_l vs polling interval delta (no faults, T_o=500ms)\n");
+  std::printf("# messages per run: %llu\n\n",
+              static_cast<unsigned long long>(n));
+
+  bench::Table table({"delta (ms)", "P_l at-most-once", "P_l at-least-once"});
+  for (auto delta : polls) {
+    testbed::Scenario sc;
+    sc.message_size = 200;
+    sc.message_timeout = millis(500);
+    sc.poll_interval = delta;
+    sc.source_mode = testbed::SourceMode::kOnDemand;
+    sc.num_messages = n;
+    sc.semantics = kafka::DeliverySemantics::kAtMostOnce;
+    const auto amo = bench::run_averaged(sc, bench::repeats());
+    sc.semantics = kafka::DeliverySemantics::kAtLeastOnce;
+    const auto alo = bench::run_averaged(sc, bench::repeats());
+
+    table.row({bench::fmt("%.0f", to_millis(delta)), bench::pct(amo.p_loss),
+               bench::pct(alo.p_loss)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig. 8: batch size B vs probability of duplicate P_d under at-least-once
+// delivery, across several packet-loss rates.
+//
+// Paper's observations to reproduce:
+//  - P_d falls as B grows (fewer requests => fewer timeout-triggered
+//    retries whose originals actually landed);
+//  - P_d shows no strong correlation with L (TCP hides raw packet loss
+//    from the request/response path; congestion drives the timeouts).
+#include <cstdio>
+
+#include "bench_runner.hpp"
+#include "bench_util.hpp"
+#include "testbed/experiment.hpp"
+
+int main() {
+  using namespace ks;
+  const auto n = bench::messages_per_run(12000);
+  const std::vector<int> batches =
+      bench::full_mode() ? std::vector<int>{1, 2, 3, 4, 5, 6, 8, 10}
+                         : std::vector<int>{1, 2, 5, 10};
+  const std::vector<double> losses = {0.05, 0.13, 0.19, 0.30};
+
+  std::printf("# Fig. 8 — P_d vs batch size B (at-least-once, loss only)\n");
+  std::printf("# messages per run: %llu\n\n",
+              static_cast<unsigned long long>(n));
+
+  std::vector<std::string> headers = {"B"};
+  for (auto l : losses) headers.push_back("P_d @ L=" + bench::pct(l));
+  bench::Table table(headers);
+  for (auto b : batches) {
+    std::vector<std::string> row = {std::to_string(b)};
+    for (auto l : losses) {
+      testbed::Scenario sc;
+      sc.message_size = 100;
+      sc.packet_loss = l;
+      sc.source_interval = ks::micros(4000);
+      sc.message_timeout = ks::millis(2000);
+      sc.request_timeout = ks::millis(1200);
+      sc.batch_size = b;
+      sc.semantics = kafka::DeliverySemantics::kAtLeastOnce;
+      sc.num_messages = n;
+      const auto r = bench::run_averaged(sc, bench::repeats());
+      row.push_back(bench::pct(r.p_duplicate));
+    }
+    table.row(row);
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Fig. 9: the network trace driving the dynamic-configuration experiment —
+// delay sampled from a (bounded) Pareto distribution, loss from a
+// Gilbert-Elliott two-state chain. Prints the time series (downsampled)
+// plus summary statistics.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "net/trace.hpp"
+
+int main() {
+  using namespace ks;
+  net::TraceGenConfig config;
+  config.duration = bench::full_mode() ? seconds(600) : seconds(300);
+  Rng rng(90001);
+  const auto trace = net::generate_trace(config, rng);
+
+  std::printf("# Fig. 9 — dynamic-experiment network trace\n");
+  std::printf("# %zu intervals of %.0f s; delay ~ bounded Pareto(scale=%.0fms,"
+              " alpha=%.1f, cap=%.0fms); loss ~ Gilbert-Elliott\n\n",
+              trace.points.size(), to_seconds(trace.interval),
+              to_millis(config.delay_scale), config.delay_alpha,
+              to_millis(config.delay_cap));
+
+  bench::Table table({"t (s)", "delay (ms)", "loss"});
+  const std::size_t step = std::max<std::size_t>(1, trace.points.size() / 30);
+  for (std::size_t i = 0; i < trace.points.size(); i += step) {
+    const auto& p = trace.points[i];
+    table.row({bench::fmt("%.0f", to_seconds(p.start)),
+               bench::fmt("%.1f", to_millis(p.delay)),
+               bench::pct(p.loss_rate)});
+  }
+  table.print();
+
+  double max_loss = 0.0, bad_time = 0.0;
+  Duration max_delay = 0;
+  for (const auto& p : trace.points) {
+    max_loss = std::max(max_loss, p.loss_rate);
+    max_delay = std::max(max_delay, p.delay);
+    if (p.loss_rate >= 0.05) bad_time += 1.0;
+  }
+  std::printf("\nsummary: mean delay %.1f ms (max %.1f), mean loss %s "
+              "(max %s), bursty-loss time %.1f%%\n",
+              to_millis(trace.mean_delay()), to_millis(max_delay),
+              bench::pct(trace.mean_loss()).c_str(),
+              bench::pct(max_loss).c_str(),
+              100.0 * bad_time / static_cast<double>(trace.points.size()));
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Micro-benchmarks (google-benchmark): throughput of the simulation
+// substrate itself — event queue, PRNG, TCP+Kafka pipeline, ANN inference.
+// These guard against performance regressions in the simulator, which the
+// figure benches depend on for their run budgets.
+#include <benchmark/benchmark.h>
+
+#include "ann/network.hpp"
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulation.hpp"
+#include "testbed/experiment.hpp"
+
+namespace {
+
+using namespace ks;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue queue;
+  Rng rng(1);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      queue.push(t + static_cast<TimePoint>(rng.uniform_int(0, 1000)),
+                 [] {});
+      ++t;
+    }
+    for (int i = 0; i < 64; ++i) {
+      auto ev = queue.pop();
+      benchmark::DoNotOptimize(ev.time);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform01());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_SimTimerChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim(1);
+    int remaining = 1000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.after(10, tick);
+    };
+    sim.after(10, tick);
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimTimerChain);
+
+void BM_ProducerPipeline(benchmark::State& state) {
+  // End-to-end messages/second through source->producer->tcp->broker.
+  for (auto _ : state) {
+    testbed::Scenario sc;
+    sc.num_messages = 2000;
+    sc.broker_regimes = false;
+    sc.seed = 42;
+    const auto r = testbed::run_experiment(sc);
+    benchmark::DoNotOptimize(r.p_loss);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_ProducerPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_AnnForward(benchmark::State& state) {
+  Rng rng(3);
+  auto net = ann::Network::paper_architecture(5, 2, rng);
+  ann::Matrix x(static_cast<std::size_t>(state.range(0)), 5);
+  for (auto& v : x.data()) v = rng.uniform01();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.predict(x));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AnnForward)->Arg(1)->Arg(32);
+
+void BM_AnnTrainBatch(benchmark::State& state) {
+  Rng rng(4);
+  auto net = ann::Network::paper_architecture(5, 2, rng);
+  ann::Matrix x(32, 5), y(32, 2);
+  for (auto& v : x.data()) v = rng.uniform01();
+  for (auto& v : y.data()) v = rng.uniform01();
+  ann::TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 32;
+  tc.shuffle = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.train(x, y, tc, rng).final_mse);
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_AnnTrainBatch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Seed-averaged experiment execution for the figure benches. All points of
+// a sweep share the same seed set (common random numbers), which removes
+// broker-regime noise from the cross-point comparison.
+#pragma once
+
+#include "bench_util.hpp"
+#include "testbed/experiment.hpp"
+
+namespace ks::bench {
+
+struct AveragedResult {
+  double p_loss = 0.0;
+  double p_duplicate = 0.0;
+  double stale_fraction = 0.0;
+  double phi = 0.0;
+};
+
+inline AveragedResult run_averaged(testbed::Scenario scenario, int reps) {
+  AveragedResult avg;
+  for (int rep = 0; rep < reps; ++rep) {
+    scenario.seed = 90001 + static_cast<std::uint64_t>(rep) * 7919;
+    const auto r = testbed::run_experiment(scenario);
+    avg.p_loss += r.p_loss;
+    avg.p_duplicate += r.p_duplicate;
+    avg.stale_fraction += r.stale_fraction;
+    avg.phi += r.bandwidth_utilization_phi;
+  }
+  const double n = reps > 0 ? static_cast<double>(reps) : 1.0;
+  avg.p_loss /= n;
+  avg.p_duplicate /= n;
+  avg.stale_fraction /= n;
+  avg.phi /= n;
+  return avg;
+}
+
+}  // namespace ks::bench

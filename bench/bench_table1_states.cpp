@@ -1,0 +1,52 @@
+// Table I / Fig. 2: the message-state census. Runs a faulty-network
+// scenario under each delivery semantics and prints how many messages end
+// in each of the paper's delivery cases:
+//   Case1: I                        delivered on the initial send
+//   Case2: II                       lost, never (successfully) sent
+//   Case3: II -> tau_r * III        lost after retries
+//   Case4: II -> tau_r*III -> IV    delivered after retries
+//   Case5: ... -> V -> tau_d * VI   persisted more than once (duplicated)
+// Under at-most-once only Case1/Case2 occur; retries and duplicates need
+// at-least-once; exactly-once (idempotent) eliminates Case5.
+#include <cstdio>
+
+#include "bench_runner.hpp"
+#include "bench_util.hpp"
+#include "testbed/experiment.hpp"
+
+int main() {
+  using namespace ks;
+  const auto n = bench::messages_per_run(12000);
+
+  std::printf("# Table I — message-state case census (L=19%%, D=100ms)\n");
+  std::printf("# messages per run: %llu\n\n",
+              static_cast<unsigned long long>(n));
+
+  bench::Table table({"semantics", "unsent", "Case1", "Case2", "Case3",
+                      "Case4", "Case5", "P_l", "P_d"});
+  for (auto semantics : {kafka::DeliverySemantics::kAtMostOnce,
+                         kafka::DeliverySemantics::kAtLeastOnce,
+                         kafka::DeliverySemantics::kExactlyOnce}) {
+    testbed::Scenario sc;
+    sc.message_size = 100;
+    sc.network_delay = millis(100);
+    sc.packet_loss = 0.19;
+    sc.message_timeout = millis(2000);
+    sc.request_timeout = millis(1200);
+    sc.source_interval = micros(4000);
+    sc.semantics = semantics;
+    sc.num_messages = n;
+    sc.seed = 90001;
+    const auto r = testbed::run_experiment(sc);
+    table.row({kafka::to_string(semantics),
+               std::to_string(r.cases.cases[0]),
+               std::to_string(r.cases.cases[1]),
+               std::to_string(r.cases.cases[2]),
+               std::to_string(r.cases.cases[3]),
+               std::to_string(r.cases.cases[4]),
+               std::to_string(r.cases.cases[5]), bench::pct(r.p_loss),
+               bench::pct(r.p_duplicate)});
+  }
+  table.print();
+  return 0;
+}

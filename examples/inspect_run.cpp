@@ -1,0 +1,66 @@
+// Deep-dive one experiment: all producer/broker/link/TCP counters.
+//   inspect_run <amo|alo|eos> <M bytes> <loss %> <delay ms> [N] [To ms] [B] [delta ms]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "testbed/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ks;
+  testbed::Scenario sc;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "amo") == 0) {
+      sc.semantics = kafka::DeliverySemantics::kAtMostOnce;
+    } else if (std::strcmp(argv[1], "eos") == 0) {
+      sc.semantics = kafka::DeliverySemantics::kExactlyOnce;
+    } else {
+      sc.semantics = kafka::DeliverySemantics::kAtLeastOnce;
+    }
+  }
+  sc.message_size = argc > 2 ? std::atol(argv[2]) : 200;
+  sc.packet_loss = argc > 3 ? std::atof(argv[3]) / 100.0 : 0.0;
+  sc.network_delay = millis(argc > 4 ? std::atol(argv[4]) : 0);
+  sc.num_messages = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 10000;
+  sc.message_timeout = millis(argc > 6 ? std::atol(argv[6]) : 1500);
+  sc.batch_size = argc > 7 ? std::atoi(argv[7]) : 1;
+  sc.poll_interval = millis(argc > 8 ? std::atol(argv[8]) : 0);
+
+  const auto r = testbed::run_experiment(sc);
+  std::printf("scenario: %s M=%lld L=%.1f%% D=%.0fms N=%llu To=%.0fms B=%d delta=%.0fms\n",
+              kafka::to_string(sc.semantics), (long long)sc.message_size,
+              sc.packet_loss * 100, to_millis(sc.network_delay),
+              (unsigned long long)sc.num_messages,
+              to_millis(sc.message_timeout), sc.batch_size,
+              to_millis(sc.poll_interval));
+  std::printf("census: delivered=%llu dup=%llu lost=%llu  P_l=%.4f P_d=%.4f\n",
+              (unsigned long long)r.census.delivered,
+              (unsigned long long)r.census.duplicated,
+              (unsigned long long)r.census.lost, r.p_loss, r.p_duplicate);
+  std::printf("cases: unsent=%llu c1=%llu c2=%llu c3=%llu c4=%llu c5=%llu\n",
+              (unsigned long long)r.cases.cases[0],
+              (unsigned long long)r.cases.cases[1],
+              (unsigned long long)r.cases.cases[2],
+              (unsigned long long)r.cases.cases[3],
+              (unsigned long long)r.cases.cases[4],
+              (unsigned long long)r.cases.cases[5]);
+  std::printf("producer: overruns=%llu expired=%llu resets=%llu retried=%llu req_timeouts=%llu\n",
+              (unsigned long long)r.source_overruns,
+              (unsigned long long)r.expired_in_queue,
+              (unsigned long long)r.connection_resets,
+              (unsigned long long)r.requests_retried,
+              (unsigned long long)r.request_timeouts);
+  std::printf("perf: mu=%.0f/s phi=%.4f thru=%.0f/s latency mean=%.0fms p99=%.0fms stale=%.2f%%\n",
+              r.service_rate_mu, r.bandwidth_utilization_phi,
+              r.delivered_throughput, r.mean_latency_ms, r.p99_latency_ms,
+              r.stale_fraction * 100);
+  std::printf("tcp: segs=%llu retx=%llu rtos=%llu | link: lost=%llu qdrop=%llu\n",
+              (unsigned long long)r.tcp_segments_sent,
+              (unsigned long long)r.tcp_retransmissions,
+              (unsigned long long)r.tcp_rto_events,
+              (unsigned long long)r.link_packets_lost,
+              (unsigned long long)r.link_packets_dropped_queue);
+  std::printf("run: %.1fs sim, %llu events, completed=%d\n", r.duration_s,
+              (unsigned long long)r.events, r.completed ? 1 : 0);
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "ann/activation.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace ks::ann {
+
+const char* to_string(Activation a) noexcept {
+  switch (a) {
+    case Activation::kIdentity: return "identity";
+    case Activation::kRelu: return "relu";
+    case Activation::kSigmoid: return "sigmoid";
+    case Activation::kTanh: return "tanh";
+  }
+  return "?";
+}
+
+Activation activation_from_string(const char* name) {
+  if (std::strcmp(name, "identity") == 0) return Activation::kIdentity;
+  if (std::strcmp(name, "relu") == 0) return Activation::kRelu;
+  if (std::strcmp(name, "sigmoid") == 0) return Activation::kSigmoid;
+  if (std::strcmp(name, "tanh") == 0) return Activation::kTanh;
+  throw std::invalid_argument(std::string("unknown activation: ") + name);
+}
+
+void apply_activation(Activation a, Matrix& z) {
+  switch (a) {
+    case Activation::kIdentity:
+      return;
+    case Activation::kRelu:
+      for (auto& v : z.data()) v = v > 0.0 ? v : 0.0;
+      return;
+    case Activation::kSigmoid:
+      for (auto& v : z.data()) v = 1.0 / (1.0 + std::exp(-v));
+      return;
+    case Activation::kTanh:
+      for (auto& v : z.data()) v = std::tanh(v);
+      return;
+  }
+}
+
+void apply_activation_grad(Activation a, const Matrix& activated,
+                           Matrix& grad) {
+  auto& g = grad.data();
+  const auto& y = activated.data();
+  switch (a) {
+    case Activation::kIdentity:
+      return;
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        if (y[i] <= 0.0) g[i] = 0.0;
+      }
+      return;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < g.size(); ++i) g[i] *= y[i] * (1.0 - y[i]);
+      return;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < g.size(); ++i) g[i] *= 1.0 - y[i] * y[i];
+      return;
+  }
+}
+
+}  // namespace ks::ann

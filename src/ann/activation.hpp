@@ -1,0 +1,21 @@
+// Activation functions for dense layers.
+#pragma once
+
+#include "ann/matrix.hpp"
+
+namespace ks::ann {
+
+enum class Activation { kIdentity, kRelu, kSigmoid, kTanh };
+
+const char* to_string(Activation a) noexcept;
+Activation activation_from_string(const char* name);
+
+/// Apply in place.
+void apply_activation(Activation a, Matrix& z);
+
+/// Multiply `grad` (dL/da) by a'(z) elementwise, where `activated` holds
+/// a(z) — all our activations' derivatives are expressible via a(z).
+void apply_activation_grad(Activation a, const Matrix& activated,
+                           Matrix& grad);
+
+}  // namespace ks::ann

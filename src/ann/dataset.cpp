@@ -1,0 +1,138 @@
+#include "ann/dataset.hpp"
+
+#include <cassert>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ks::ann {
+
+void Dataset::add(const std::vector<double>& features,
+                  const std::vector<double>& targets) {
+  pending_x_.push_back(features);
+  pending_y_.push_back(targets);
+}
+
+void Dataset::finalize() {
+  if (pending_x_.empty()) return;
+  if (x.rows() == 0) {
+    x = Matrix::from_rows(std::move(pending_x_));
+    y = Matrix::from_rows(std::move(pending_y_));
+  } else {
+    // Append pending rows to existing matrices.
+    Matrix nx(x.rows() + pending_x_.size(), x.cols());
+    Matrix ny(y.rows() + pending_y_.size(), y.cols());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      for (std::size_t c = 0; c < x.cols(); ++c) nx(r, c) = x(r, c);
+      for (std::size_t c = 0; c < y.cols(); ++c) ny(r, c) = y(r, c);
+    }
+    for (std::size_t i = 0; i < pending_x_.size(); ++i) {
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        nx(x.rows() + i, c) = pending_x_[i][c];
+      }
+      for (std::size_t c = 0; c < y.cols(); ++c) {
+        ny(y.rows() + i, c) = pending_y_[i][c];
+      }
+    }
+    x = std::move(nx);
+    y = std::move(ny);
+  }
+  pending_x_.clear();
+  pending_y_.clear();
+}
+
+void Dataset::shuffle(Rng& rng) {
+  finalize();
+  for (std::size_t i = x.rows(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    if (j == i - 1) continue;
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      std::swap(x(i - 1, c), x(j, c));
+    }
+    for (std::size_t c = 0; c < y.cols(); ++c) {
+      std::swap(y(i - 1, c), y(j, c));
+    }
+  }
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double test_fraction) const {
+  assert(test_fraction >= 0.0 && test_fraction <= 1.0);
+  const auto n = x.rows();
+  const auto n_test = static_cast<std::size_t>(
+      static_cast<double>(n) * test_fraction);
+  const auto n_train = n - n_test;
+
+  Dataset train, test;
+  train.x = Matrix(n_train, x.cols());
+  train.y = Matrix(n_train, y.cols());
+  test.x = Matrix(n_test, x.cols());
+  test.y = Matrix(n_test, y.cols());
+  for (std::size_t r = 0; r < n_train; ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) train.x(r, c) = x(r, c);
+    for (std::size_t c = 0; c < y.cols(); ++c) train.y(r, c) = y(r, c);
+  }
+  for (std::size_t r = 0; r < n_test; ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      test.x(r, c) = x(n_train + r, c);
+    }
+    for (std::size_t c = 0; c < y.cols(); ++c) {
+      test.y(r, c) = y(n_train + r, c);
+    }
+  }
+  return {std::move(train), std::move(test)};
+}
+
+void Dataset::save_csv(const std::string& path,
+                       const std::vector<std::string>& feature_names,
+                       const std::vector<std::string>& target_names) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  for (std::size_t i = 0; i < feature_names.size(); ++i) {
+    if (i) out << ',';
+    out << feature_names[i];
+  }
+  for (const auto& t : target_names) out << ',' << t;
+  out << '\n';
+  out.precision(10);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      if (c) out << ',';
+      out << x(r, c);
+    }
+    for (std::size_t c = 0; c < y.cols(); ++c) out << ',' << y(r, c);
+    out << '\n';
+  }
+}
+
+Dataset Dataset::load_csv(const std::string& path, std::size_t n_features,
+                          std::size_t n_targets) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  std::string line;
+  std::getline(in, line);  // Header.
+  Dataset ds;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::vector<double> fx(n_features), fy(n_targets);
+    std::string cell;
+    for (auto& v : fx) {
+      if (!std::getline(ss, cell, ',')) {
+        throw std::runtime_error("short CSV row in " + path);
+      }
+      v = std::stod(cell);
+    }
+    for (auto& v : fy) {
+      if (!std::getline(ss, cell, ',')) {
+        throw std::runtime_error("short CSV row in " + path);
+      }
+      v = std::stod(cell);
+    }
+    ds.add(fx, fy);
+  }
+  ds.finalize();
+  return ds;
+}
+
+}  // namespace ks::ann

@@ -1,0 +1,46 @@
+// Feature/target datasets with shuffling, train/test splitting and CSV I/O.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ann/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace ks::ann {
+
+struct Dataset {
+  Matrix x;
+  Matrix y;
+
+  std::size_t size() const noexcept { return x.rows(); }
+  bool empty() const noexcept { return x.rows() == 0; }
+
+  void add(const std::vector<double>& features,
+           const std::vector<double>& targets);
+
+  /// In-place Fisher-Yates over rows (features and targets together).
+  void shuffle(Rng& rng);
+
+  /// Split into (train, test) with `test_fraction` of rows in the test set.
+  std::pair<Dataset, Dataset> split(double test_fraction) const;
+
+  /// CSV: feature columns then target columns; header row names widths.
+  void save_csv(const std::string& path,
+                const std::vector<std::string>& feature_names,
+                const std::vector<std::string>& target_names) const;
+  static Dataset load_csv(const std::string& path, std::size_t n_features,
+                          std::size_t n_targets);
+
+ private:
+  // Row storage used while building (moved into matrices lazily).
+  std::vector<std::vector<double>> pending_x_;
+  std::vector<std::vector<double>> pending_y_;
+
+ public:
+  /// Materialise pending rows into the matrices (no-op when already done).
+  void finalize();
+};
+
+}  // namespace ks::ann

@@ -1,0 +1,96 @@
+#include "ann/matrix.hpp"
+
+#include <cmath>
+
+namespace ks::ann {
+
+Matrix Matrix::from_rows(std::vector<std::vector<double>> rows) {
+  if (rows.empty()) return {};
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == m.cols_);
+    for (std::size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+void Matrix::randomize_he(Rng& rng, std::size_t fan_in) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in));
+  for (auto& v : data_) v = rng.uniform(-limit, limit);
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a = row(i);
+    double* o = out.row(i);
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = a[k];
+      if (aik == 0.0) continue;
+      const double* b = other.row(k);
+      for (std::size_t j = 0; j < other.cols_; ++j) o[j] += aik * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::matmul_transposed(const Matrix& other) const {
+  assert(cols_ == other.cols_);
+  Matrix out(rows_, other.rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a = row(i);
+    double* o = out.row(i);
+    for (std::size_t j = 0; j < other.rows_; ++j) {
+      const double* b = other.row(j);
+      double sum = 0.0;
+      for (std::size_t k = 0; k < cols_; ++k) sum += a[k] * b[k];
+      o[j] = sum;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed_matmul(const Matrix& other) const {
+  assert(rows_ == other.rows_);
+  Matrix out(cols_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a = row(i);
+    const double* b = other.row(i);
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = a[k];
+      if (aik == 0.0) continue;
+      double* o = out.row(k);
+      for (std::size_t j = 0; j < other.cols_; ++j) o[j] += aik * b[j];
+    }
+  }
+  return out;
+}
+
+void Matrix::add_row_vector(const Matrix& bias) {
+  assert(bias.rows_ == 1 && bias.cols_ == cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double* o = row(i);
+    const double* b = bias.row(0);
+    for (std::size_t j = 0; j < cols_; ++j) o[j] += b[j];
+  }
+}
+
+void Matrix::axpy(double scale, const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+Matrix Matrix::gather_rows(const std::vector<std::size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const double* src = row(indices[i]);
+    double* dst = out.row(i);
+    for (std::size_t j = 0; j < cols_; ++j) dst[j] = src[j];
+  }
+  return out;
+}
+
+}  // namespace ks::ann

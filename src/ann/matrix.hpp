@@ -1,0 +1,67 @@
+// A small dense row-major matrix — everything the MLP needs, nothing more.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ks::ann {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix from_rows(std::vector<std::vector<double>> rows);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* row(std::size_t r) noexcept { return data_.data() + r * cols_; }
+  const double* row(std::size_t r) const noexcept {
+    return data_.data() + r * cols_;
+  }
+  std::vector<double>& data() noexcept { return data_; }
+  const std::vector<double>& data() const noexcept { return data_; }
+
+  /// He-uniform initialisation (suits ReLU hidden layers).
+  void randomize_he(Rng& rng, std::size_t fan_in);
+
+  /// this (m x k) * other (k x n) -> (m x n).
+  Matrix matmul(const Matrix& other) const;
+
+  /// this (m x k) with other transposed: this * other^T where other is n x k.
+  Matrix matmul_transposed(const Matrix& other) const;
+
+  /// this^T (k x m) * other (m x n) -> (k x n), without materialising ^T.
+  Matrix transposed_matmul(const Matrix& other) const;
+
+  /// Add `bias` (1 x cols) to every row.
+  void add_row_vector(const Matrix& bias);
+
+  /// this -= scale * other (same shape).
+  void axpy(double scale, const Matrix& other);
+
+  /// Select a subset of rows.
+  Matrix gather_rows(const std::vector<std::size_t>& indices) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace ks::ann

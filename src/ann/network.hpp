@@ -1,0 +1,95 @@
+// A plain multilayer perceptron with SGD — the paper's prediction model.
+//
+// Paper defaults: four hidden layers of 200/200/200/64 neurons, SGD with
+// learning rate 0.5, 1000 epochs, MSE loss, sigmoid output (both targets
+// P_l and P_d live in [0, 1], which also rules out the negative
+// predictions the paper worries about).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ann/activation.hpp"
+#include "ann/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace ks::ann {
+
+struct DenseLayer {
+  Matrix weights;  ///< (in x out).
+  Matrix bias;     ///< (1 x out).
+  Activation activation = Activation::kRelu;
+
+  // Momentum buffers (allocated lazily by the trainer).
+  Matrix weight_velocity;
+  Matrix bias_velocity;
+};
+
+struct TrainConfig {
+  std::size_t epochs = 1000;
+  double learning_rate = 0.5;
+  double momentum = 0.0;
+  std::size_t batch_size = 32;
+  bool shuffle = true;
+  /// Stop early when training MSE falls below this (0 disables).
+  double target_mse = 0.0;
+  /// Emit (epoch, mse) pairs every `report_every` epochs (0 = never).
+  std::size_t report_every = 0;
+};
+
+struct TrainReport {
+  std::size_t epochs_run = 0;
+  double final_mse = 0.0;
+  std::vector<std::pair<std::size_t, double>> history;
+};
+
+class Network {
+ public:
+  Network() = default;
+
+  /// Build layer sizes, e.g. {8, 200, 200, 200, 64, 2}: 8 inputs, the
+  /// paper's four hidden layers, 2 outputs.
+  Network(const std::vector<std::size_t>& layer_sizes, Rng& rng,
+          Activation hidden = Activation::kRelu,
+          Activation output = Activation::kSigmoid);
+
+  /// Paper architecture around the given feature/output widths.
+  static Network paper_architecture(std::size_t inputs, std::size_t outputs,
+                                    Rng& rng);
+
+  /// Forward pass: X (n x inputs) -> (n x outputs).
+  Matrix predict(const Matrix& x) const;
+
+  /// Single-sample convenience.
+  std::vector<double> predict_one(const std::vector<double>& x) const;
+
+  /// Minibatch SGD on (x, y); returns the loss trajectory.
+  TrainReport train(const Matrix& x, const Matrix& y,
+                    const TrainConfig& config, Rng& rng);
+
+  /// Mean squared error over a dataset.
+  double mse(const Matrix& x, const Matrix& y) const;
+
+  /// Mean absolute error — the paper's accuracy metric (target < 0.02).
+  double mae(const Matrix& x, const Matrix& y) const;
+
+  std::size_t input_size() const;
+  std::size_t output_size() const;
+  const std::vector<DenseLayer>& layers() const noexcept { return layers_; }
+
+  /// Text (de)serialisation.
+  void save(std::ostream& out) const;
+  static Network load(std::istream& in);
+  void save_file(const std::string& path) const;
+  static Network load_file(const std::string& path);
+
+ private:
+  double train_batch(const Matrix& xb, const Matrix& yb, double lr,
+                     double momentum);
+
+  std::vector<DenseLayer> layers_;
+};
+
+}  // namespace ks::ann

@@ -1,0 +1,89 @@
+#include "ann/scaler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace ks::ann {
+
+void MinMaxScaler::fit(const Matrix& x) {
+  assert(x.rows() > 0);
+  mins_.assign(x.cols(), 0.0);
+  spans_.assign(x.cols(), 0.0);
+  std::vector<double> maxs(x.cols(), 0.0);
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    mins_[c] = maxs[c] = x(0, c);
+  }
+  for (std::size_t r = 1; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      mins_[c] = std::min(mins_[c], x(r, c));
+      maxs[c] = std::max(maxs[c], x(r, c));
+    }
+  }
+  for (std::size_t c = 0; c < x.cols(); ++c) spans_[c] = maxs[c] - mins_[c];
+}
+
+Matrix MinMaxScaler::transform(const Matrix& x) const {
+  assert(fitted() && x.cols() == mins_.size());
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out(r, c) = spans_[c] > 0.0 ? (x(r, c) - mins_[c]) / spans_[c] : 0.0;
+    }
+  }
+  return out;
+}
+
+Matrix MinMaxScaler::fit_transform(const Matrix& x) {
+  fit(x);
+  return transform(x);
+}
+
+Matrix MinMaxScaler::inverse(const Matrix& x) const {
+  assert(fitted() && x.cols() == mins_.size());
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out(r, c) = mins_[c] + x(r, c) * spans_[c];
+    }
+  }
+  return out;
+}
+
+std::vector<double> MinMaxScaler::transform_one(
+    const std::vector<double>& x) const {
+  assert(fitted() && x.size() == mins_.size());
+  std::vector<double> out(x.size());
+  for (std::size_t c = 0; c < x.size(); ++c) {
+    out[c] = spans_[c] > 0.0 ? (x[c] - mins_[c]) / spans_[c] : 0.0;
+  }
+  return out;
+}
+
+void MinMaxScaler::save(std::ostream& out) const {
+  out << "ksscaler v1\n" << mins_.size() << "\n";
+  out.precision(17);
+  for (std::size_t c = 0; c < mins_.size(); ++c) {
+    out << mins_[c] << ' ' << spans_[c] << "\n";
+  }
+}
+
+MinMaxScaler MinMaxScaler::load(std::istream& in) {
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != "ksscaler" || version != "v1") {
+    throw std::runtime_error("bad scaler file header");
+  }
+  std::size_t n = 0;
+  in >> n;
+  MinMaxScaler s;
+  s.mins_.resize(n);
+  s.spans_.resize(n);
+  for (std::size_t c = 0; c < n; ++c) in >> s.mins_[c] >> s.spans_[c];
+  if (!in) throw std::runtime_error("truncated scaler file");
+  return s;
+}
+
+}  // namespace ks::ann

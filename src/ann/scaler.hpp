@@ -1,0 +1,31 @@
+// Per-column min-max feature scaling to [0, 1]; constant columns map to 0.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "ann/matrix.hpp"
+
+namespace ks::ann {
+
+class MinMaxScaler {
+ public:
+  void fit(const Matrix& x);
+  Matrix transform(const Matrix& x) const;
+  Matrix fit_transform(const Matrix& x);
+  /// Map scaled values back to the original ranges.
+  Matrix inverse(const Matrix& x) const;
+  std::vector<double> transform_one(const std::vector<double>& x) const;
+
+  bool fitted() const noexcept { return !mins_.empty(); }
+  std::size_t width() const noexcept { return mins_.size(); }
+
+  void save(std::ostream& out) const;
+  static MinMaxScaler load(std::istream& in);
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> spans_;  ///< max - min; 0 for constant columns.
+};
+
+}  // namespace ks::ann

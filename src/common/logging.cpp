@@ -1,0 +1,62 @@
+#include "common/logging.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ks {
+namespace log_detail {
+
+namespace {
+
+LogLevel initial_level() noexcept {
+  if (const char* env = std::getenv("KS_LOG")) return parse_log_level(env);
+  return LogLevel::kOff;
+}
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel& global_level() noexcept {
+  static LogLevel level = initial_level();
+  return level;
+}
+
+void write(LogLevel level, TimePoint now, const char* component,
+           const std::string& message) {
+  if (now >= 0) {
+    std::fprintf(stderr, "[%s] %12.6fs %-10s %s\n", level_name(level),
+                 to_seconds(now), component, message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %-10s %s\n", level_name(level), component,
+                 message.c_str());
+  }
+}
+
+}  // namespace log_detail
+
+void set_log_level(LogLevel level) noexcept {
+  log_detail::global_level() = level;
+}
+
+LogLevel parse_log_level(const char* name) noexcept {
+  if (name == nullptr) return LogLevel::kOff;
+  if (std::strcmp(name, "trace") == 0) return LogLevel::kTrace;
+  if (std::strcmp(name, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(name, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(name, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(name, "error") == 0) return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+}  // namespace ks

@@ -1,0 +1,74 @@
+// Minimal leveled logger. Off by default so benches/tests stay quiet; the
+// level can be raised programmatically or via the KS_LOG environment
+// variable (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace ks {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+namespace log_detail {
+LogLevel& global_level() noexcept;
+void write(LogLevel level, TimePoint now, const char* component,
+           const std::string& message);
+}  // namespace log_detail
+
+/// Set the process-wide log threshold.
+void set_log_level(LogLevel level) noexcept;
+
+/// Parse "debug" etc.; unknown strings map to kOff.
+LogLevel parse_log_level(const char* name) noexcept;
+
+/// True when a message at `level` would be emitted.
+inline bool log_enabled(LogLevel level) noexcept {
+  return level >= log_detail::global_level();
+}
+
+/// printf-style logging bound to a component name and a simulated clock
+/// supplier, so log lines carry simulation time.
+class Logger {
+ public:
+  Logger(std::string component, const TimePoint* clock = nullptr)
+      : component_(std::move(component)), clock_(clock) {}
+
+  template <typename... Args>
+  void logf(LogLevel level, const char* fmt, Args&&... args) const {
+    if (!log_enabled(level)) return;
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), fmt, std::forward<Args>(args)...);
+    log_detail::write(level, clock_ ? *clock_ : -1, component_.c_str(), buf);
+  }
+
+  template <typename... Args>
+  void trace(const char* fmt, Args&&... args) const {
+    logf(LogLevel::kTrace, fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void debug(const char* fmt, Args&&... args) const {
+    logf(LogLevel::kDebug, fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void info(const char* fmt, Args&&... args) const {
+    logf(LogLevel::kInfo, fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void warn(const char* fmt, Args&&... args) const {
+    logf(LogLevel::kWarn, fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void error(const char* fmt, Args&&... args) const {
+    logf(LogLevel::kError, fmt, std::forward<Args>(args)...);
+  }
+
+ private:
+  std::string component_;
+  const TimePoint* clock_;
+};
+
+}  // namespace ks

@@ -1,0 +1,54 @@
+// A small expected-like result type (std::expected is C++23; we target
+// C++20). Holds either a value or an error enum/string.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ks {
+
+/// Error payload with a code enum (domain-specific) and a human message.
+template <typename Code>
+struct Error {
+  Code code{};
+  std::string message;
+};
+
+template <typename T, typename E>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}       // NOLINT(google-explicit-constructor)
+  Result(E error) : data_(std::move(error)) {}       // NOLINT(google-explicit-constructor)
+
+  bool ok() const noexcept { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const E& error() const& {
+    assert(!ok());
+    return std::get<E>(data_);
+  }
+
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> data_;
+};
+
+}  // namespace ks

@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// We use xoshiro256** (public domain, Blackman & Vigna) rather than
+// std::mt19937 because it is faster, has a tiny state, and — crucially for a
+// reproducible simulator — its output is fully specified here, independent of
+// the standard library implementation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ks {
+
+/// SplitMix64 — used to seed xoshiro from a single 64-bit value.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** PRNG with convenience distributions used across the
+/// simulator. Copyable so subsystems can fork independent streams.
+class Rng {
+ public:
+  /// Seeds the four state words from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9d2c5680u) noexcept;
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64() noexcept;
+
+  /// Fork an independent stream (jump-free: reseeds from this stream).
+  Rng fork() noexcept { return Rng(next_u64()); }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Exponential with the given mean (mean <= 0 returns 0).
+  double exponential(double mean) noexcept;
+
+  /// Standard normal via Box-Muller (no cached spare: stateless per call).
+  double normal(double mean, double stddev) noexcept;
+
+  /// Lognormal parameterised by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Pareto (Lomax-style classic Pareto) with scale x_m > 0 and shape
+  /// alpha > 0: samples x_m / U^{1/alpha}, so min is x_m.
+  double pareto(double x_m, double alpha) noexcept;
+
+  /// Pareto truncated at `cap` (values above cap are clamped). Used for
+  /// network delay, where unbounded tails would stall the simulation.
+  double bounded_pareto(double x_m, double alpha, double cap) noexcept;
+
+  /// Exponential inter-arrival duration in integer microseconds.
+  Duration exponential_duration(Duration mean) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace ks

@@ -1,0 +1,92 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ks {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBuckets, 0) {}
+
+std::size_t LatencyHistogram::bucket_for(Duration d) noexcept {
+  if (d <= 0) return 0;
+  // Geometric buckets: ~8 buckets per doubling, starting at 1us.
+  const double idx = 8.0 * std::log2(static_cast<double>(d)) + 1.0;
+  if (idx <= 0.0) return 0;
+  return std::min(kBuckets - 1, static_cast<std::size_t>(idx));
+}
+
+Duration LatencyHistogram::bucket_upper(std::size_t b) noexcept {
+  if (b == 0) return 1;
+  return static_cast<Duration>(
+      std::ceil(std::pow(2.0, static_cast<double>(b) / 8.0)));
+}
+
+void LatencyHistogram::add(Duration d) noexcept {
+  ++buckets_[bucket_for(d)];
+  ++total_;
+  max_ = std::max(max_, d);
+  stats_.add(static_cast<double>(d));
+}
+
+Duration LatencyHistogram::percentile(double p) const noexcept {
+  if (total_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(std::clamp(p, 0.0, 100.0) / 100.0 *
+                static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= target) return std::min(bucket_upper(b), max_);
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.3fms p50=%.3fms p99=%.3fms max=%.3fms",
+                count(), mean() / 1000.0, to_millis(p50()), to_millis(p99()),
+                to_millis(max_seen()));
+  return buf;
+}
+
+}  // namespace ks

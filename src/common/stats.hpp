@@ -1,0 +1,66 @@
+// Lightweight streaming statistics and fixed-bucket latency histograms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ks {
+
+/// Welford streaming mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< Sample variance (n-1 denominator).
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Log-scale bucketed histogram for durations. Buckets grow geometrically
+/// from `min_value` so tail percentiles stay accurate over six decades.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void add(Duration d) noexcept;
+
+  std::size_t count() const noexcept { return total_; }
+  /// Percentile in [0, 100]; returns an upper bound of the containing bucket.
+  Duration percentile(double p) const noexcept;
+  Duration p50() const noexcept { return percentile(50); }
+  Duration p99() const noexcept { return percentile(99); }
+  Duration max_seen() const noexcept { return max_; }
+  double mean() const noexcept { return stats_.mean(); }
+
+  std::string summary() const;
+
+ private:
+  static constexpr std::size_t kBuckets = 384;  ///< Covers ~1us .. ~2^47us.
+  static std::size_t bucket_for(Duration d) noexcept;
+  static Duration bucket_upper(std::size_t b) noexcept;
+
+  std::vector<std::uint64_t> buckets_;
+  std::size_t total_ = 0;
+  Duration max_ = 0;
+  RunningStats stats_;
+};
+
+}  // namespace ks

@@ -1,0 +1,13 @@
+#include "common/types.hpp"
+
+#include <cstdio>
+
+namespace ks {
+
+std::string format_time(TimePoint t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6fs", to_seconds(t));
+  return buf;
+}
+
+}  // namespace ks

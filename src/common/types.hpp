@@ -1,0 +1,44 @@
+// Core scalar types shared across the simulator.
+//
+// All simulated time is kept in integer microseconds ("ticks") so that event
+// ordering is exact and runs are bit-reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ks {
+
+/// Simulated time point, in microseconds since simulation start.
+using TimePoint = std::int64_t;
+
+/// Simulated duration, in microseconds.
+using Duration = std::int64_t;
+
+/// Number of bytes (payload sizes, buffer capacities, bandwidth accounting).
+using Bytes = std::int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1'000'000;
+
+/// Convenience constructors so call sites read like units.
+constexpr Duration micros(std::int64_t n) noexcept { return n; }
+constexpr Duration millis(std::int64_t n) noexcept { return n * kMillisecond; }
+constexpr Duration seconds(std::int64_t n) noexcept { return n * kSecond; }
+constexpr Duration seconds_f(double s) noexcept {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+/// Convert a simulated duration to (floating point) seconds/milliseconds.
+constexpr double to_seconds(Duration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double to_millis(Duration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Render a time point as "12.345s" for logs and reports.
+std::string format_time(TimePoint t);
+
+}  // namespace ks

@@ -1,0 +1,156 @@
+#include "kafka/broker.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace ks::kafka {
+
+Broker::Broker(sim::Simulation& sim, Config config)
+    : sim_(sim), config_(config), modulator_(sim, config.regime) {
+  // A regime flip back to Good should immediately resume request service.
+  modulator_.on_change([this](sim::Regime) { pump(); });
+}
+
+void Broker::start() { modulator_.start(); }
+
+void Broker::fail() { down_ = true; }
+
+void Broker::resume() {
+  down_ = false;
+  pump();
+}
+
+PartitionLog& Broker::create_partition(std::int32_t partition) {
+  auto& slot = partitions_[partition];
+  if (!slot) slot = std::make_unique<PartitionLog>();
+  return *slot;
+}
+
+PartitionLog* Broker::partition(std::int32_t partition) {
+  auto it = partitions_.find(partition);
+  return it == partitions_.end() ? nullptr : it->second.get();
+}
+
+const PartitionLog* Broker::partition(std::int32_t partition) const {
+  auto it = partitions_.find(partition);
+  return it == partitions_.end() ? nullptr : it->second.get();
+}
+
+void Broker::attach(tcp::Endpoint& endpoint) {
+  endpoint.set_auto_read(false);
+  endpoint.listen();
+  connections_.push_back(&endpoint);
+  endpoint.on_readable = [this] { pump(); };
+}
+
+Duration Broker::service_time(Duration base) const {
+  if (!modulator_.good()) {
+    return static_cast<Duration>(std::llround(
+        static_cast<double>(base) * config_.bad_slowdown));
+  }
+  return base;
+}
+
+void Broker::pump() {
+  if (busy_ || down_) return;
+  // Round-robin across connections for fairness.
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    auto* endpoint =
+        connections_[(next_connection_ + i) % connections_.size()];
+    if (auto message = endpoint->read()) {
+      next_connection_ = (next_connection_ + i + 1) % connections_.size();
+      busy_ = true;
+      process(endpoint, std::move(*message));
+      return;
+    }
+  }
+}
+
+void Broker::process(tcp::Endpoint* endpoint,
+                     tcp::Endpoint::ReadMessage message) {
+  const auto* frame = static_cast<const Frame*>(message.payload.get());
+  assert(frame != nullptr);
+
+  if (const auto* req = std::get_if<ProduceRequest>(&frame->body)) {
+    Duration base = config_.request_overhead +
+                    static_cast<Duration>(std::llround(
+                        static_cast<double>(message.size) *
+                        config_.append_per_byte_us));
+    if (req->acks == Acks::kAll) base += config_.replication_extra;
+    const Duration d = service_time(base);
+    // Copy the request shared_ptr into the completion so the records stay
+    // alive through the service delay.
+    auto payload = message.payload;
+    sim_.after(d, [this, endpoint, payload = std::move(payload)] {
+      const auto& request =
+          std::get<ProduceRequest>(static_cast<const Frame*>(payload.get())->body);
+      ++stats_.produce_requests;
+      auto& log = create_partition(request.partition);
+      const auto result =
+          log.append(request.records, sim_.now(), request.producer_id,
+                     request.base_sequence);
+      if (result.deduplicated) {
+        ++stats_.batches_deduplicated;
+      } else {
+        stats_.records_appended += request.records.size();
+        for (const auto& r : request.records) {
+          stats_.bytes_appended += r.wire_size();
+          if (on_append) on_append(r, result.base_offset);
+        }
+      }
+      if (request.acks != Acks::kNone) {
+        ProduceResponse response;
+        response.request_id = request.id;
+        response.partition = request.partition;
+        response.error = result.deduplicated ? ErrorCode::kDuplicateSequence
+                                             : ErrorCode::kNone;
+        response.base_offset = result.base_offset;
+        const Bytes wire = response.wire_size();
+        endpoint->send(
+            tcp::AppMessage{wire, make_frame(std::move(response))});
+      }
+      busy_ = false;
+      pump();
+    });
+    return;
+  }
+
+  if (const auto* req = std::get_if<FetchRequest>(&frame->body)) {
+    FetchResponse response;
+    response.request_id = req->id;
+    response.partition = req->partition;
+    if (const auto* log = partition(req->partition)) {
+      Bytes bytes = kFetchResponseOverhead;
+      for (const auto& e : log->read(req->offset,
+                                     static_cast<std::size_t>(req->max_records))) {
+        bytes += kRecordOverhead + e.value_size;
+        if (bytes > config_.fetch_max_bytes && !response.records.empty()) {
+          break;  // fetch.max.bytes: the consumer asks again from here.
+        }
+        response.records.push_back(
+            FetchedRecord{e.offset, e.key, e.value_size, e.append_time});
+      }
+      response.log_end_offset = log->log_end_offset();
+    }
+    Duration base = config_.fetch_overhead +
+                    static_cast<Duration>(std::llround(
+                        static_cast<double>(response.wire_size()) *
+                        config_.fetch_per_byte_us));
+    const Duration d = service_time(base);
+    sim_.after(d, [this, endpoint, response = std::move(response)]() mutable {
+      ++stats_.fetch_requests;
+      const Bytes wire = response.wire_size();
+      endpoint->send(tcp::AppMessage{wire, make_frame(std::move(response))});
+      busy_ = false;
+      pump();
+    });
+    return;
+  }
+
+  // Responses never arrive at a broker; drop unknown frames defensively.
+  busy_ = false;
+  pump();
+}
+
+}  // namespace ks::kafka

@@ -1,0 +1,107 @@
+// A Kafka broker: owns partition logs it leads, serves produce and fetch
+// requests arriving over TCP connections, and acknowledges according to the
+// request's acks level.
+//
+// The broker is modelled as a single-server queue across its connections
+// (one network/request-handler thread). Its service rate is modulated by a
+// two-state Markov regime (Good/Bad) standing in for the GC and log-flush
+// stalls a real JVM broker exhibits under load — the cause of the heavy
+// sojourn-time tails the paper observes at full load (Figs. 5 and 6).
+// While the broker is busy or stalled it does not read from its sockets,
+// so TCP flow control pushes back on producers exactly as in a real
+// deployment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "kafka/log.hpp"
+#include "kafka/protocol.hpp"
+#include "sim/modulator.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/endpoint.hpp"
+
+namespace ks::kafka {
+
+class Broker {
+ public:
+  struct Config {
+    int id = 0;
+    /// Fixed cost to parse/validate/route one request.
+    Duration request_overhead = micros(150);
+    /// Per-byte cost of appending a produce batch (memcpy + page cache).
+    double append_per_byte_us = 0.004;
+    /// Fixed cost of serving one fetch.
+    Duration fetch_overhead = micros(100);
+    double fetch_per_byte_us = 0.001;
+    /// Response size cap (fetch.max.bytes); also keeps responses inside
+    /// the TCP send buffer.
+    Bytes fetch_max_bytes = 48 * 1024;
+    /// Extra latency before acking when acks=all (follower round trip).
+    Duration replication_extra = micros(800);
+    /// Service-time multiplier while in the Bad regime.
+    double bad_slowdown = 30.0;
+    /// GC / log-flush stall regime. Disabled => always Good.
+    sim::TwoStateModulator::Config regime{
+        .mean_good = millis(900), .mean_bad = millis(450), .enabled = false};
+  };
+
+  struct Stats {
+    std::uint64_t produce_requests = 0;
+    std::uint64_t fetch_requests = 0;
+    std::uint64_t records_appended = 0;
+    std::uint64_t batches_deduplicated = 0;
+    Bytes bytes_appended = 0;
+  };
+
+  Broker(sim::Simulation& sim, Config config);
+
+  /// Begin regime modulation (no-op if the regime is disabled).
+  void start();
+
+  /// Fail-stop outage injection: while down the broker stops reading and
+  /// serving its sockets (clients see stalled requests, TCP backpressure,
+  /// and eventually connection resets). resume() continues service.
+  void fail();
+  void resume();
+  bool is_down() const noexcept { return down_; }
+
+  /// Create (or get) the log for a partition this broker leads.
+  PartitionLog& create_partition(std::int32_t partition);
+  PartitionLog* partition(std::int32_t partition);
+  const PartitionLog* partition(std::int32_t partition) const;
+
+  /// Register a server-side TCP endpoint as a client connection. The broker
+  /// paces its reads (manual-read mode), which is what backpressures
+  /// flooding producers.
+  void attach(tcp::Endpoint& endpoint);
+
+  const Stats& stats() const noexcept { return stats_; }
+  const Config& config() const noexcept { return config_; }
+  bool in_bad_regime() const noexcept { return !modulator_.good(); }
+
+  /// Observer invoked for every record append: (record, offset). Used by
+  /// the message-state tracker.
+  std::function<void(const Record&, std::int64_t)> on_append;
+
+ private:
+  void pump();
+  void process(tcp::Endpoint* endpoint, tcp::Endpoint::ReadMessage message);
+  Duration service_time(Duration base) const;
+
+  sim::Simulation& sim_;
+  Config config_;
+  sim::TwoStateModulator modulator_;
+  std::map<std::int32_t, std::unique_ptr<PartitionLog>> partitions_;
+  std::vector<tcp::Endpoint*> connections_;
+  std::size_t next_connection_ = 0;
+  bool busy_ = false;
+  bool down_ = false;
+  Stats stats_;
+};
+
+}  // namespace ks::kafka

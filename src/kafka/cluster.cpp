@@ -1,0 +1,82 @@
+#include "kafka/cluster.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ks::kafka {
+
+Cluster::Cluster(sim::Simulation& sim, Config config)
+    : sim_(sim), config_(config) {
+  assert(config_.num_brokers > 0);
+  brokers_.reserve(static_cast<std::size_t>(config_.num_brokers));
+  for (int i = 0; i < config_.num_brokers; ++i) {
+    Broker::Config bc = config_.broker;
+    bc.id = i;
+    brokers_.push_back(std::make_unique<Broker>(sim_, bc));
+  }
+}
+
+void Cluster::start() {
+  for (auto& b : brokers_) b->start();
+}
+
+void Cluster::create_topic(const std::string& name, int partitions) {
+  auto& refs = topics_[name];
+  refs.clear();
+  for (int p = 0; p < partitions; ++p) {
+    PartitionRef ref;
+    ref.id = next_partition_id_++;
+    ref.leader = p % config_.num_brokers;
+    brokers_[static_cast<std::size_t>(ref.leader)]->create_partition(ref.id);
+    refs.push_back(ref);
+  }
+}
+
+const std::vector<Cluster::PartitionRef>& Cluster::topic(
+    const std::string& name) const {
+  auto it = topics_.find(name);
+  if (it == topics_.end()) {
+    throw std::out_of_range("unknown topic: " + name);
+  }
+  return it->second;
+}
+
+Broker& Cluster::leader_of(const std::string& topic_name,
+                           int partition_index) {
+  const auto& refs = topic(topic_name);
+  return *brokers_.at(
+      static_cast<std::size_t>(refs.at(static_cast<std::size_t>(partition_index)).leader));
+}
+
+std::int32_t Cluster::partition_id(const std::string& topic_name,
+                                   int partition_index) const {
+  return topic(topic_name).at(static_cast<std::size_t>(partition_index)).id;
+}
+
+Cluster::CensusResult Cluster::census(const std::string& topic_name,
+                                      std::uint64_t total_keys) const {
+  CensusResult result;
+  result.total_keys = total_keys;
+  std::vector<std::uint32_t> counts(total_keys, 0);
+  for (const auto& ref : topic(topic_name)) {
+    const auto* log =
+        brokers_[static_cast<std::size_t>(ref.leader)]->partition(ref.id);
+    if (log == nullptr) continue;
+    for (const auto& e : log->entries()) {
+      ++result.appended_records;
+      if (e.key < total_keys) ++counts[e.key];
+    }
+  }
+  for (auto c : counts) {
+    if (c == 0) {
+      ++result.lost;
+    } else if (c == 1) {
+      ++result.delivered;
+    } else {
+      ++result.duplicated;
+    }
+  }
+  return result;
+}
+
+}  // namespace ks::kafka

@@ -1,0 +1,82 @@
+// A Kafka cluster: several brokers, topics split into partitions with a
+// leader broker each (round-robin assignment, like Kafka's default), and
+// the key-census measurement the paper's methodology relies on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "kafka/broker.hpp"
+#include "sim/simulation.hpp"
+
+namespace ks::kafka {
+
+class Cluster {
+ public:
+  struct Config {
+    int num_brokers = 3;  ///< The paper's testbed runs three brokers.
+    Broker::Config broker;
+  };
+
+  struct PartitionRef {
+    std::int32_t id = 0;     ///< Cluster-global partition id.
+    int leader = 0;          ///< Broker index.
+  };
+
+  /// Key-census result: the paper's measurement of P_l and P_d.
+  struct CensusResult {
+    std::uint64_t total_keys = 0;
+    std::uint64_t delivered = 0;    ///< Keys appearing exactly once.
+    std::uint64_t duplicated = 0;   ///< Keys appearing more than once.
+    std::uint64_t lost = 0;         ///< Keys never found.
+    std::uint64_t appended_records = 0;
+
+    double p_loss() const noexcept {
+      return total_keys ? static_cast<double>(lost) /
+                              static_cast<double>(total_keys)
+                        : 0.0;
+    }
+    double p_duplicate() const noexcept {
+      return total_keys ? static_cast<double>(duplicated) /
+                              static_cast<double>(total_keys)
+                        : 0.0;
+    }
+  };
+
+  Cluster(sim::Simulation& sim, Config config);
+
+  /// Begin broker regime processes.
+  void start();
+
+  /// Create a topic with `partitions` partitions, leaders assigned
+  /// round-robin across brokers.
+  void create_topic(const std::string& name, int partitions);
+
+  const std::vector<PartitionRef>& topic(const std::string& name) const;
+  Broker& leader_of(const std::string& topic_name, int partition_index);
+  std::int32_t partition_id(const std::string& topic_name,
+                            int partition_index) const;
+
+  Broker& broker(int index) { return *brokers_.at(index); }
+  int num_brokers() const noexcept {
+    return static_cast<int>(brokers_.size());
+  }
+
+  /// Count unique keys across all partitions of a topic against the source
+  /// range [0, total_keys).
+  CensusResult census(const std::string& topic_name,
+                      std::uint64_t total_keys) const;
+
+ private:
+  sim::Simulation& sim_;
+  Config config_;
+  std::vector<std::unique_ptr<Broker>> brokers_;
+  std::map<std::string, std::vector<PartitionRef>> topics_;
+  std::int32_t next_partition_id_ = 0;
+};
+
+}  // namespace ks::kafka

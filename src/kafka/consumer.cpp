@@ -1,0 +1,86 @@
+#include "kafka/consumer.hpp"
+
+#include <utility>
+
+namespace ks::kafka {
+
+Consumer::Consumer(sim::Simulation& sim, Config config, tcp::Endpoint& conn,
+                   std::int32_t partition)
+    : sim_(sim),
+      config_(config),
+      conn_(conn),
+      partition_(partition),
+      poll_timer_(sim),
+      fetch_timeout_timer_(sim) {}
+
+void Consumer::start() {
+  conn_.on_connected = [this] { fetch(); };
+  conn_.on_message = [this](std::shared_ptr<const void> payload) {
+    handle_frame(std::move(payload));
+  };
+  conn_.on_reset = [this] {
+    fetch_outstanding_ = false;
+    if (!done_) {
+      sim_.after(millis(100), [this] {
+        if (!done_) conn_.connect();
+      });
+    }
+  };
+  conn_.connect();
+}
+
+void Consumer::drain_until(std::int64_t target_offset) {
+  drain_target_ = target_offset;
+  if (next_offset_ >= drain_target_ && !done_) {
+    done_ = true;
+    if (on_drained) on_drained();
+  }
+}
+
+void Consumer::fetch() {
+  if (done_ || fetch_outstanding_ || !conn_.established()) return;
+  FetchRequest req;
+  req.id = next_request_id_++;
+  req.partition = partition_;
+  req.offset = next_offset_;
+  req.max_records = config_.max_records_per_fetch;
+  const Bytes wire = req.wire_size();
+  if (!conn_.send(tcp::AppMessage{wire, make_frame(std::move(req))})) {
+    poll_timer_.arm(config_.poll_backoff, [this] { fetch(); });
+    return;
+  }
+  fetch_outstanding_ = true;
+  ++stats_.fetches;
+  fetch_timeout_timer_.arm(config_.fetch_timeout, [this] {
+    fetch_outstanding_ = false;  // Response lost; ask again.
+    fetch();
+  });
+}
+
+void Consumer::handle_frame(std::shared_ptr<const void> payload) {
+  const auto* frame = static_cast<const Frame*>(payload.get());
+  const auto* resp = std::get_if<FetchResponse>(&frame->body);
+  if (resp == nullptr) return;
+  fetch_outstanding_ = false;
+  fetch_timeout_timer_.cancel();
+  for (const auto& r : resp->records) {
+    next_offset_ = r.offset + 1;
+    ++stats_.records;
+    stats_.bytes += r.value_size;
+    if (on_record) on_record(r);
+  }
+  if (drain_target_ >= 0 && next_offset_ >= drain_target_) {
+    if (!done_) {
+      done_ = true;
+      if (on_drained) on_drained();
+    }
+    return;
+  }
+  if (resp->records.empty()) {
+    poll_timer_.arm(config_.poll_backoff, [this] { fetch(); });
+  } else {
+    fetch();
+  }
+}
+
+}  // namespace ks::kafka

@@ -1,0 +1,70 @@
+// The Kafka consumer: fetches a partition from its leader over TCP and
+// hands records to the application in offset order.
+//
+// The paper's measurement methodology: after the producer finishes, a
+// consumer drains the whole topic and the unique keys are compared with the
+// source range. drain_until() supports exactly that.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+#include "kafka/protocol.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/endpoint.hpp"
+
+namespace ks::kafka {
+
+class Consumer {
+ public:
+  struct Config {
+    int max_records_per_fetch = 500;
+    Duration poll_backoff = millis(20);  ///< Wait when caught up.
+    /// Re-issue a fetch whose response never arrived (lost on a flaky
+    /// connection or dropped at a full socket).
+    Duration fetch_timeout = seconds(2);
+  };
+
+  struct Stats {
+    std::uint64_t fetches = 0;
+    std::uint64_t records = 0;
+    Bytes bytes = 0;
+  };
+
+  Consumer(sim::Simulation& sim, Config config, tcp::Endpoint& conn,
+           std::int32_t partition);
+
+  /// Connect and begin the fetch loop from offset 0.
+  void start();
+
+  /// Stop once the consumer's offset reaches `target_offset` (typically the
+  /// partition's log-end offset after the producer finished); fires
+  /// on_drained.
+  void drain_until(std::int64_t target_offset);
+
+  std::function<void(const FetchedRecord&)> on_record;
+  std::function<void()> on_drained;
+
+  std::int64_t position() const noexcept { return next_offset_; }
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  void fetch();
+  void handle_frame(std::shared_ptr<const void> payload);
+
+  sim::Simulation& sim_;
+  Config config_;
+  tcp::Endpoint& conn_;
+  std::int32_t partition_;
+  std::int64_t next_offset_ = 0;
+  std::int64_t drain_target_ = -1;
+  std::uint64_t next_request_id_ = 1;
+  bool fetch_outstanding_ = false;
+  bool done_ = false;
+  sim::Timer poll_timer_;
+  sim::Timer fetch_timeout_timer_;
+  Stats stats_;
+};
+
+}  // namespace ks::kafka

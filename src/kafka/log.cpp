@@ -1,0 +1,50 @@
+#include "kafka/log.hpp"
+
+#include <algorithm>
+
+namespace ks::kafka {
+
+PartitionLog::AppendResult PartitionLog::append(std::span<const Record> records,
+                                                TimePoint append_time,
+                                                std::uint64_t producer_id,
+                                                std::int64_t base_sequence) {
+  AppendResult result;
+  if (records.empty()) {
+    result.base_offset = log_end_offset();
+    return result;
+  }
+
+  if (producer_id != 0 && base_sequence >= 0) {
+    auto& state = producers_[producer_id];
+    if (base_sequence <= state.last_sequence) {
+      // A retry of a batch we already hold: acknowledge without appending.
+      ++deduped_;
+      result.deduplicated = true;
+      result.error = ErrorCode::kDuplicateSequence;
+      result.base_offset = log_end_offset();
+      return result;
+    }
+    state.last_sequence =
+        base_sequence + static_cast<std::int64_t>(records.size()) - 1;
+  }
+
+  result.base_offset = log_end_offset();
+  entries_.reserve(entries_.size() + records.size());
+  for (const auto& r : records) {
+    entries_.push_back(LogEntry{log_end_offset(), r.key, r.value_size,
+                                append_time});
+    size_bytes_ += r.wire_size();
+  }
+  return result;
+}
+
+std::span<const LogEntry> PartitionLog::read(std::int64_t offset,
+                                             std::size_t max_records) const {
+  if (offset < 0 || offset >= log_end_offset()) return {};
+  const auto begin = static_cast<std::size_t>(offset);
+  const auto count =
+      std::min(max_records, entries_.size() - begin);
+  return {entries_.data() + begin, count};
+}
+
+}  // namespace ks::kafka

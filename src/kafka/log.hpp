@@ -1,0 +1,62 @@
+// The partition log: an append-only sequence of records with offsets,
+// including idempotent-producer sequence deduplication (the mechanism
+// behind Kafka's exactly-once producer semantics).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "kafka/protocol.hpp"
+#include "kafka/record.hpp"
+
+namespace ks::kafka {
+
+struct LogEntry {
+  std::int64_t offset = 0;
+  Key key = 0;
+  Bytes value_size = 0;
+  TimePoint append_time = 0;
+};
+
+class PartitionLog {
+ public:
+  struct AppendResult {
+    ErrorCode error = ErrorCode::kNone;
+    std::int64_t base_offset = -1;
+    bool deduplicated = false;  ///< Idempotence dropped a duplicate batch.
+  };
+
+  /// Append a batch. With producer_id != 0 the (producer_id, base_sequence)
+  /// pair deduplicates retried batches: a batch whose sequence was already
+  /// appended is acknowledged without appending again.
+  AppendResult append(std::span<const Record> records,
+                      TimePoint append_time,
+                      std::uint64_t producer_id = 0,
+                      std::int64_t base_sequence = -1);
+
+  /// Records in [offset, offset + max_records).
+  std::span<const LogEntry> read(std::int64_t offset,
+                                 std::size_t max_records) const;
+
+  std::int64_t log_end_offset() const noexcept {
+    return static_cast<std::int64_t>(entries_.size());
+  }
+  Bytes size_bytes() const noexcept { return size_bytes_; }
+  const std::vector<LogEntry>& entries() const noexcept { return entries_; }
+  std::uint64_t deduplicated_batches() const noexcept { return deduped_; }
+
+ private:
+  struct ProducerState {
+    std::int64_t last_sequence = -1;
+  };
+
+  std::vector<LogEntry> entries_;
+  Bytes size_bytes_ = 0;
+  std::unordered_map<std::uint64_t, ProducerState> producers_;
+  std::uint64_t deduped_ = 0;
+};
+
+}  // namespace ks::kafka

@@ -1,0 +1,416 @@
+#include "kafka/producer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace ks::kafka {
+
+const char* to_string(DeliverySemantics s) noexcept {
+  switch (s) {
+    case DeliverySemantics::kAtMostOnce: return "at-most-once";
+    case DeliverySemantics::kAtLeastOnce: return "at-least-once";
+    case DeliverySemantics::kExactlyOnce: return "exactly-once";
+  }
+  return "?";
+}
+
+ProducerConfig ProducerConfig::at_most_once() {
+  ProducerConfig c;
+  c.semantics = DeliverySemantics::kAtMostOnce;
+  c.acks = Acks::kNone;
+  c.retries = 0;
+  // Fire-and-forget applications get no delivery feedback: they flood the
+  // (deep) local queue at source speed.
+  c.admission = AdmissionPolicy::kFlood;
+  c.max_queued_records = 100000;
+  return c;
+}
+
+ProducerConfig ProducerConfig::at_least_once() {
+  ProducerConfig c;
+  c.semantics = DeliverySemantics::kAtLeastOnce;
+  c.acks = Acks::kLeader;
+  c.retries = 5;
+  c.request_timeout = millis(2000);
+  // librdkafka-style deep pipelining; the congestion window, not this cap,
+  // bounds the wire.
+  c.max_in_flight = 1000;
+  // Delivery reports pace the application: bounded unresolved window.
+  c.admission = AdmissionPolicy::kAckPaced;
+  c.ack_window = 200;
+  return c;
+}
+
+ProducerConfig ProducerConfig::exactly_once() {
+  ProducerConfig c = at_least_once();
+  c.semantics = DeliverySemantics::kExactlyOnce;
+  c.acks = Acks::kAll;
+  c.enable_idempotence = true;
+  c.retries = 10;
+  return c;
+}
+
+ProducerConfig ProducerConfig::for_semantics(DeliverySemantics s) {
+  switch (s) {
+    case DeliverySemantics::kAtMostOnce: return at_most_once();
+    case DeliverySemantics::kAtLeastOnce: return at_least_once();
+    case DeliverySemantics::kExactlyOnce: return exactly_once();
+  }
+  return at_least_once();
+}
+
+Producer::Producer(sim::Simulation& sim, ProducerConfig config,
+                   tcp::Endpoint& conn, Source& source, std::int32_t partition)
+    : sim_(sim),
+      config_(config),
+      conn_(conn),
+      source_(source),
+      partition_(partition),
+      poll_timer_(sim),
+      linger_timer_(sim),
+      timeout_scan_timer_(sim),
+      expiry_timer_(sim),
+      retry_timer_(sim) {}
+
+void Producer::start() {
+  conn_.on_connected = [this] { try_send(); };
+  conn_.on_writable = [this] { try_send(); };
+  conn_.on_message = [this](std::shared_ptr<const void> payload) {
+    handle_frame(std::move(payload));
+  };
+  conn_.on_reset = [this] { handle_reset(); };
+  conn_.connect();
+
+  if (config_.acks != Acks::kNone) arm_timeout_scan();
+  arm_expiry_scan();
+  schedule_poll(0);
+}
+
+void Producer::arm_timeout_scan() {
+  const Duration scan =
+      std::max<Duration>(millis(10), config_.request_timeout / 4);
+  timeout_scan_timer_.arm(scan, [this] {
+    scan_request_timeouts();
+    if (!finished_) arm_timeout_scan();
+  });
+}
+
+void Producer::arm_expiry_scan() {
+  expiry_timer_.arm(config_.expiry_scan_interval, [this] {
+    expire_queue_front();
+    try_send();
+    if (!finished_) arm_expiry_scan();
+  });
+}
+
+void Producer::schedule_poll(Duration delay) {
+  if (finished_ || source_done_) return;
+  poll_timer_.arm(delay, [this] { poll(); });
+}
+
+bool Producer::admission_open() const noexcept {
+  if (queue_.size() >= config_.max_queued_records) return false;
+  if (config_.admission == AdmissionPolicy::kAckPaced &&
+      unresolved_ >= config_.ack_window) {
+    return false;
+  }
+  return true;
+}
+
+void Producer::poll() {
+  if (finished_ || source_done_) return;
+  if (!admission_open()) {
+    schedule_poll(std::max<Duration>(config_.poll_interval, millis(1)));
+    return;
+  }
+  auto record = source_.pull();
+  if (!record) {
+    if (source_.exhausted()) {
+      source_done_ = true;
+      maybe_finish();
+      return;
+    }
+    schedule_poll(std::max<Duration>(config_.poll_interval, millis(1)));
+    return;
+  }
+  ++stats_.pulled;
+  ++unresolved_;
+  const Duration t_ser =
+      config_.serialize_base +
+      static_cast<Duration>(std::llround(
+          static_cast<double>(record->value_size) *
+          config_.serialize_per_byte_us));
+  enqueue(*record);
+  schedule_poll(std::max(config_.poll_interval, t_ser));
+}
+
+void Producer::enqueue(Record record) {
+  queue_.push_back(record);
+  try_send();
+}
+
+void Producer::expire_queue_front() {
+  // The queue is (approximately) ordered by creation time — retried batches
+  // live in retry_queue_, not here — so a front scan finds all expired
+  // records.
+  while (!queue_.empty() && record_expired(queue_.front())) {
+    const Record& r = queue_.front();
+    ++stats_.expired;
+    if (on_record_expired) on_record_expired(r);
+    queue_.pop_front();
+    resolve_records(1);
+  }
+}
+
+bool Producer::send_batch(std::uint64_t batch_id) {
+  auto it = batches_.find(batch_id);
+  assert(it != batches_.end());
+  BatchState& batch = it->second;
+
+  ProduceRequest req = batch.request;
+  req.id = next_request_id_;
+  for (auto& r : req.records) ++r.attempts;
+  req.attempt = batch.attempt + 1;
+  const Bytes wire = req.wire_size();
+  auto frame = make_frame(std::move(req));
+  if (!conn_.send(tcp::AppMessage{wire, frame})) return false;  // Socket full.
+
+  const auto& sent = std::get<ProduceRequest>(frame->body);
+  batch.request = sent;  // Keep the bumped attempt counts.
+  batch.attempt_ids.push_back(sent.id);
+  request_to_batch_.emplace(sent.id, batch_id);
+  batch.sent_at = sim_.now();
+  ++batch.attempt;
+  batch.awaiting_retry = false;
+  ++in_flight_count_;
+  ++next_request_id_;
+  ++stats_.requests_sent;
+  stats_.records_sent += sent.records.size();
+  for (const auto& r : sent.records) {
+    if (on_send_attempt) on_send_attempt(r, r.attempts);
+  }
+  return true;
+}
+
+void Producer::try_send() {
+  if (!conn_.established()) return;
+
+  // 1. Batches whose retry backoff elapsed go out first (they carry the
+  //    oldest records and their idempotent sequence numbers).
+  while (!retry_order_.empty()) {
+    if (config_.acks != Acks::kNone &&
+        batches_in_flight() >=
+            static_cast<std::size_t>(config_.max_in_flight)) {
+      return;
+    }
+    const std::uint64_t batch_id = retry_order_.front();
+    auto it = batches_.find(batch_id);
+    if (it == batches_.end()) {  // Resolved by a late ack while waiting.
+      retry_order_.pop_front();
+      continue;
+    }
+    if (it->second.ready_at > sim_.now()) {
+      retry_timer_.arm(it->second.ready_at - sim_.now(),
+                       [this] { try_send(); });
+      break;
+    }
+    if (!send_batch(batch_id)) return;  // Socket full.
+    retry_order_.pop_front();
+  }
+
+  // 2. Fresh batches from the accumulator.
+  while (true) {
+    expire_queue_front();
+    if (queue_.empty()) {
+      maybe_finish();
+      return;
+    }
+    if (config_.acks != Acks::kNone &&
+        batches_in_flight() >=
+            static_cast<std::size_t>(config_.max_in_flight)) {
+      return;
+    }
+    const auto batch_cap = static_cast<std::size_t>(
+        std::max(1, config_.batch_size));
+    // Linger: wait for a full batch unless the deadline passed or the
+    // source is done.
+    if (queue_.size() < batch_cap && config_.linger > 0 && !source_done_) {
+      const TimePoint deadline = batch_wait_start_ + config_.linger;
+      if (sim_.now() < deadline) {
+        linger_timer_.arm(deadline - sim_.now(), [this] { try_send(); });
+        return;
+      }
+    }
+
+    // Assemble the batch (peek first: only pop once the socket accepts).
+    const std::size_t n = std::min(batch_cap, queue_.size());
+    BatchState batch;
+    batch.request.partition = partition_;
+    batch.request.acks = config_.acks;
+    batch.request.records.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.request.records.push_back(queue_[i]);
+    }
+    if (config_.enable_idempotence) {
+      batch.request.producer_id = config_.producer_id;
+      batch.request.base_sequence = next_sequence_;
+    }
+    const std::uint64_t batch_id = next_batch_id_;
+    batches_.emplace(batch_id, std::move(batch));
+    if (!send_batch(batch_id)) {
+      batches_.erase(batch_id);  // Socket full; records stay queued.
+      return;
+    }
+    ++next_batch_id_;
+
+    // Committed: pop the records and account.
+    for (std::size_t i = 0; i < n; ++i) {
+      stats_.queue_sojourn.add(sim_.now() - queue_.front().created_at);
+      queue_.pop_front();
+    }
+    batch_wait_start_ = sim_.now();
+    if (config_.enable_idempotence) {
+      next_sequence_ += static_cast<std::int64_t>(n);
+    }
+    if (config_.acks == Acks::kNone) {
+      // Fire and forget: written-to-socket is as good as it gets.
+      stats_.records_written += n;
+      resolve_records(n);
+      auto done = batches_.find(batch_id);
+      for (auto id : done->second.attempt_ids) request_to_batch_.erase(id);
+      batches_.erase(done);
+    }
+  }
+}
+
+void Producer::handle_frame(std::shared_ptr<const void> payload) {
+  const auto* frame = static_cast<const Frame*>(payload.get());
+  if (const auto* resp = std::get_if<ProduceResponse>(&frame->body)) {
+    handle_response(*resp);
+  }
+}
+
+void Producer::handle_response(const ProduceResponse& response) {
+  ++stats_.responses;
+  auto rit = request_to_batch_.find(response.request_id);
+  if (rit == request_to_batch_.end()) return;  // Batch already resolved.
+  resolve_batch(rit->second);
+  try_send();
+}
+
+void Producer::resolve_batch(std::uint64_t batch_id) {
+  auto it = batches_.find(batch_id);
+  if (it == batches_.end()) return;
+  const auto& request = it->second.request;
+  for (const auto& r : request.records) {
+    ++stats_.records_acked;
+    stats_.ack_latency.add(sim_.now() - r.created_at);
+    if (on_record_acked) on_record_acked(r);
+  }
+  const auto n = request.records.size();
+  if (!it->second.awaiting_retry) --in_flight_count_;
+  for (auto id : it->second.attempt_ids) request_to_batch_.erase(id);
+  batches_.erase(it);
+  // A stale entry may linger in retry_order_; try_send() skips it.
+  resolve_records(n);
+}
+
+void Producer::scan_request_timeouts() {
+  std::vector<std::uint64_t> timed_out;
+  for (const auto& [batch_id, batch] : batches_) {
+    if (!batch.awaiting_retry &&
+        sim_.now() - batch.sent_at >= config_.request_timeout) {
+      timed_out.push_back(batch_id);
+    }
+  }
+  for (auto batch_id : timed_out) {
+    ++stats_.request_timeouts;
+    retry_or_fail(batch_id);
+  }
+}
+
+void Producer::retry_or_fail(std::uint64_t batch_id) {
+  auto it = batches_.find(batch_id);
+  if (it == batches_.end()) return;
+  BatchState& batch = it->second;
+
+  const bool attempts_left = batch.attempt <= config_.retries;
+  const bool within_timeout =
+      !batch.request.records.empty() &&
+      !record_expired(batch.request.records.front());
+  if (!batch.awaiting_retry) --in_flight_count_;
+
+  if (!attempts_left || !within_timeout) {
+    for (const auto& r : batch.request.records) {
+      ++stats_.records_failed;
+      if (on_record_failed) on_record_failed(r);
+    }
+    const auto n = batch.request.records.size();
+    for (auto id : batch.attempt_ids) request_to_batch_.erase(id);
+    batches_.erase(it);
+    resolve_records(n);
+    try_send();
+    return;
+  }
+
+  ++stats_.requests_retried;
+  batch.awaiting_retry = true;
+  // Linearly growing backoff (capped) keeps retry storms in check.
+  const Duration backoff =
+      config_.retry_backoff * std::min(batch.attempt, 10);
+  batch.ready_at = sim_.now() + backoff;
+  retry_order_.push_back(batch_id);
+  retry_timer_.arm(backoff, [this] { try_send(); });
+}
+
+void Producer::handle_reset() {
+  ++stats_.connection_resets;
+  // acks=0: whatever sat in the socket is gone and we never know (the
+  // at-most-once hazard). acks>=1: every in-flight batch gets retried.
+  std::vector<std::uint64_t> in_flight;
+  for (const auto& [batch_id, batch] : batches_) {
+    if (!batch.awaiting_retry) in_flight.push_back(batch_id);
+  }
+  for (auto batch_id : in_flight) retry_or_fail(batch_id);
+
+  if (!reconnect_pending_ && !finished_) {
+    reconnect_pending_ = true;
+    sim_.after(config_.reconnect_backoff, [this] {
+      reconnect_pending_ = false;
+      if (!finished_) conn_.connect();
+    });
+  }
+}
+
+void Producer::resolve_records(std::uint64_t count) noexcept {
+  assert(unresolved_ >= count);
+  unresolved_ -= count;
+  maybe_finish();
+}
+
+void Producer::maybe_finish() {
+  if (finished_ || !source_done_) return;
+  if (unresolved_ != 0 || !queue_.empty() || !batches_.empty()) {
+    return;
+  }
+  finished_ = true;
+  poll_timer_.cancel();
+  linger_timer_.cancel();
+  timeout_scan_timer_.cancel();
+  expiry_timer_.cancel();
+  retry_timer_.cancel();
+  if (on_finished) on_finished();
+}
+
+void Producer::reconfigure(int batch_size, Duration linger,
+                           Duration poll_interval, Duration message_timeout) {
+  config_.batch_size = batch_size;
+  config_.linger = linger;
+  config_.poll_interval = poll_interval;
+  config_.message_timeout = message_timeout;
+  try_send();
+}
+
+}  // namespace ks::kafka

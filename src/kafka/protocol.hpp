@@ -1,0 +1,102 @@
+// The produce/fetch wire protocol between clients and brokers.
+//
+// Frames ride the simulated TCP stream as opaque payloads; wire sizes are
+// modelled explicitly so bandwidth and loss affect exactly the bytes a real
+// Kafka deployment would move.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+#include "kafka/record.hpp"
+
+namespace ks::kafka {
+
+/// Produce-request header wire bytes (request header v2 + topic/partition
+/// framing + batch header, rounded to the paper's environment).
+inline constexpr Bytes kProduceRequestOverhead = 70;
+inline constexpr Bytes kProduceResponseSize = 60;
+inline constexpr Bytes kFetchRequestSize = 64;
+inline constexpr Bytes kFetchResponseOverhead = 60;
+
+/// acks values: 0 = fire and forget, 1 = leader ack, -1 = all ISR.
+enum class Acks : int { kNone = 0, kLeader = 1, kAll = -1 };
+
+enum class ErrorCode : int {
+  kNone = 0,
+  kDuplicateSequence,   ///< Idempotent dedup hit; treated as success.
+  kOutOfOrderSequence,  ///< Sequence gap (retriable).
+};
+
+struct ProduceRequest {
+  std::uint64_t id = 0;
+  std::int32_t partition = 0;
+  Acks acks = Acks::kLeader;
+  std::vector<Record> records;
+  int attempt = 0;                  ///< 0 on first send.
+  // Idempotent-producer fields (enable.idempotence / exactly-once).
+  std::uint64_t producer_id = 0;    ///< 0 = idempotence disabled.
+  std::int64_t base_sequence = -1;
+
+  Bytes wire_size() const noexcept {
+    Bytes total = kProduceRequestOverhead;
+    for (const auto& r : records) total += r.wire_size();
+    return total;
+  }
+};
+
+struct ProduceResponse {
+  std::uint64_t request_id = 0;
+  std::int32_t partition = 0;
+  ErrorCode error = ErrorCode::kNone;
+  std::int64_t base_offset = -1;
+
+  Bytes wire_size() const noexcept { return kProduceResponseSize; }
+};
+
+struct FetchRequest {
+  std::uint64_t id = 0;
+  std::int32_t partition = 0;
+  std::int64_t offset = 0;
+  int max_records = 500;
+
+  Bytes wire_size() const noexcept { return kFetchRequestSize; }
+};
+
+struct FetchedRecord {
+  std::int64_t offset = 0;
+  Key key = 0;
+  Bytes value_size = 0;
+  TimePoint append_time = 0;
+};
+
+struct FetchResponse {
+  std::uint64_t request_id = 0;
+  std::int32_t partition = 0;
+  std::vector<FetchedRecord> records;
+  std::int64_t log_end_offset = 0;
+
+  Bytes wire_size() const noexcept {
+    Bytes total = kFetchResponseOverhead;
+    for (const auto& r : records) total += kRecordOverhead + r.value_size;
+    return total;
+  }
+};
+
+/// Any protocol message; the TCP payload type for broker connections.
+struct Frame {
+  std::variant<ProduceRequest, ProduceResponse, FetchRequest, FetchResponse>
+      body;
+};
+
+template <typename T>
+std::shared_ptr<const Frame> make_frame(T&& body) {
+  auto frame = std::make_shared<Frame>();
+  frame->body = std::forward<T>(body);
+  return frame;
+}
+
+}  // namespace ks::kafka

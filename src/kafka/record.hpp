@@ -1,0 +1,31 @@
+// Records: the unit of streaming data the paper's producer delivers.
+//
+// Following the paper's methodology, every record carries an incremental
+// unique key; message content is irrelevant, only the payload size matters.
+// Loss and duplication are measured by comparing the source key range with
+// the keys found in the cluster (the "consumer census").
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ks::kafka {
+
+/// Incremental unique message key (0-based).
+using Key = std::uint64_t;
+
+/// Per-record framing overhead inside a batch (key, length, attributes,
+/// timestamp delta — mirrors Kafka's record encoding).
+inline constexpr Bytes kRecordOverhead = 34;
+
+struct Record {
+  Key key = 0;
+  Bytes value_size = 0;      ///< Payload bytes (the paper's message size M).
+  TimePoint created_at = 0;  ///< Arrival time at the producer (T_o clock).
+  int attempts = 0;          ///< Produce-request send attempts so far.
+
+  Bytes wire_size() const noexcept { return kRecordOverhead + value_size; }
+};
+
+}  // namespace ks::kafka

@@ -1,0 +1,74 @@
+#include "kafka/source.hpp"
+
+#include <algorithm>
+
+namespace ks::kafka {
+
+Source::Source(sim::Simulation& sim, Config config)
+    : sim_(sim),
+      config_(config),
+      rng_(sim.rng().fork()),
+      next_key_(config.first_key) {}
+
+Bytes Source::next_size() {
+  Bytes size = config_.message_size;
+  if (config_.size_jitter > 0) {
+    size += rng_.uniform_int(-config_.size_jitter, config_.size_jitter);
+  }
+  return std::max<Bytes>(1, size);
+}
+
+Duration Source::next_interval() {
+  if (config_.interval_fn) return config_.interval_fn(sim_.now());
+  return config_.emit_interval;
+}
+
+void Source::start() {
+  if (config_.emit_interval <= 0 && !config_.interval_fn) return;
+  emit();
+}
+
+void Source::emit() {
+  if (next_key_ >= config_.first_key + config_.total_messages) return;
+  Record r;
+  r.key = next_key_++;
+  r.value_size = next_size();
+  r.created_at = sim_.now();
+  ++stats_.emitted;
+  if (config_.buffer_capacity > 0 &&
+      buffer_.size() >= config_.buffer_capacity) {
+    buffer_.pop_front();  // Ring overrun: oldest message is gone for good.
+    ++stats_.overrun_dropped;
+  }
+  buffer_.push_back(r);
+  const Duration gap = std::max<Duration>(1, next_interval());
+  sim_.after(gap, [this] { emit(); });
+}
+
+std::optional<Record> Source::pull() {
+  if (config_.emit_interval > 0 || config_.interval_fn) {
+    if (buffer_.empty()) return std::nullopt;
+    Record r = buffer_.front();
+    buffer_.pop_front();
+    ++stats_.pulled;
+    return r;
+  }
+  // On-demand: the next message materialises at pull time.
+  if (next_key_ >= config_.first_key + config_.total_messages) {
+    return std::nullopt;
+  }
+  Record r;
+  r.key = next_key_++;
+  r.value_size = next_size();
+  r.created_at = sim_.now();
+  ++stats_.emitted;
+  ++stats_.pulled;
+  return r;
+}
+
+bool Source::exhausted() const noexcept {
+  return next_key_ >= config_.first_key + config_.total_messages &&
+         buffer_.empty();
+}
+
+}  // namespace ks::kafka

@@ -1,0 +1,74 @@
+#include "kafka/state_machine.hpp"
+
+#include <cassert>
+
+namespace ks::kafka {
+
+const char* to_string(MessageState s) noexcept {
+  switch (s) {
+    case MessageState::kReady: return "ready";
+    case MessageState::kDelivered: return "delivered";
+    case MessageState::kLost: return "lost";
+    case MessageState::kDuplicated: return "duplicated";
+  }
+  return "?";
+}
+
+MessageStateTracker::MessageStateTracker(std::uint64_t total_keys)
+    : entries_(total_keys) {}
+
+void MessageStateTracker::on_send_attempt(Key key, int attempt) {
+  if (key >= entries_.size()) return;
+  auto& e = entries_[key];
+  e.attempts = std::max(e.attempts, static_cast<std::int32_t>(attempt));
+}
+
+void MessageStateTracker::on_append(Key key) {
+  if (key >= entries_.size()) return;
+  ++entries_[key].appends;
+}
+
+MessageState MessageStateTracker::state_of(Key key) const {
+  assert(key < entries_.size());
+  const auto& e = entries_[key];
+  if (e.appends > 1) return MessageState::kDuplicated;
+  if (e.appends == 1) return MessageState::kDelivered;
+  if (e.attempts > 0) return MessageState::kLost;
+  return MessageState::kReady;
+}
+
+DeliveryCase MessageStateTracker::case_of(Key key) const {
+  assert(key < entries_.size());
+  const auto& e = entries_[key];
+  if (e.appends > 1) return DeliveryCase::kCase5;
+  if (e.appends == 1) {
+    return e.attempts > 1 ? DeliveryCase::kCase4 : DeliveryCase::kCase1;
+  }
+  if (e.attempts > 1) return DeliveryCase::kCase3;
+  if (e.attempts == 1) return DeliveryCase::kCase2;
+  return DeliveryCase::kUnsent;
+}
+
+MessageStateTracker::Census MessageStateTracker::census() const {
+  Census c;
+  c.total = total_keys();
+  for (Key k = 0; k < entries_.size(); ++k) {
+    ++c.cases[static_cast<int>(case_of(k))];
+  }
+  return c;
+}
+
+double MessageStateTracker::Census::p_loss() const noexcept {
+  if (total == 0) return 0.0;
+  // Unsent messages never reached the cluster either; the paper's key
+  // census cannot distinguish them from Case2, so they count as loss.
+  const auto lost = cases[0] + cases[2] + cases[3];
+  return static_cast<double>(lost) / static_cast<double>(total);
+}
+
+double MessageStateTracker::Census::p_duplicate() const noexcept {
+  if (total == 0) return 0.0;
+  return static_cast<double>(cases[5]) / static_cast<double>(total);
+}
+
+}  // namespace ks::kafka

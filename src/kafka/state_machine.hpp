@@ -1,0 +1,77 @@
+// The paper's message-state model (Fig. 2) and delivery-case census
+// (Table I).
+//
+// States: Ready-to-be-sent -> {Delivered, Lost, Duplicated}, with
+// transitions: I initial success, II initial failure, III retry failure,
+// IV retry success, V ack loss after persistence, VI duplicated retry.
+//
+// The tracker observes producer send attempts and broker appends per unique
+// key and classifies each message into Case 1..5:
+//   Case1: I                          (delivered on first try)
+//   Case2: II                         (lost; never delivered, <=1 attempt)
+//   Case3: II -> tau_r*III            (lost after retries)
+//   Case4: II -> tau_r*III -> IV      (delivered after retries)
+//   Case5: ... -> V -> tau_d*VI       (persisted more than once: duplicated)
+// yielding P_l = P(Case2 u Case3) and P_d = P(Case5).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "kafka/record.hpp"
+
+namespace ks::kafka {
+
+enum class MessageState { kReady, kDelivered, kLost, kDuplicated };
+
+enum class DeliveryCase : int {
+  kUnsent = 0,  ///< Never attempted (pre-send expiry / source overrun).
+  kCase1 = 1,
+  kCase2 = 2,
+  kCase3 = 3,
+  kCase4 = 4,
+  kCase5 = 5,
+};
+
+const char* to_string(MessageState s) noexcept;
+
+class MessageStateTracker {
+ public:
+  explicit MessageStateTracker(std::uint64_t total_keys);
+
+  /// Producer attempted to send `key` (attempt = 1 for the initial send).
+  void on_send_attempt(Key key, int attempt);
+
+  /// Broker persisted `key` (fires once per append, including duplicates).
+  void on_append(Key key);
+
+  /// Current state of a message per Fig. 2.
+  MessageState state_of(Key key) const;
+
+  /// Table I classification (valid any time; final after the run).
+  DeliveryCase case_of(Key key) const;
+
+  /// Census over all keys: counts per case.
+  struct Census {
+    std::uint64_t total = 0;
+    std::array<std::uint64_t, 6> cases{};  ///< Indexed by DeliveryCase.
+    double p_loss() const noexcept;        ///< P(Case2 u Case3) + unsent.
+    double p_duplicate() const noexcept;   ///< P(Case5).
+  };
+  Census census() const;
+
+  std::uint64_t total_keys() const noexcept {
+    return static_cast<std::uint64_t>(entries_.size());
+  }
+
+ private:
+  struct Entry {
+    std::int32_t attempts = 0;
+    std::int32_t appends = 0;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ks::kafka

@@ -1,0 +1,15 @@
+#include "kpi/kpi.hpp"
+
+#include <algorithm>
+
+namespace ks::kpi {
+
+double weighted_kpi(double phi, double mu_normalized, double p_loss,
+                    double p_duplicate, const KpiWeights& w) noexcept {
+  const auto clamp01 = [](double v) { return std::clamp(v, 0.0, 1.0); };
+  return w.w_phi * clamp01(phi) + w.w_mu * clamp01(mu_normalized) +
+         w.w_loss * (1.0 - clamp01(p_loss)) +
+         w.w_dup * (1.0 - clamp01(p_duplicate));
+}
+
+}  // namespace ks::kpi

@@ -1,0 +1,27 @@
+// The weighted KPI of Eq. (2):
+//   gamma = w1*phi + w2*mu + w3*(1 - P_l) + w4*(1 - P_d),  sum(w) = 1,
+// with mu normalised to [0, 1] (see perf_model).
+#pragma once
+
+#include <array>
+
+namespace ks::kpi {
+
+struct KpiWeights {
+  double w_phi = 0.3;   ///< w1: bandwidth utilisation.
+  double w_mu = 0.3;    ///< w2: producer service rate.
+  double w_loss = 0.3;  ///< w3: 1 - P_l.
+  double w_dup = 0.1;   ///< w4: 1 - P_d (duplicates usually tolerable).
+
+  static KpiWeights defaults() { return {}; }
+  static KpiWeights from_array(const std::array<double, 4>& w) {
+    return {w[0], w[1], w[2], w[3]};
+  }
+  double sum() const noexcept { return w_phi + w_mu + w_loss + w_dup; }
+};
+
+/// gamma in [0, 1] when the weights sum to 1.
+double weighted_kpi(double phi, double mu_normalized, double p_loss,
+                    double p_duplicate, const KpiWeights& weights) noexcept;
+
+}  // namespace ks::kpi

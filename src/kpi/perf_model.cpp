@@ -1,0 +1,33 @@
+#include "kpi/perf_model.hpp"
+
+#include <algorithm>
+
+#include "kafka/protocol.hpp"
+#include "kafka/record.hpp"
+#include "testbed/calibration.hpp"
+
+namespace ks::kpi {
+
+PerfPrediction predict_performance(Bytes message_size, int batch_size,
+                                   Duration poll_interval) {
+  PerfPrediction p;
+  const Duration t_ser = testbed::full_load_interval(message_size);
+  const Duration gap = std::max(poll_interval, t_ser);
+  p.mu_msgs_per_s = gap > 0 ? 1e6 / static_cast<double>(gap) : 0.0;
+  const double mu_max =
+      1e6 / static_cast<double>(testbed::kSerializeBase);
+  p.mu_normalized = std::clamp(p.mu_msgs_per_s / mu_max, 0.0, 1.0);
+
+  // Offered load: per message, the value plus its record framing plus the
+  // request/TCP overhead amortised over the batch.
+  const int b = std::max(1, batch_size);
+  const double per_message_bytes =
+      static_cast<double>(message_size + kafka::kRecordOverhead) +
+      static_cast<double>(kafka::kProduceRequestOverhead + 40) /
+          static_cast<double>(b);
+  const double offered_bps = p.mu_msgs_per_s * per_message_bytes * 8.0;
+  p.phi = std::clamp(offered_bps / testbed::kLinkBandwidthBps, 0.0, 1.0);
+  return p;
+}
+
+}  // namespace ks::kpi

@@ -1,0 +1,23 @@
+// Performance prediction (the paper's ref. [6] inputs to the weighted KPI):
+// producer service rate mu and bandwidth utilisation phi, from the
+// configuration and message size — no simulation run needed.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace ks::kpi {
+
+struct PerfPrediction {
+  double mu_msgs_per_s = 0.0;  ///< Producer service rate.
+  double mu_normalized = 0.0;  ///< mu / mu_max, in [0, 1] for the KPI.
+  double phi = 0.0;            ///< Predicted bandwidth utilisation [0, 1].
+};
+
+/// Queueing-flavoured closed-form model:
+///   mu = 1 / max(delta, t_ser(M))  (messages/s the producer can push),
+///   phi = offered wire bytes per second / link bandwidth, capped at 1,
+/// where batching amortises the per-request overhead across B records.
+PerfPrediction predict_performance(Bytes message_size, int batch_size,
+                                   Duration poll_interval);
+
+}  // namespace ks::kpi

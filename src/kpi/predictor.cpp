@@ -1,0 +1,95 @@
+#include "kpi/predictor.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace ks::kpi {
+
+bool ReliabilityPredictor::is_normal_case(
+    const testbed::Scenario& s) noexcept {
+  return s.packet_loss <= 0.0 && s.network_delay < millis(200);
+}
+
+ReliabilityPredictor::TrainResult ReliabilityPredictor::train(
+    ann::Dataset normal, ann::Dataset abnormal,
+    const ann::TrainConfig& config, Rng& rng, double test_fraction) {
+  TrainResult result;
+
+  const auto fit_one = [&](ann::Dataset& ds, ann::Network& net,
+                           ann::MinMaxScaler& scaler) -> double {
+    ds.finalize();
+    if (ds.empty()) throw std::invalid_argument("empty training dataset");
+    ds.shuffle(rng);
+    auto [train_set, test_set] = ds.split(test_fraction);
+    if (train_set.empty()) train_set = ds;
+    const ann::Matrix x_train = scaler.fit_transform(train_set.x);
+    net = ann::Network::paper_architecture(x_train.cols(),
+                                           train_set.y.cols(), rng);
+    net.train(x_train, train_set.y, config, rng);
+    if (test_set.empty()) return net.mae(x_train, train_set.y);
+    return net.mae(scaler.transform(test_set.x), test_set.y);
+  };
+
+  result.normal_rows = normal.size();
+  result.abnormal_rows = abnormal.size();
+  result.normal_mae = fit_one(normal, normal_net_, normal_scaler_);
+  result.abnormal_mae = fit_one(abnormal, abnormal_net_, abnormal_scaler_);
+  trained_ = true;
+  return result;
+}
+
+ReliabilityPredictor::Prediction ReliabilityPredictor::predict(
+    const testbed::Scenario& s) const {
+  if (!trained_) throw std::logic_error("predictor not trained");
+  const bool normal = is_normal_case(s);
+  const auto& net = normal ? normal_net_ : abnormal_net_;
+  const auto& scaler = normal ? normal_scaler_ : abnormal_scaler_;
+  const auto features =
+      normal ? s.normal_features() : s.abnormal_features();
+  const auto out = net.predict_one(scaler.transform_one(features));
+  Prediction p;
+  p.p_loss = std::clamp(out.at(0), 0.0, 1.0);
+  p.p_duplicate = out.size() > 1 ? std::clamp(out[1], 0.0, 1.0) : 0.0;
+  return p;
+}
+
+void ReliabilityPredictor::save(const std::string& directory) const {
+  if (!trained_) throw std::logic_error("predictor not trained");
+  const auto write = [&](const std::string& name, auto&& fn) {
+    std::ofstream out(directory + "/" + name);
+    if (!out) throw std::runtime_error("cannot write " + directory + "/" + name);
+    fn(out);
+  };
+  write("normal.net", [&](std::ostream& o) { normal_net_.save(o); });
+  write("abnormal.net", [&](std::ostream& o) { abnormal_net_.save(o); });
+  write("normal.scaler", [&](std::ostream& o) { normal_scaler_.save(o); });
+  write("abnormal.scaler", [&](std::ostream& o) { abnormal_scaler_.save(o); });
+}
+
+void ReliabilityPredictor::load(const std::string& directory) {
+  const auto open = [&](const std::string& name) {
+    std::ifstream in(directory + "/" + name);
+    if (!in) throw std::runtime_error("cannot read " + directory + "/" + name);
+    return in;
+  };
+  {
+    auto in = open("normal.net");
+    normal_net_ = ann::Network::load(in);
+  }
+  {
+    auto in = open("abnormal.net");
+    abnormal_net_ = ann::Network::load(in);
+  }
+  {
+    auto in = open("normal.scaler");
+    normal_scaler_ = ann::MinMaxScaler::load(in);
+  }
+  {
+    auto in = open("abnormal.scaler");
+    abnormal_scaler_ = ann::MinMaxScaler::load(in);
+  }
+  trained_ = true;
+}
+
+}  // namespace ks::kpi

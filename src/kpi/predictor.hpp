@@ -1,0 +1,58 @@
+// The ANN-backed reliability predictor of Eq. (1):
+//   {P_l_hat, P_d_hat} = f(M, S, D, L, Confs).
+//
+// Per the Fig. 3 collection scheme, two models are trained: one for normal
+// network conditions (features S, T_o, delta, semantics) and one for faulty
+// conditions (features M, D, L, semantics, B). predict() routes a scenario
+// to the right model.
+#pragma once
+
+#include <string>
+
+#include "ann/dataset.hpp"
+#include "ann/network.hpp"
+#include "ann/scaler.hpp"
+#include "common/rng.hpp"
+#include "testbed/scenario.hpp"
+
+namespace ks::kpi {
+
+class ReliabilityPredictor {
+ public:
+  struct TrainResult {
+    double normal_mae = 0.0;    ///< Held-out MAE (paper target < 0.02).
+    double abnormal_mae = 0.0;
+    std::size_t normal_rows = 0;
+    std::size_t abnormal_rows = 0;
+  };
+
+  struct Prediction {
+    double p_loss = 0.0;
+    double p_duplicate = 0.0;
+  };
+
+  /// Train both models on collected datasets (targets {P_l, P_d}). A
+  /// `test_fraction` of each dataset is held out for the reported MAE.
+  TrainResult train(ann::Dataset normal, ann::Dataset abnormal,
+                    const ann::TrainConfig& config, Rng& rng,
+                    double test_fraction = 0.2);
+
+  /// Paper threshold for "normal network": D < 200 ms and L = 0.
+  static bool is_normal_case(const testbed::Scenario& s) noexcept;
+
+  Prediction predict(const testbed::Scenario& s) const;
+
+  bool trained() const noexcept { return trained_; }
+
+  void save(const std::string& directory) const;
+  void load(const std::string& directory);
+
+ private:
+  ann::Network normal_net_;
+  ann::Network abnormal_net_;
+  ann::MinMaxScaler normal_scaler_;
+  ann::MinMaxScaler abnormal_scaler_;
+  bool trained_ = false;
+};
+
+}  // namespace ks::kpi

@@ -1,0 +1,49 @@
+#include "net/delay_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ks::net {
+
+Duration UniformDelay::sample(TimePoint, Rng& rng) {
+  const Duration lo = std::max<Duration>(0, base_ - jitter_);
+  const Duration hi = base_ + jitter_;
+  return rng.uniform_int(lo, hi);
+}
+
+Duration ParetoDelay::sample(TimePoint, Rng& rng) {
+  return static_cast<Duration>(rng.bounded_pareto(
+      static_cast<double>(scale_), alpha_, static_cast<double>(cap_)));
+}
+
+Duration ParetoDelay::mean() const {
+  if (alpha_ <= 1.0) return cap_;  // Untruncated mean diverges; report cap.
+  const double m =
+      alpha_ * static_cast<double>(scale_) / (alpha_ - 1.0);
+  return std::min(static_cast<Duration>(m), cap_);
+}
+
+Duration TraceDelay::base_at(TimePoint now) const noexcept {
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), now,
+      [](TimePoint t, const auto& p) { return t < p.first; });
+  if (it == points_.begin()) return points_.empty() ? 0 : points_.front().second;
+  return std::prev(it)->second;
+}
+
+Duration TraceDelay::sample(TimePoint now, Rng& rng) {
+  const Duration base = base_at(now);
+  const auto jitter = static_cast<Duration>(
+      static_cast<double>(base) * jitter_fraction_);
+  if (jitter <= 0) return base;
+  return std::max<Duration>(0, base + rng.uniform_int(-jitter, jitter));
+}
+
+Duration TraceDelay::mean() const {
+  if (points_.empty()) return 0;
+  std::int64_t sum = 0;
+  for (const auto& p : points_) sum += p.second;
+  return sum / static_cast<Duration>(points_.size());
+}
+
+}  // namespace ks::net

@@ -1,0 +1,77 @@
+// Propagation-delay processes: constant, uniform jitter, bounded Pareto
+// (heavy-tailed WAN delay, paper ref. [23]) and trace-driven.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace ks::net {
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+  /// One-way propagation delay for a packet sent at `now`.
+  virtual Duration sample(TimePoint now, Rng& rng) = 0;
+  /// Mean delay (for reporting).
+  virtual Duration mean() const = 0;
+};
+
+class ConstantDelay final : public DelayModel {
+ public:
+  explicit ConstantDelay(Duration d) : d_(d) {}
+  Duration sample(TimePoint, Rng&) override { return d_; }
+  Duration mean() const override { return d_; }
+  void set_delay(Duration d) noexcept { d_ = d; }
+
+ private:
+  Duration d_;
+};
+
+/// Uniform in [base - jitter, base + jitter], floored at 0.
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(Duration base, Duration jitter) : base_(base), jitter_(jitter) {}
+  Duration sample(TimePoint, Rng& rng) override;
+  Duration mean() const override { return base_; }
+
+ private:
+  Duration base_;
+  Duration jitter_;
+};
+
+/// Bounded Pareto: min delay `scale`, shape `alpha`, hard cap `cap`.
+/// Matches the paper's modelling of end-to-end delay as Pareto.
+class ParetoDelay final : public DelayModel {
+ public:
+  ParetoDelay(Duration scale, double alpha, Duration cap)
+      : scale_(scale), alpha_(alpha), cap_(cap) {}
+  Duration sample(TimePoint, Rng& rng) override;
+  Duration mean() const override;
+
+ private:
+  Duration scale_;
+  double alpha_;
+  Duration cap_;
+};
+
+/// Piecewise-constant base delay over time plus relative uniform jitter.
+class TraceDelay final : public DelayModel {
+ public:
+  TraceDelay(std::vector<std::pair<TimePoint, Duration>> points,
+             double jitter_fraction = 0.1)
+      : points_(std::move(points)), jitter_fraction_(jitter_fraction) {}
+
+  Duration sample(TimePoint now, Rng& rng) override;
+  Duration mean() const override;
+  Duration base_at(TimePoint now) const noexcept;
+
+ private:
+  std::vector<std::pair<TimePoint, Duration>> points_;
+  double jitter_fraction_;
+};
+
+}  // namespace ks::net

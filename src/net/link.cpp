@@ -1,0 +1,94 @@
+#include "net/link.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace ks::net {
+
+Link::Link(sim::Simulation& sim, Config config,
+           std::shared_ptr<DelayModel> delay, std::shared_ptr<LossModel> loss,
+           std::string name)
+    : sim_(sim),
+      config_(config),
+      delay_(std::move(delay)),
+      loss_(std::move(loss)),
+      name_(std::move(name)),
+      rng_(sim.rng().fork()) {
+  assert(delay_ != nullptr);
+  assert(loss_ != nullptr);
+}
+
+bool Link::send(Packet packet) {
+  packet.id = next_packet_id_++;
+  ++stats_.packets_offered;
+  stats_.bytes_offered += packet.size;
+
+  if (queued_bytes_ + packet.size > config_.queue_capacity &&
+      queued_bytes_ > 0) {
+    ++stats_.packets_dropped_queue;
+    return false;
+  }
+
+  // Serialization: the transmitter processes packets FIFO at line rate.
+  Duration trans = 0;
+  if (config_.bandwidth_bps > 0) {
+    trans = static_cast<Duration>(std::llround(
+        static_cast<double>(packet.size) * 8.0 * 1e6 / config_.bandwidth_bps));
+  }
+  const TimePoint start = std::max(sim_.now(), next_free_);
+  const TimePoint done = start + trans;
+  next_free_ = done;
+  queued_bytes_ += packet.size;
+  stats_.busy_time += trans;
+
+  sim_.at(done, [this, packet = std::move(packet)]() mutable {
+    queued_bytes_ -= packet.size;
+    deliver_after_wire(std::move(packet), /*duplicate_pass=*/false);
+  });
+  return true;
+}
+
+void Link::deliver_after_wire(Packet packet, bool duplicate_pass) {
+  // NetEm-style duplication: the duplicate is a distinct wire event and is
+  // itself subject to loss and independent delay.
+  if (!duplicate_pass && config_.duplicate_probability > 0.0 &&
+      rng_.bernoulli(config_.duplicate_probability)) {
+    ++stats_.packets_duplicated;
+    Packet copy = packet;
+    sim_.after(0, [this, copy = std::move(copy)]() mutable {
+      deliver_after_wire(std::move(copy), /*duplicate_pass=*/true);
+    });
+  }
+
+  if (loss_->drop(sim_.now(), rng_)) {
+    ++stats_.packets_lost;
+    return;
+  }
+  const Duration prop = delay_->sample(sim_.now(), rng_);
+  sim_.after(prop, [this, packet = std::move(packet)]() mutable {
+    ++stats_.packets_delivered;
+    stats_.bytes_delivered += packet.size;
+    if (receiver_) receiver_(std::move(packet));
+  });
+}
+
+double Link::utilization() const noexcept {
+  const TimePoint elapsed = sim_.now();
+  if (elapsed <= 0) return 0.0;
+  return std::min(1.0, static_cast<double>(stats_.busy_time) /
+                           static_cast<double>(elapsed));
+}
+
+DuplexLink::DuplexLink(sim::Simulation& sim, Link::Config config,
+                       std::shared_ptr<DelayModel> delay_ab,
+                       std::shared_ptr<LossModel> loss_ab,
+                       std::shared_ptr<DelayModel> delay_ba,
+                       std::shared_ptr<LossModel> loss_ba,
+                       const std::string& name)
+    : a_to_b(sim, config, std::move(delay_ab), std::move(loss_ab),
+             name + ":a->b"),
+      b_to_a(sim, config, std::move(delay_ba), std::move(loss_ba),
+             name + ":b->a") {}
+
+}  // namespace ks::net

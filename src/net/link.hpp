@@ -1,0 +1,97 @@
+// A unidirectional link with finite bandwidth, a drop-tail queue, a
+// propagation-delay model and a loss model. Two links make a duplex pipe.
+//
+// This is the NetEm attachment point: impairments are injected by swapping
+// the delay/loss models at runtime (see NetEm).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/delay_model.hpp"
+#include "net/loss_model.hpp"
+#include "net/packet.hpp"
+#include "sim/simulation.hpp"
+
+namespace ks::net {
+
+class Link {
+ public:
+  struct Config {
+    double bandwidth_bps = 100e6;        ///< 0 => infinite bandwidth.
+    Bytes queue_capacity = 256 * 1024;   ///< Drop-tail buffer, bytes.
+    double duplicate_probability = 0.0;  ///< NetEm-style duplication.
+  };
+
+  struct Stats {
+    std::uint64_t packets_offered = 0;    ///< send() calls.
+    std::uint64_t packets_dropped_queue = 0;
+    std::uint64_t packets_lost = 0;       ///< Lost on the wire.
+    std::uint64_t packets_delivered = 0;
+    std::uint64_t packets_duplicated = 0;
+    Bytes bytes_offered = 0;
+    Bytes bytes_delivered = 0;
+    Duration busy_time = 0;               ///< Serialization time accumulated.
+  };
+
+  Link(sim::Simulation& sim, Config config, std::shared_ptr<DelayModel> delay,
+       std::shared_ptr<LossModel> loss, std::string name = "link");
+
+  /// The downstream packet sink. Must be set before the first send.
+  void set_receiver(std::function<void(Packet)> receiver) {
+    receiver_ = std::move(receiver);
+  }
+
+  /// Offer a packet. Returns false when the queue overflows (packet
+  /// dropped); queuing, serialization, loss and delay are simulated.
+  bool send(Packet packet);
+
+  void set_delay_model(std::shared_ptr<DelayModel> delay) {
+    delay_ = std::move(delay);
+  }
+  void set_loss_model(std::shared_ptr<LossModel> loss) {
+    loss_ = std::move(loss);
+  }
+
+  const Stats& stats() const noexcept { return stats_; }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Fraction of wall-clock spent serializing packets since construction —
+  /// the bandwidth-utilisation KPI input (phi).
+  double utilization() const noexcept;
+
+  /// Bytes currently queued awaiting serialization.
+  Bytes queued_bytes() const noexcept { return queued_bytes_; }
+
+ private:
+  void deliver_after_wire(Packet packet, bool duplicate_pass);
+
+  sim::Simulation& sim_;
+  Config config_;
+  std::shared_ptr<DelayModel> delay_;
+  std::shared_ptr<LossModel> loss_;
+  std::string name_;
+  std::function<void(Packet)> receiver_;
+  Rng rng_;
+  TimePoint next_free_ = 0;   ///< When the transmitter becomes idle.
+  Bytes queued_bytes_ = 0;
+  std::uint64_t next_packet_id_ = 1;
+  Stats stats_;
+};
+
+/// A symmetric duplex pipe: `a_to_b` and `b_to_a` built from one config.
+struct DuplexLink {
+  DuplexLink(sim::Simulation& sim, Link::Config config,
+             std::shared_ptr<DelayModel> delay_ab,
+             std::shared_ptr<LossModel> loss_ab,
+             std::shared_ptr<DelayModel> delay_ba,
+             std::shared_ptr<LossModel> loss_ba, const std::string& name);
+
+  Link a_to_b;
+  Link b_to_a;
+};
+
+}  // namespace ks::net

@@ -1,0 +1,42 @@
+#include "net/loss_model.hpp"
+
+#include <algorithm>
+
+namespace ks::net {
+
+bool GilbertElliottLoss::drop(TimePoint, Rng& rng) {
+  // Transition first, then sample loss in the (possibly new) state; the
+  // order only shifts the chain by one packet and keeps the stationary
+  // distribution exact.
+  if (bad_) {
+    if (rng.bernoulli(params_.p_bad_to_good)) bad_ = false;
+  } else {
+    if (rng.bernoulli(params_.p_good_to_bad)) bad_ = true;
+  }
+  return rng.bernoulli(bad_ ? params_.loss_bad : params_.loss_good);
+}
+
+double GilbertElliottLoss::stationary_rate() const {
+  const double denom = params_.p_good_to_bad + params_.p_bad_to_good;
+  if (denom <= 0.0) return params_.loss_good;
+  const double pi_bad = params_.p_good_to_bad / denom;
+  return (1.0 - pi_bad) * params_.loss_good + pi_bad * params_.loss_bad;
+}
+
+double TraceLoss::rate_at(TimePoint now) const noexcept {
+  // Binary search for the last point with time <= now.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), now,
+      [](TimePoint t, const auto& p) { return t < p.first; });
+  if (it == points_.begin()) return 0.0;
+  return std::prev(it)->second;
+}
+
+double TraceLoss::stationary_rate() const {
+  if (points_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& p : points_) sum += p.second;
+  return sum / static_cast<double>(points_.size());
+}
+
+}  // namespace ks::net

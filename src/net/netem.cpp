@@ -1,0 +1,52 @@
+#include "net/netem.hpp"
+
+namespace ks::net {
+
+NetEm::NetEm(sim::Simulation& sim, DuplexLink& link, Direction direction,
+             Duration base_reverse_delay)
+    : sim_(sim),
+      link_(link),
+      direction_(direction),
+      base_reverse_delay_(base_reverse_delay) {}
+
+void NetEm::install(Duration one_way_delay, double loss_rate) {
+  link_.a_to_b.set_delay_model(std::make_shared<ConstantDelay>(one_way_delay));
+  link_.a_to_b.set_loss_model(loss_rate > 0.0
+                                  ? std::shared_ptr<LossModel>(
+                                        std::make_shared<BernoulliLoss>(loss_rate))
+                                  : std::make_shared<NoLoss>());
+  if (direction_ == Direction::kBoth) {
+    link_.b_to_a.set_delay_model(
+        std::make_shared<ConstantDelay>(one_way_delay));
+    link_.b_to_a.set_loss_model(
+        loss_rate > 0.0
+            ? std::shared_ptr<LossModel>(std::make_shared<BernoulliLoss>(loss_rate))
+            : std::make_shared<NoLoss>());
+  } else {
+    // Forward-only: the return path stays at base LAN latency (faults are
+    // injected at the producer's egress, as in the paper's testbed).
+    link_.b_to_a.set_delay_model(
+        std::make_shared<ConstantDelay>(base_reverse_delay_));
+    link_.b_to_a.set_loss_model(std::make_shared<NoLoss>());
+  }
+}
+
+void NetEm::apply(Duration one_way_delay, double loss_rate) {
+  install(one_way_delay, loss_rate);
+}
+
+void NetEm::apply_at(TimePoint t, Duration one_way_delay, double loss_rate) {
+  sim_.at(t, [this, one_way_delay, loss_rate] {
+    install(one_way_delay, loss_rate);
+  });
+}
+
+void NetEm::replay(const NetworkTrace& trace) {
+  for (const auto& p : trace.points) {
+    apply_at(p.start, p.delay, p.loss_rate);
+  }
+}
+
+void NetEm::clear() { install(0, 0.0); }
+
+}  // namespace ks::net

@@ -1,0 +1,50 @@
+// NetEm-style fault injection: attach impairments (delay + loss) to a link
+// and change them over simulated time, either from explicit steps or by
+// replaying a NetworkTrace.
+//
+// Matching the paper's testbed, impairments are applied to the producer's
+// egress (producer -> cluster direction) by default; the reverse direction
+// can be impaired too when modelling symmetric faults.
+#pragma once
+
+#include <memory>
+
+#include "net/link.hpp"
+#include "net/trace.hpp"
+#include "sim/simulation.hpp"
+
+namespace ks::net {
+
+class NetEm {
+ public:
+  enum class Direction { kForward, kBoth };
+
+  /// `base_reverse_delay` is the unimpaired return-path latency used in
+  /// forward-only mode (the paper injects faults on the producer's egress;
+  /// broker responses come back at LAN latency).
+  NetEm(sim::Simulation& sim, DuplexLink& link,
+        Direction direction = Direction::kForward,
+        Duration base_reverse_delay = micros(200));
+
+  /// Apply a fixed condition immediately.
+  void apply(Duration one_way_delay, double loss_rate);
+
+  /// Schedule a condition change at absolute simulated time `t`.
+  void apply_at(TimePoint t, Duration one_way_delay, double loss_rate);
+
+  /// Replay a whole trace: one apply_at per interval.
+  void replay(const NetworkTrace& trace);
+
+  /// Remove impairments (back to base delay 0 / no loss).
+  void clear();
+
+ private:
+  void install(Duration one_way_delay, double loss_rate);
+
+  sim::Simulation& sim_;
+  DuplexLink& link_;
+  Direction direction_;
+  Duration base_reverse_delay_;
+};
+
+}  // namespace ks::net

@@ -1,0 +1,24 @@
+// A simulated network packet. Payload content is opaque to the network
+// layer; only the wire size matters for bandwidth and loss accounting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hpp"
+
+namespace ks::net {
+
+struct Packet {
+  std::uint64_t id = 0;                     ///< Unique per link, for tracing.
+  Bytes size = 0;                           ///< Total wire size in bytes.
+  std::shared_ptr<const void> payload;      ///< Protocol-defined payload.
+
+  /// Typed accessor for the payload; the caller asserts the protocol type.
+  template <typename T>
+  const T* as() const noexcept {
+    return static_cast<const T*>(payload.get());
+  }
+};
+
+}  // namespace ks::net

@@ -1,0 +1,60 @@
+#include "net/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ks::net {
+
+const TracePoint& NetworkTrace::at(TimePoint t) const noexcept {
+  assert(!points.empty());
+  if (t <= 0 || interval <= 0) return points.front();
+  const auto idx = static_cast<std::size_t>(t / interval);
+  return points[std::min(idx, points.size() - 1)];
+}
+
+Duration NetworkTrace::mean_delay() const noexcept {
+  if (points.empty()) return 0;
+  std::int64_t sum = 0;
+  for (const auto& p : points) sum += p.delay;
+  return sum / static_cast<Duration>(points.size());
+}
+
+double NetworkTrace::mean_loss() const noexcept {
+  if (points.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& p : points) sum += p.loss_rate;
+  return sum / static_cast<double>(points.size());
+}
+
+NetworkTrace generate_trace(const TraceGenConfig& config, Rng& rng) {
+  NetworkTrace trace;
+  trace.interval = config.interval;
+  const auto n = static_cast<std::size_t>(
+      config.duration / std::max<Duration>(config.interval, 1));
+  trace.points.reserve(n);
+
+  bool bad = false;
+  // Remaining intervals in the current regime.
+  double remaining = rng.exponential(config.mean_good_intervals);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (remaining <= 0.0) {
+      bad = !bad;
+      remaining = rng.exponential(bad ? config.mean_bad_intervals
+                                      : config.mean_good_intervals);
+    }
+    remaining -= 1.0;
+
+    TracePoint p;
+    p.start = static_cast<TimePoint>(i) * config.interval;
+    p.delay = static_cast<Duration>(rng.bounded_pareto(
+        static_cast<double>(config.delay_scale), config.delay_alpha,
+        static_cast<double>(config.delay_cap)));
+    p.loss_rate = bad ? rng.uniform(config.loss_bad_min, config.loss_bad_max)
+                      : rng.uniform(0.0, config.loss_good_max);
+    trace.points.push_back(p);
+  }
+  return trace;
+}
+
+}  // namespace ks::net

@@ -1,0 +1,56 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace ks::sim {
+
+EventId EventQueue::push(TimePoint t, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Node{t, next_seq_++, id, std::move(fn)});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Insert into the tombstone set; if it was already there this is a repeat
+  // cancel. We cannot tell "already ran" from "unknown" without a per-id
+  // table, which would cost more than it is worth — callers treat false as
+  // "nothing to do" either way.
+  const bool inserted = cancelled_.insert(id).second;
+  if (inserted && live_ > 0) --live_;
+  return inserted;
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+TimePoint EventQueue::next_time() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  const Node& top = heap_.top();
+  Popped out{top.time, std::move(top.fn)};
+  heap_.pop();
+  --live_;
+  return out;
+}
+
+}  // namespace ks::sim

@@ -1,0 +1,67 @@
+// Priority queue of timestamped events with stable FIFO ordering among
+// events scheduled for the same instant, plus O(1) cancellation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ks::sim {
+
+/// Handle for cancelling a scheduled event. Id 0 is never issued.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Enqueue `fn` to run at time `t`. Events at equal `t` run in insertion
+  /// order. Returns a handle usable with `cancel`.
+  EventId push(TimePoint t, std::function<void()> fn);
+
+  /// Cancel a pending event. Returns false if it already ran, was already
+  /// cancelled, or the id is unknown. Cancelled events are dropped lazily.
+  bool cancel(EventId id);
+
+  bool empty();
+  std::size_t size() const noexcept { return live_; }
+
+  /// Time of the earliest pending event. Undefined when empty.
+  TimePoint next_time();
+
+  /// Pop and return the earliest event. Undefined when empty.
+  struct Popped {
+    TimePoint time;
+    std::function<void()> fn;
+  };
+  Popped pop();
+
+  std::uint64_t total_pushed() const noexcept { return next_seq_; }
+
+ private:
+  struct Node {
+    TimePoint time;
+    std::uint64_t seq;
+    EventId id;
+    // Shared function storage would be wasteful; we move the callable into
+    // the heap node and move it back out on pop.
+    mutable std::function<void()> fn;
+
+    bool operator>(const Node& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Node, std::vector<Node>, std::greater<>> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace ks::sim

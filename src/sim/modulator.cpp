@@ -1,0 +1,20 @@
+#include "sim/modulator.hpp"
+
+namespace ks::sim {
+
+void TwoStateModulator::start() {
+  if (!config_.enabled) return;
+  schedule_next();
+}
+
+void TwoStateModulator::schedule_next() {
+  const Duration mean =
+      state_ == Regime::kGood ? config_.mean_good : config_.mean_bad;
+  timer_.arm(rng_.exponential_duration(mean), [this] {
+    state_ = state_ == Regime::kGood ? Regime::kBad : Regime::kGood;
+    if (on_change_) on_change_(state_);
+    schedule_next();
+  });
+}
+
+}  // namespace ks::sim

@@ -1,0 +1,57 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ks::sim {
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+EventId Simulation::at(TimePoint t, std::function<void()> fn) {
+  return queue_.push(std::max(t, now_), std::move(fn));
+}
+
+EventId Simulation::after(Duration delay, std::function<void()> fn) {
+  return at(now_ + std::max<Duration>(delay, 0), std::move(fn));
+}
+
+bool Simulation::step(TimePoint until) {
+  if (queue_.empty()) return false;
+  if (queue_.next_time() > until) return false;
+  auto ev = queue_.pop();
+  now_ = std::max(now_, ev.time);
+  ev.fn();
+  ++executed_;
+  return true;
+}
+
+std::uint64_t Simulation::run(TimePoint until) {
+  stop_requested_ = false;
+  std::uint64_t ran = 0;
+  while (!stop_requested_ && step(until)) ++ran;
+  // If we stopped because the next event lies beyond `until`, advance the
+  // clock to the horizon so repeated run(until) calls observe monotonic time.
+  if (until != std::numeric_limits<TimePoint>::max() && now_ < until &&
+      !stop_requested_) {
+    now_ = until;
+  }
+  return ran;
+}
+
+void Timer::arm(Duration delay, std::function<void()> fn) {
+  cancel();
+  deadline_ = sim_->now() + std::max<Duration>(delay, 0);
+  id_ = sim_->at(deadline_, [this, fn = std::move(fn)]() {
+    id_ = 0;
+    fn();
+  });
+}
+
+void Timer::cancel() {
+  if (id_ != 0) {
+    sim_->cancel(id_);
+    id_ = 0;
+  }
+}
+
+}  // namespace ks::sim

@@ -1,0 +1,94 @@
+// The simulation kernel: a virtual clock plus an event queue.
+//
+// Every experiment builds one Simulation, wires components to it, schedules
+// initial events, then calls run(). Components never block; they schedule
+// continuations. The whole system is single-threaded and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+
+namespace ks::sim {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  TimePoint now() const noexcept { return now_; }
+
+  /// Root RNG; components should fork their own streams from it so that
+  /// adding a component does not perturb the draws of another.
+  Rng& rng() noexcept { return rng_; }
+
+  /// Schedule `fn` at absolute time `t` (clamped to now if in the past).
+  EventId at(TimePoint t, std::function<void()> fn);
+
+  /// Schedule `fn` after `delay` (negative delays clamp to 0).
+  EventId after(Duration delay, std::function<void()> fn);
+
+  /// Cancel a pending event; safe to call with stale ids.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Run until the queue drains or the clock passes `until` (absolute).
+  /// Returns the number of events executed.
+  std::uint64_t run(TimePoint until = std::numeric_limits<TimePoint>::max());
+
+  /// Run for `duration` of simulated time from now.
+  std::uint64_t run_for(Duration duration) { return run(now() + duration); }
+
+  /// Run a single event if one is pending before `until`. Returns false
+  /// when nothing was run.
+  bool step(TimePoint until = std::numeric_limits<TimePoint>::max());
+
+  /// Request that run() stops after the current event completes.
+  void stop() noexcept { stop_requested_ = true; }
+
+  std::uint64_t events_executed() const noexcept { return executed_; }
+  std::size_t pending_events() const noexcept { return queue_.size(); }
+
+  /// Pointer usable by Logger instances to stamp log lines with sim time.
+  const TimePoint* clock_ptr() const noexcept { return &now_; }
+
+ private:
+  EventQueue queue_;
+  TimePoint now_ = 0;
+  Rng rng_;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+/// A restartable one-shot timer bound to a Simulation. Rearming cancels any
+/// pending expiry. Destruction cancels too, so components can hold timers
+/// by value without dangling callbacks.
+class Timer {
+ public:
+  explicit Timer(Simulation& sim) : sim_(&sim) {}
+  ~Timer() { cancel(); }
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// (Re)arm to fire `delay` from now.
+  void arm(Duration delay, std::function<void()> fn);
+
+  /// Cancel a pending expiry; no-op if not armed.
+  void cancel();
+
+  bool armed() const noexcept { return id_ != 0; }
+  TimePoint deadline() const noexcept { return deadline_; }
+
+ private:
+  Simulation* sim_;
+  EventId id_ = 0;
+  TimePoint deadline_ = 0;
+};
+
+}  // namespace ks::sim

@@ -1,0 +1,51 @@
+// Wire format of the simulated TCP transport.
+//
+// We simulate the byte stream positionally: segments carry (seq, len) byte
+// ranges plus metadata describing which application messages END inside the
+// range, so the receiver can reassemble app messages in order without
+// simulating actual payload bytes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ks::tcp {
+
+/// Stream offset in bytes (per connection epoch, starts at 0).
+using StreamOffset = std::int64_t;
+
+enum SegmentFlags : std::uint32_t {
+  kFlagSyn = 1u << 0,
+  kFlagSynAck = 1u << 1,
+  kFlagAck = 1u << 2,
+  kFlagRst = 1u << 3,
+  kFlagProbe = 1u << 4,  ///< Zero-window probe; receiver must ack.
+};
+
+/// An application message end-marker within a segment: the stream offset
+/// one past the message's final byte, and the opaque app payload delivered
+/// to the peer when the stream is contiguous up to that offset.
+struct MessageEnd {
+  StreamOffset end_offset;
+  std::shared_ptr<const void> payload;
+};
+
+struct Segment {
+  std::uint32_t flags = 0;
+  std::uint64_t epoch = 0;     ///< Connection incarnation.
+  StreamOffset seq = 0;        ///< First payload byte's stream offset.
+  Bytes len = 0;               ///< Payload byte count (0 for pure control).
+  StreamOffset ack = 0;        ///< Cumulative ack (next expected offset).
+  Bytes wnd = 0;               ///< Advertised receive window, bytes.
+  /// SACK blocks: received-but-not-contiguous [start, end) ranges.
+  std::vector<std::pair<StreamOffset, StreamOffset>> sack;
+  std::vector<MessageEnd> message_ends;
+
+  bool has(SegmentFlags f) const noexcept { return (flags & f) != 0; }
+};
+
+}  // namespace ks::tcp

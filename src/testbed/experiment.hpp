@@ -1,0 +1,62 @@
+// The experiment runner: the simulated analogue of the paper's testbed
+// procedure — "start a new Kafka system, create a new topic, run the
+// producer while faults are injected, then count unique keys".
+//
+// Every run builds a fresh Simulation (no legacy effects), a 3-broker
+// cluster, a producer connected to the leader through an impaired link,
+// runs to completion and reports the reliability metrics plus the
+// performance inputs of the weighted KPI.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "kafka/cluster.hpp"
+#include "kafka/producer.hpp"
+#include "kafka/state_machine.hpp"
+#include "testbed/scenario.hpp"
+
+namespace ks::testbed {
+
+struct ExperimentResult {
+  Scenario scenario;
+
+  // Reliability metrics (the paper's P_l and P_d), from the key census.
+  double p_loss = 0.0;
+  double p_duplicate = 0.0;
+  kafka::Cluster::CensusResult census;
+  kafka::MessageStateTracker::Census cases;  ///< Table I breakdown.
+
+  // Performance metrics (KPI inputs, ref. [6]).
+  double service_rate_mu = 0.0;          ///< 1/t_ser(M), messages/s.
+  double bandwidth_utilization_phi = 0.0;
+  double delivered_throughput = 0.0;     ///< Unique keys per second.
+
+  // Timeliness: fraction of delivered messages with latency > S, and the
+  // delivery-latency distribution (first append only).
+  double stale_fraction = 0.0;
+  double mean_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+
+  // Diagnostics.
+  std::uint64_t source_overruns = 0;
+  std::uint64_t expired_in_queue = 0;
+  std::uint64_t connection_resets = 0;
+  std::uint64_t requests_retried = 0;
+  std::uint64_t request_timeouts = 0;
+  std::uint64_t batches_deduplicated = 0;
+  // Transport diagnostics (producer->leader connection).
+  std::uint64_t tcp_segments_sent = 0;
+  std::uint64_t tcp_retransmissions = 0;
+  std::uint64_t tcp_rto_events = 0;
+  std::uint64_t link_packets_lost = 0;
+  std::uint64_t link_packets_dropped_queue = 0;
+  std::uint64_t events = 0;
+  double duration_s = 0.0;
+  bool completed = false;  ///< Producer finished before the time cap.
+};
+
+/// Run one scenario end to end. Deterministic given scenario.seed.
+ExperimentResult run_experiment(const Scenario& scenario);
+
+}  // namespace ks::testbed

@@ -1,0 +1,40 @@
+#include "testbed/scenario.hpp"
+
+namespace ks::testbed {
+
+namespace {
+double semantics_code(kafka::DeliverySemantics s) noexcept {
+  switch (s) {
+    case kafka::DeliverySemantics::kAtMostOnce: return 0.0;
+    case kafka::DeliverySemantics::kAtLeastOnce: return 1.0;
+    case kafka::DeliverySemantics::kExactlyOnce: return 2.0;
+  }
+  return 1.0;
+}
+}  // namespace
+
+std::vector<double> Scenario::normal_features() const {
+  return {to_millis(timeliness), to_millis(message_timeout),
+          to_millis(poll_interval), semantics_code(semantics),
+          static_cast<double>(batch_size)};
+}
+
+std::vector<double> Scenario::abnormal_features() const {
+  return {static_cast<double>(message_size), to_millis(network_delay),
+          packet_loss, semantics_code(semantics),
+          static_cast<double>(batch_size)};
+}
+
+const std::vector<const char*>& Scenario::normal_feature_names() {
+  static const std::vector<const char*> names = {"S_ms", "To_ms", "delta_ms",
+                                                 "semantics", "B"};
+  return names;
+}
+
+const std::vector<const char*>& Scenario::abnormal_feature_names() {
+  static const std::vector<const char*> names = {"M_bytes", "D_ms", "L",
+                                                 "semantics", "B"};
+  return names;
+}
+
+}  // namespace ks::testbed

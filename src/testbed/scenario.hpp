@@ -1,0 +1,67 @@
+// A scenario bundles the paper's prediction-model features (Eq. 1):
+//   {P_l, P_d} = f(M, S, D, L, Confs)
+// plus run-control knobs (message count, seed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "kafka/producer.hpp"
+
+namespace ks::testbed {
+
+/// How the upstream source behaves.
+enum class SourceMode {
+  /// Real-time stream: messages are generated on a schedule regardless of
+  /// the producer; a bounded ring absorbs bursts, overruns are lost.
+  kRealTime,
+  /// Fully loaded I/O: the next message is always available when the
+  /// producer polls ("the highest speed the I/O devices can handle").
+  kOnDemand,
+};
+
+struct Scenario {
+  // --- streaming-data type --------------------------------------------------
+  Bytes message_size = 200;            ///< M, bytes.
+  Duration timeliness = seconds(5);    ///< S: staleness bound (reporting/KPI).
+  SourceMode source_mode = SourceMode::kRealTime;
+
+  // --- network environment --------------------------------------------------
+  Duration network_delay = 0;          ///< D: injected one-way delay.
+  double packet_loss = 0.0;            ///< L: injected loss rate [0,1].
+
+  // --- Kafka configuration features ------------------------------------------
+  kafka::DeliverySemantics semantics = kafka::DeliverySemantics::kAtLeastOnce;
+  int batch_size = 1;                  ///< B, records per request.
+  Duration poll_interval = 0;          ///< delta; 0 = full speed.
+  Duration message_timeout = seconds(300);  ///< T_o (Kafka-like default).
+  /// Per-request ack timeout before a retry (acks>=1). 0 = semantics-preset
+  /// default. The paper's retry model re-sends until T_o expires.
+  Duration request_timeout = 0;
+  /// Retry budget tau_r; -1 = semantics-preset default.
+  int retries_override = -1;
+
+  // --- run control ------------------------------------------------------------
+  std::uint64_t num_messages = 20000;  ///< N (paper: 1e6; scaled down).
+  std::uint64_t seed = 1;
+  /// Source emission interval; 0 => full load (tracks serialization speed).
+  Duration source_interval = 0;
+  /// Enable broker Good/Bad service regimes (on for full-load studies).
+  bool broker_regimes = true;
+
+  /// Feature vector for the "normal network" model of Fig. 3:
+  /// {S, T_o, delta, semantics, B}. (B stays effective even without
+  /// faults in this substrate — broker per-request overhead — so the
+  /// paper's sensitivity-based feature selection keeps it.)
+  std::vector<double> normal_features() const;
+
+  /// Feature vector for the "network faults" model of Fig. 3:
+  /// {M, D, L, semantics, B}.
+  std::vector<double> abnormal_features() const;
+
+  static const std::vector<const char*>& normal_feature_names();
+  static const std::vector<const char*>& abnormal_feature_names();
+};
+
+}  // namespace ks::testbed

@@ -1,0 +1,111 @@
+// Numerical gradient check: backpropagation must agree with central-
+// difference derivatives of the MSE loss for every parameter of a small
+// network — the canonical correctness test for a hand-rolled MLP.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ann/network.hpp"
+
+namespace ks::ann {
+namespace {
+
+double loss_of(const Network& net, const Matrix& x, const Matrix& y) {
+  return net.mse(x, y);
+}
+
+// Run one SGD step with a tiny learning rate; the parameter delta divided
+// by the rate approximates the (negative) gradient used by backprop.
+// Compare against central differences computed through the public API.
+class GradientCheck : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(GradientCheck, BackpropMatchesNumericalGradient) {
+  const Activation hidden = GetParam();
+  Rng rng(99);
+  Network net({2, 4, 3, 2}, rng, hidden, Activation::kSigmoid);
+
+  Matrix x(5, 2), y(5, 2);
+  for (auto& v : x.data()) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : y.data()) v = rng.uniform01();
+
+  // Extract backprop gradients via a single full-batch step.
+  const double lr = 1e-6;
+  Network stepped = net;  // Copy.
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 5;
+  tc.shuffle = false;
+  tc.learning_rate = lr;
+  Rng train_rng(1);
+  stepped.train(x, y, tc, train_rng);
+
+  const double eps = 1e-5;
+  int checked = 0;
+  for (std::size_t li = 0; li < net.layers().size(); ++li) {
+    // Sample a few weights per layer (checking all ~40 is fine too).
+    for (std::size_t idx = 0;
+         idx < net.layers()[li].weights.data().size(); ++idx) {
+      // Backprop gradient from the parameter delta.
+      const double w_before = net.layers()[li].weights.data()[idx];
+      const double w_after = stepped.layers()[li].weights.data()[idx];
+      const double grad_bp = (w_before - w_after) / lr;
+
+      // Central difference through a mutated copy.
+      Network plus = net, minus = net;
+      const_cast<std::vector<double>&>(plus.layers()[li].weights.data())[idx] += eps;
+      const_cast<std::vector<double>&>(minus.layers()[li].weights.data())[idx] -= eps;
+      const double grad_num =
+          (loss_of(plus, x, y) - loss_of(minus, x, y)) / (2 * eps);
+
+      EXPECT_NEAR(grad_bp, grad_num,
+                  1e-4 + 1e-2 * std::abs(grad_num))
+          << "layer " << li << " weight " << idx;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Activations, GradientCheck,
+                         ::testing::Values(Activation::kRelu,
+                                           Activation::kTanh,
+                                           Activation::kSigmoid));
+
+TEST(GradientCheckBias, BiasGradientsMatchToo) {
+  Rng rng(7);
+  Network net({2, 3, 1}, rng, Activation::kTanh, Activation::kIdentity);
+  Matrix x(4, 2), y(4, 1);
+  for (auto& v : x.data()) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : y.data()) v = rng.uniform(-1.0, 1.0);
+
+  const double lr = 1e-6;
+  Network stepped = net;
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 4;
+  tc.shuffle = false;
+  tc.learning_rate = lr;
+  Rng train_rng(1);
+  stepped.train(x, y, tc, train_rng);
+
+  const double eps = 1e-5;
+  for (std::size_t li = 0; li < net.layers().size(); ++li) {
+    for (std::size_t idx = 0; idx < net.layers()[li].bias.data().size();
+         ++idx) {
+      const double b_before = net.layers()[li].bias.data()[idx];
+      const double b_after = stepped.layers()[li].bias.data()[idx];
+      const double grad_bp = (b_before - b_after) / lr;
+
+      Network plus = net, minus = net;
+      const_cast<std::vector<double>&>(plus.layers()[li].bias.data())[idx] += eps;
+      const_cast<std::vector<double>&>(minus.layers()[li].bias.data())[idx] -= eps;
+      const double grad_num =
+          (plus.mse(x, y) - minus.mse(x, y)) / (2 * eps);
+      EXPECT_NEAR(grad_bp, grad_num, 1e-4 + 1e-2 * std::abs(grad_num));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ks::ann

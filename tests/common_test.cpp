@@ -1,0 +1,293 @@
+// Unit tests for common/: PRNG, distributions, statistics, histograms,
+// time formatting, Result.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "common/logging.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace ks {
+namespace {
+
+TEST(Types, UnitConversions) {
+  EXPECT_EQ(millis(1), 1000);
+  EXPECT_EQ(seconds(1), 1'000'000);
+  EXPECT_EQ(micros(7), 7);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_millis(millis(250)), 250.0);
+  EXPECT_EQ(seconds_f(0.5), 500000);
+}
+
+TEST(Types, FormatTime) {
+  EXPECT_EQ(format_time(seconds(1)), "1.000000s");
+  EXPECT_EQ(format_time(millis(1500)), "1.500000s");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01Mean) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // All five values hit.
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.19) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.19, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, ExponentialNonPositiveMean) {
+  Rng rng(14);
+  EXPECT_EQ(rng.exponential(0.0), 0.0);
+  EXPECT_EQ(rng.exponential(-1.0), 0.0);
+}
+
+TEST(Rng, ParetoMinimum) {
+  Rng rng(15);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, ParetoMeanMatchesTheory) {
+  // Mean of Pareto(x_m, alpha) = alpha*x_m/(alpha-1) for alpha > 1.
+  Rng rng(16);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.pareto(1.0, 3.0);
+  EXPECT_NEAR(sum / n, 1.5, 0.05);
+}
+
+TEST(Rng, BoundedParetoCap) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.bounded_pareto(1.0, 1.1, 4.0);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 4.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(18);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(19);
+  Rng child = parent.fork();
+  // The fork must not replay the parent's stream.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ExponentialDurationIsNonNegative) {
+  Rng rng(20);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.exponential_duration(millis(10)), 0);
+  }
+}
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // Sample variance.
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  Rng rng(21);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(0, 100);
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 5.0);
+}
+
+TEST(LatencyHistogram, Empty) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50), 0);
+}
+
+TEST(LatencyHistogram, SingleValue) {
+  LatencyHistogram h;
+  h.add(millis(5));
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max_seen(), millis(5));
+  EXPECT_LE(h.p50(), millis(6));
+  EXPECT_GE(h.p50(), millis(4));
+}
+
+TEST(LatencyHistogram, PercentilesMonotone) {
+  LatencyHistogram h;
+  Rng rng(22);
+  for (int i = 0; i < 10000; ++i) {
+    h.add(static_cast<Duration>(rng.uniform_int(1, seconds(10))));
+  }
+  Duration prev = 0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const Duration v = h.percentile(p);
+    EXPECT_GE(v, prev) << "percentile " << p;
+    prev = v;
+  }
+  EXPECT_LE(h.percentile(100), h.max_seen());
+}
+
+TEST(LatencyHistogram, MedianOfUniformApproximate) {
+  LatencyHistogram h;
+  Rng rng(23);
+  for (int i = 0; i < 100000; ++i) {
+    h.add(static_cast<Duration>(rng.uniform_int(1, millis(1000))));
+  }
+  // Geometric buckets: allow ~10% relative error at the median.
+  EXPECT_NEAR(static_cast<double>(h.p50()), to_millis(millis(500)) * 1000,
+              60000.0);
+}
+
+TEST(LatencyHistogram, LargeValuesCovered) {
+  LatencyHistogram h;
+  h.add(seconds(30));  // Beyond the old 61ms bucket ceiling.
+  EXPECT_GE(h.percentile(100), seconds(25));
+}
+
+TEST(LatencyHistogram, SummaryMentionsCount) {
+  LatencyHistogram h;
+  h.add(millis(1));
+  EXPECT_NE(h.summary().find("n=1"), std::string::npos);
+}
+
+TEST(Logging, ParseLevels) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level(nullptr), LogLevel::kOff);
+}
+
+TEST(Logging, LevelGate) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+}
+
+enum class TestError { kBoom };
+
+TEST(Result, ValueAndError) {
+  Result<int, TestError> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  EXPECT_EQ(ok.value_or(0), 7);
+
+  Result<int, TestError> err(TestError::kBoom);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error(), TestError::kBoom);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+}  // namespace
+}  // namespace ks

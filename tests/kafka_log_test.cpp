@@ -1,0 +1,184 @@
+// Unit tests for the partition log and idempotent-producer deduplication,
+// plus the message-state tracker (Fig. 2 / Table I).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kafka/log.hpp"
+#include "kafka/state_machine.hpp"
+
+namespace ks::kafka {
+namespace {
+
+std::vector<Record> records(Key first, int count, Bytes size = 100) {
+  std::vector<Record> out;
+  for (int i = 0; i < count; ++i) {
+    out.push_back(Record{first + static_cast<Key>(i), size, 0, 0});
+  }
+  return out;
+}
+
+TEST(PartitionLog, AppendAssignsContiguousOffsets) {
+  PartitionLog log;
+  auto r1 = log.append(records(0, 3), 10);
+  EXPECT_EQ(r1.base_offset, 0);
+  auto r2 = log.append(records(3, 2), 20);
+  EXPECT_EQ(r2.base_offset, 3);
+  EXPECT_EQ(log.log_end_offset(), 5);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(log.entries()[static_cast<std::size_t>(i)].offset, i);
+    EXPECT_EQ(log.entries()[static_cast<std::size_t>(i)].key,
+              static_cast<Key>(i));
+  }
+}
+
+TEST(PartitionLog, EmptyAppendIsNoop) {
+  PartitionLog log;
+  auto r = log.append({}, 0);
+  EXPECT_EQ(r.error, ErrorCode::kNone);
+  EXPECT_EQ(log.log_end_offset(), 0);
+}
+
+TEST(PartitionLog, AppendTimeRecorded) {
+  PartitionLog log;
+  log.append(records(0, 1), millis(123));
+  EXPECT_EQ(log.entries()[0].append_time, millis(123));
+}
+
+TEST(PartitionLog, SizeBytesAccumulates) {
+  PartitionLog log;
+  log.append(records(0, 2, 100), 0);
+  EXPECT_EQ(log.size_bytes(), 2 * (100 + kRecordOverhead));
+}
+
+TEST(PartitionLog, ReadRanges) {
+  PartitionLog log;
+  log.append(records(0, 10), 0);
+  EXPECT_EQ(log.read(0, 5).size(), 5u);
+  EXPECT_EQ(log.read(7, 100).size(), 3u);
+  EXPECT_EQ(log.read(10, 5).size(), 0u);
+  EXPECT_EQ(log.read(-1, 5).size(), 0u);
+  EXPECT_EQ(log.read(3, 2)[0].key, 3u);
+}
+
+TEST(PartitionLog, IdempotentDedupDropsRetriedBatch) {
+  PartitionLog log;
+  auto first = log.append(records(0, 3), 0, /*producer_id=*/7,
+                          /*base_sequence=*/0);
+  EXPECT_FALSE(first.deduplicated);
+  auto retry = log.append(records(0, 3), 1, 7, 0);
+  EXPECT_TRUE(retry.deduplicated);
+  EXPECT_EQ(retry.error, ErrorCode::kDuplicateSequence);
+  EXPECT_EQ(log.log_end_offset(), 3);
+  EXPECT_EQ(log.deduplicated_batches(), 1u);
+}
+
+TEST(PartitionLog, IdempotentAcceptsNextSequence) {
+  PartitionLog log;
+  log.append(records(0, 3), 0, 7, 0);
+  auto next = log.append(records(3, 2), 0, 7, 3);
+  EXPECT_FALSE(next.deduplicated);
+  EXPECT_EQ(log.log_end_offset(), 5);
+}
+
+TEST(PartitionLog, IdempotencePerProducer) {
+  PartitionLog log;
+  log.append(records(0, 2), 0, 7, 0);
+  // A different producer id with the same sequence is NOT a duplicate.
+  auto other = log.append(records(2, 2), 0, 8, 0);
+  EXPECT_FALSE(other.deduplicated);
+  EXPECT_EQ(log.log_end_offset(), 4);
+}
+
+TEST(PartitionLog, NonIdempotentAppendsDuplicates) {
+  PartitionLog log;
+  log.append(records(0, 2), 0);
+  log.append(records(0, 2), 0);  // producer_id = 0: no dedup.
+  EXPECT_EQ(log.log_end_offset(), 4);
+}
+
+TEST(StateTracker, InitialStateReady) {
+  MessageStateTracker tracker(4);
+  EXPECT_EQ(tracker.state_of(0), MessageState::kReady);
+  EXPECT_EQ(tracker.case_of(0), DeliveryCase::kUnsent);
+}
+
+TEST(StateTracker, Case1DeliveredFirstTry) {
+  MessageStateTracker tracker(2);
+  tracker.on_send_attempt(0, 1);
+  tracker.on_append(0);
+  EXPECT_EQ(tracker.state_of(0), MessageState::kDelivered);
+  EXPECT_EQ(tracker.case_of(0), DeliveryCase::kCase1);
+}
+
+TEST(StateTracker, Case2LostAfterSingleAttempt) {
+  MessageStateTracker tracker(2);
+  tracker.on_send_attempt(0, 1);
+  EXPECT_EQ(tracker.state_of(0), MessageState::kLost);
+  EXPECT_EQ(tracker.case_of(0), DeliveryCase::kCase2);
+}
+
+TEST(StateTracker, Case3LostAfterRetries) {
+  MessageStateTracker tracker(2);
+  tracker.on_send_attempt(0, 1);
+  tracker.on_send_attempt(0, 2);
+  tracker.on_send_attempt(0, 3);
+  EXPECT_EQ(tracker.case_of(0), DeliveryCase::kCase3);
+}
+
+TEST(StateTracker, Case4DeliveredAfterRetries) {
+  MessageStateTracker tracker(2);
+  tracker.on_send_attempt(0, 1);
+  tracker.on_send_attempt(0, 2);
+  tracker.on_append(0);
+  EXPECT_EQ(tracker.case_of(0), DeliveryCase::kCase4);
+  EXPECT_EQ(tracker.state_of(0), MessageState::kDelivered);
+}
+
+TEST(StateTracker, Case5Duplicated) {
+  MessageStateTracker tracker(2);
+  tracker.on_send_attempt(0, 1);
+  tracker.on_send_attempt(0, 2);
+  tracker.on_append(0);
+  tracker.on_append(0);
+  EXPECT_EQ(tracker.case_of(0), DeliveryCase::kCase5);
+  EXPECT_EQ(tracker.state_of(0), MessageState::kDuplicated);
+}
+
+TEST(StateTracker, CensusProbabilities) {
+  MessageStateTracker tracker(10);
+  // 2 delivered first try, 1 delivered after retry, 3 lost once,
+  // 1 lost after retries, 1 duplicated, 2 never sent.
+  for (Key k : {0u, 1u}) {
+    tracker.on_send_attempt(k, 1);
+    tracker.on_append(k);
+  }
+  tracker.on_send_attempt(2, 2);
+  tracker.on_append(2);
+  for (Key k : {3u, 4u, 5u}) tracker.on_send_attempt(k, 1);
+  tracker.on_send_attempt(6, 4);
+  tracker.on_send_attempt(7, 2);
+  tracker.on_append(7);
+  tracker.on_append(7);
+
+  const auto census = tracker.census();
+  EXPECT_EQ(census.total, 10u);
+  EXPECT_EQ(census.cases[0], 2u);  // Unsent.
+  EXPECT_EQ(census.cases[1], 2u);
+  EXPECT_EQ(census.cases[2], 3u);
+  EXPECT_EQ(census.cases[3], 1u);
+  EXPECT_EQ(census.cases[4], 1u);
+  EXPECT_EQ(census.cases[5], 1u);
+  EXPECT_DOUBLE_EQ(census.p_loss(), 0.6);       // Unsent + case2 + case3.
+  EXPECT_DOUBLE_EQ(census.p_duplicate(), 0.1);  // Case5.
+}
+
+TEST(StateTracker, OutOfRangeKeysIgnored) {
+  MessageStateTracker tracker(2);
+  tracker.on_send_attempt(99, 1);
+  tracker.on_append(99);
+  EXPECT_EQ(tracker.census().total, 2u);
+}
+
+}  // namespace
+}  // namespace ks::kafka

@@ -1,0 +1,305 @@
+// Producer behaviour: delivery, batching, linger, polling, timeouts,
+// retries, admission, resets and reconfiguration.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kafka_test_rig.hpp"
+
+namespace ks::kafka {
+namespace {
+
+using testutil::Rig;
+using testutil::RigConfig;
+
+TEST(Producer, DeliversAllOnHealthyNetwork) {
+  Rig rig(RigConfig{.messages = 2000});
+  rig.run();
+  EXPECT_TRUE(rig.producer.finished());
+  EXPECT_EQ(rig.log().log_end_offset(), 2000);
+  EXPECT_EQ(rig.producer.stats().records_acked, 2000u);
+  EXPECT_EQ(rig.producer.stats().records_failed, 0u);
+}
+
+TEST(Producer, KeysAreUniqueAndComplete) {
+  Rig rig(RigConfig{.messages = 1500});
+  rig.run();
+  std::set<Key> keys;
+  for (const auto& e : rig.log().entries()) keys.insert(e.key);
+  EXPECT_EQ(keys.size(), 1500u);
+  EXPECT_EQ(*keys.begin(), 0u);
+  EXPECT_EQ(*keys.rbegin(), 1499u);
+}
+
+TEST(Producer, AtMostOnceDeliversWithoutAcks) {
+  RigConfig config;
+  config.producer = ProducerConfig::at_most_once();
+  config.messages = 1000;
+  Rig rig(config);
+  rig.run();
+  EXPECT_EQ(rig.log().log_end_offset(), 1000);
+  EXPECT_EQ(rig.producer.stats().responses, 0u);
+  EXPECT_EQ(rig.producer.stats().records_written, 1000u);
+}
+
+TEST(Producer, BatchSizeCapsRequests) {
+  RigConfig config;
+  config.messages = 1000;
+  config.producer.batch_size = 10;
+  // A slow broker plus a small in-flight cap backs the queue up so
+  // batches actually form when slots open.
+  config.broker.request_overhead = millis(2);
+  config.producer.max_in_flight = 5;
+  Rig rig(config);
+  rig.run();
+  const auto& s = rig.producer.stats();
+  EXPECT_EQ(s.records_sent, 1000u);
+  // With batching, far fewer requests than records.
+  EXPECT_LE(s.requests_sent, 1000u);
+  EXPECT_GE(s.records_sent / s.requests_sent, 2u);
+}
+
+TEST(Producer, BatchOfOneSendsPerRecord) {
+  RigConfig config;
+  config.messages = 300;
+  config.producer.batch_size = 1;
+  Rig rig(config);
+  rig.run();
+  EXPECT_EQ(rig.producer.stats().requests_sent, 300u);
+}
+
+TEST(Producer, LingerWaitsForFullBatches) {
+  RigConfig config;
+  config.messages = 400;
+  config.source_interval = millis(1);
+  config.producer.batch_size = 8;
+  config.producer.linger = millis(50);
+  Rig rig(config);
+  rig.run();
+  const auto& s = rig.producer.stats();
+  EXPECT_EQ(s.records_sent, 400u);
+  // Linger should produce mostly-full batches: ~400/8 = 50 requests.
+  EXPECT_LE(s.requests_sent, 120u);
+}
+
+TEST(Producer, PollIntervalPacesThroughput) {
+  RigConfig config;
+  config.messages = 200;
+  config.producer.poll_interval = millis(5);
+  Rig rig(config);
+  rig.run();
+  // 200 messages at >= 5 ms apart: at least ~1 second of simulated time.
+  EXPECT_GE(rig.sim.now(), millis(950));
+  EXPECT_EQ(rig.log().log_end_offset(), 200);
+}
+
+TEST(Producer, MessageTimeoutExpiresBacklog) {
+  RigConfig config;
+  config.messages = 2000;
+  config.producer = ProducerConfig::at_most_once();
+  config.producer.message_timeout = millis(300);
+  // Broker far slower than the producer and a small socket: the backlog
+  // waits in the accumulator, where T_o applies.
+  config.broker.request_overhead = millis(5);
+  config.tcp.send_buffer = 4 * 1024;
+  config.tcp.receive_window = 4 * 1024;
+  Rig rig(config);
+  rig.run();
+  EXPECT_GT(rig.producer.stats().expired, 0u);
+  EXPECT_LT(rig.log().log_end_offset(), 2000);
+}
+
+TEST(Producer, GenerousTimeoutLosesNothing) {
+  RigConfig config;
+  config.messages = 800;
+  config.producer = ProducerConfig::at_most_once();
+  config.producer.message_timeout = seconds(300);
+  config.broker.request_overhead = millis(2);
+  Rig rig(config);
+  rig.run(seconds(1200));
+  EXPECT_EQ(rig.producer.stats().expired, 0u);
+  EXPECT_EQ(rig.log().log_end_offset(), 800);
+}
+
+TEST(Producer, RetriesOnRequestTimeout) {
+  RigConfig config;
+  config.messages = 50;
+  config.producer.request_timeout = millis(100);
+  config.producer.retries = 10;
+  // Broker slower than the request timeout: every request times out at
+  // least once, but all messages must still land (eventually) and the
+  // duplicates appear in the log.
+  config.broker.request_overhead = millis(150);
+  Rig rig(config);
+  rig.run(seconds(1200));
+  EXPECT_GT(rig.producer.stats().request_timeouts, 0u);
+  EXPECT_GT(rig.producer.stats().requests_retried, 0u);
+  EXPECT_GE(rig.log().log_end_offset(), 50);  // Includes duplicates.
+}
+
+TEST(Producer, RetriesExhaustedFailsRecords) {
+  RigConfig config;
+  config.messages = 20;
+  config.producer.request_timeout = millis(50);
+  config.producer.retries = 1;
+  config.producer.message_timeout = seconds(300);
+  config.broker.request_overhead = millis(400);  // Hopelessly slow.
+  Rig rig(config);
+  int failed = 0;
+  rig.producer.on_record_failed = [&](const Record&) { ++failed; };
+  rig.run(seconds(1200));
+  EXPECT_GT(failed, 0);
+  EXPECT_EQ(rig.producer.stats().records_failed,
+            static_cast<std::uint64_t>(failed));
+}
+
+TEST(Producer, IdempotenceDeduplicatesRetries) {
+  RigConfig config;
+  config.messages = 60;
+  config.producer = ProducerConfig::exactly_once();
+  config.producer.request_timeout = millis(100);
+  config.producer.retries = 10;
+  config.broker.request_overhead = millis(150);
+  Rig rig(config);
+  rig.run(seconds(1200));
+  EXPECT_GT(rig.producer.stats().requests_retried, 0u);
+  // Despite retries, the log holds each key at most once.
+  std::set<Key> keys;
+  for (const auto& e : rig.log().entries()) {
+    EXPECT_TRUE(keys.insert(e.key).second) << "duplicate key " << e.key;
+  }
+  EXPECT_GT(rig.broker.stats().batches_deduplicated, 0u);
+}
+
+TEST(Producer, AckPacedAdmissionBoundsUnresolved) {
+  RigConfig config;
+  config.messages = 3000;
+  config.producer.admission = AdmissionPolicy::kAckPaced;
+  config.producer.ack_window = 50;
+  config.broker.request_overhead = millis(1);
+  Rig rig(config);
+  rig.broker.start();
+  rig.source.start();
+  rig.producer.start();
+  bool checked = false;
+  rig.sim.at(millis(500), [&] {
+    EXPECT_LE(rig.producer.queued_records() +
+                  rig.producer.in_flight_requests() * 1,
+              60u);
+    checked = true;
+  });
+  while (!rig.producer.finished() && rig.sim.now() < seconds(300)) {
+    rig.sim.run(rig.sim.now() + millis(100));
+  }
+  EXPECT_TRUE(checked);
+  EXPECT_EQ(rig.log().log_end_offset(), 3000);
+}
+
+TEST(Producer, SurvivesConnectionResets) {
+  RigConfig config;
+  config.messages = 400;
+  config.source_interval = millis(10);  // Span the outage below.
+  config.tcp.max_consecutive_rtos = 3;
+  config.producer.retries = 20;
+  config.producer.request_timeout = millis(300);
+  config.producer.message_timeout = seconds(300);  // Outlive the outage.
+  Rig rig(config);
+  rig.broker.start();
+  rig.source.start();
+  rig.producer.start();
+  // Blackhole the forward path for a while mid-run, then heal it.
+  rig.sim.at(millis(200), [&] {
+    rig.link.a_to_b.set_loss_model(std::make_shared<net::BernoulliLoss>(1.0));
+  });
+  rig.sim.at(seconds(8), [&] {
+    rig.link.a_to_b.set_loss_model(std::make_shared<net::NoLoss>());
+  });
+  while (!rig.producer.finished() && rig.sim.now() < seconds(600)) {
+    rig.sim.run(rig.sim.now() + millis(200));
+  }
+  rig.sim.run(rig.sim.now() + seconds(10));
+  EXPECT_GT(rig.producer.stats().connection_resets, 0u);
+  // At-least-once: every key eventually lands (duplicates allowed).
+  std::set<Key> keys;
+  for (const auto& e : rig.log().entries()) keys.insert(e.key);
+  EXPECT_EQ(keys.size(), 400u);
+}
+
+TEST(Producer, AtMostOnceResetLosesSilently) {
+  RigConfig config;
+  config.messages = 500;
+  config.producer = ProducerConfig::at_most_once();
+  config.producer.message_timeout = millis(2000);
+  config.tcp.max_consecutive_rtos = 2;
+  Rig rig(config);
+  rig.broker.start();
+  rig.source.start();
+  rig.producer.start();
+  rig.sim.at(millis(50), [&] {
+    rig.link.a_to_b.set_loss_model(std::make_shared<net::BernoulliLoss>(1.0));
+  });
+  rig.sim.at(seconds(6), [&] {
+    rig.link.a_to_b.set_loss_model(std::make_shared<net::NoLoss>());
+  });
+  while (!rig.producer.finished() && rig.sim.now() < seconds(600)) {
+    rig.sim.run(rig.sim.now() + millis(200));
+  }
+  rig.sim.run(rig.sim.now() + seconds(10));
+  EXPECT_GT(rig.producer.stats().connection_resets, 0u);
+  EXPECT_LT(rig.log().log_end_offset(), 500);  // Some messages vanished.
+}
+
+TEST(Producer, ReconfigureChangesBatching) {
+  RigConfig config;
+  config.messages = 2000;
+  config.source_interval = millis(1);
+  config.producer.batch_size = 1;
+  Rig rig(config);
+  rig.broker.start();
+  rig.source.start();
+  rig.producer.start();
+  rig.sim.at(millis(900), [&] {
+    rig.producer.reconfigure(/*batch_size=*/20, /*linger=*/millis(20),
+                             /*poll_interval=*/0,
+                             /*message_timeout=*/seconds(300));
+  });
+  while (!rig.producer.finished() && rig.sim.now() < seconds(300)) {
+    rig.sim.run(rig.sim.now() + millis(100));
+  }
+  rig.sim.run(rig.sim.now() + seconds(10));
+  const auto& s = rig.producer.stats();
+  EXPECT_EQ(s.records_sent, 2000u);
+  EXPECT_LT(s.requests_sent, 1900u);  // Batching kicked in mid-run.
+}
+
+TEST(Producer, FinishedCallbackFires) {
+  Rig rig(RigConfig{.messages = 100});
+  bool finished = false;
+  rig.producer.on_finished = [&] { finished = true; };
+  rig.run();
+  EXPECT_TRUE(finished);
+  EXPECT_TRUE(rig.producer.finished());
+}
+
+TEST(Producer, SemanticsPresets) {
+  const auto amo = ProducerConfig::at_most_once();
+  EXPECT_EQ(amo.acks, Acks::kNone);
+  EXPECT_EQ(amo.retries, 0);
+  EXPECT_EQ(amo.admission, AdmissionPolicy::kFlood);
+
+  const auto alo = ProducerConfig::at_least_once();
+  EXPECT_EQ(alo.acks, Acks::kLeader);
+  EXPECT_GT(alo.retries, 0);
+  EXPECT_EQ(alo.admission, AdmissionPolicy::kAckPaced);
+
+  const auto eos = ProducerConfig::exactly_once();
+  EXPECT_EQ(eos.acks, Acks::kAll);
+  EXPECT_TRUE(eos.enable_idempotence);
+
+  EXPECT_STREQ(to_string(DeliverySemantics::kAtMostOnce), "at-most-once");
+  EXPECT_STREQ(to_string(DeliverySemantics::kAtLeastOnce), "at-least-once");
+  EXPECT_STREQ(to_string(DeliverySemantics::kExactlyOnce), "exactly-once");
+}
+
+}  // namespace
+}  // namespace ks::kafka

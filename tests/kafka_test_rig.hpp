@@ -1,0 +1,72 @@
+// Shared assembly for Kafka-layer tests: one broker, one producer link,
+// optional consumer link, no broker regimes unless requested.
+#pragma once
+
+#include <memory>
+
+#include "kafka/broker.hpp"
+#include "kafka/consumer.hpp"
+#include "kafka/producer.hpp"
+#include "kafka/source.hpp"
+#include "net/link.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/endpoint.hpp"
+
+namespace ks::kafka::testutil {
+
+struct RigConfig {
+  std::uint64_t seed = 1;
+  std::uint64_t messages = 1000;
+  Bytes message_size = 100;
+  double loss = 0.0;
+  Duration delay = millis(1);
+  Duration source_interval = 0;  ///< 0 = on-demand.
+  Broker::Config broker{};
+  ProducerConfig producer = ProducerConfig::at_least_once();
+  tcp::Config tcp{};
+};
+
+struct Rig {
+  explicit Rig(RigConfig config)
+      : cfg(std::move(config)),
+        sim(cfg.seed),
+        broker(sim, cfg.broker),
+        link(sim, {.bandwidth_bps = 100e6},
+             std::make_shared<net::ConstantDelay>(cfg.delay),
+             cfg.loss > 0 ? std::shared_ptr<net::LossModel>(
+                                std::make_shared<net::BernoulliLoss>(cfg.loss))
+                          : std::make_shared<net::NoLoss>(),
+             std::make_shared<net::ConstantDelay>(cfg.delay),
+             std::make_shared<net::NoLoss>(), "rig"),
+        conn(sim, cfg.tcp, link, "rig"),
+        source(sim, {.total_messages = cfg.messages,
+                     .message_size = cfg.message_size,
+                     .emit_interval = cfg.source_interval}),
+        producer(sim, cfg.producer, conn.client, source, /*partition=*/0) {
+    broker.create_partition(0);
+    broker.attach(conn.server);
+  }
+
+  /// Start everything and run until the producer finishes (or `cap`).
+  void run(Duration cap = seconds(600)) {
+    broker.start();
+    source.start();
+    producer.start();
+    while (!producer.finished() && sim.now() < cap) {
+      sim.run(sim.now() + millis(200));
+    }
+    sim.run(sim.now() + seconds(10));  // Drain.
+  }
+
+  const PartitionLog& log() { return *broker.partition(0); }
+
+  RigConfig cfg;
+  sim::Simulation sim;
+  Broker broker;
+  net::DuplexLink link;
+  tcp::Pair conn;
+  Source source;
+  Producer producer;
+};
+
+}  // namespace ks::kafka::testutil

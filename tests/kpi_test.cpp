@@ -1,0 +1,254 @@
+// KPI-layer tests: weighted KPI, performance model, ANN-backed predictor
+// and the dynamic configurator.
+#include <gtest/gtest.h>
+
+#include "kpi/dynamic_config.hpp"
+#include "kpi/kpi.hpp"
+#include "kpi/perf_model.hpp"
+#include "kpi/predictor.hpp"
+#include "testbed/workloads.hpp"
+
+namespace ks::kpi {
+namespace {
+
+TEST(Kpi, WeightsSumToOneByDefault) {
+  EXPECT_NEAR(KpiWeights::defaults().sum(), 1.0, 1e-12);
+}
+
+TEST(Kpi, FormulaMatchesEquation2) {
+  // gamma = w1*phi + w2*mu + w3*(1-Pl) + w4*(1-Pd).
+  const KpiWeights w{0.3, 0.3, 0.3, 0.1};
+  EXPECT_NEAR(weighted_kpi(0.5, 0.8, 0.2, 0.1, w),
+              0.3 * 0.5 + 0.3 * 0.8 + 0.3 * 0.8 + 0.1 * 0.9, 1e-12);
+}
+
+TEST(Kpi, PerfectSystemScoresOne) {
+  EXPECT_NEAR(weighted_kpi(1.0, 1.0, 0.0, 0.0, KpiWeights::defaults()), 1.0,
+              1e-12);
+}
+
+TEST(Kpi, ClampsOutOfRangeInputs) {
+  const auto w = KpiWeights::defaults();
+  EXPECT_NEAR(weighted_kpi(2.0, -1.0, 1.5, -0.2, w),
+              weighted_kpi(1.0, 0.0, 1.0, 0.0, w), 1e-12);
+}
+
+TEST(Kpi, FromArray) {
+  const auto w = KpiWeights::from_array({0.1, 0.2, 0.3, 0.4});
+  EXPECT_DOUBLE_EQ(w.w_phi, 0.1);
+  EXPECT_DOUBLE_EQ(w.w_dup, 0.4);
+}
+
+TEST(PerfModel, ServiceRateFallsWithMessageSize) {
+  const auto small = predict_performance(50, 1, 0);
+  const auto large = predict_performance(1000, 1, 0);
+  EXPECT_GT(small.mu_msgs_per_s, large.mu_msgs_per_s);
+  EXPECT_GT(small.mu_normalized, large.mu_normalized);
+  EXPECT_LE(small.mu_normalized, 1.0);
+}
+
+TEST(PerfModel, PollIntervalCapsRate) {
+  const auto paced = predict_performance(100, 1, millis(10));
+  EXPECT_NEAR(paced.mu_msgs_per_s, 100.0, 1.0);
+}
+
+TEST(PerfModel, BatchingAmortisesOverheadInPhi) {
+  // Same message rate, fewer request headers per message => lower offered
+  // load => lower phi.
+  const auto b1 = predict_performance(100, 1, 0);
+  const auto b10 = predict_performance(100, 10, 0);
+  EXPECT_GT(b1.phi, b10.phi);
+}
+
+TEST(PerfModel, PhiBounded) {
+  const auto p = predict_performance(10000, 1, 0);
+  EXPECT_GE(p.phi, 0.0);
+  EXPECT_LE(p.phi, 1.0);
+}
+
+TEST(Predictor, NormalCaseRouting) {
+  testbed::Scenario sc;
+  sc.packet_loss = 0.0;
+  sc.network_delay = millis(100);
+  EXPECT_TRUE(ReliabilityPredictor::is_normal_case(sc));
+  sc.packet_loss = 0.1;
+  EXPECT_FALSE(ReliabilityPredictor::is_normal_case(sc));
+  sc.packet_loss = 0.0;
+  sc.network_delay = millis(300);
+  EXPECT_FALSE(ReliabilityPredictor::is_normal_case(sc));
+}
+
+TEST(Predictor, UntrainedThrows) {
+  ReliabilityPredictor predictor;
+  EXPECT_FALSE(predictor.trained());
+  EXPECT_THROW(predictor.predict(testbed::Scenario{}), std::logic_error);
+}
+
+// Build synthetic datasets with a known functional form and check the
+// predictor learns it well enough to rank configurations.
+class TrainedPredictor : public ::testing::Test {
+ protected:
+  static ann::Dataset synth_normal() {
+    ann::Dataset ds;
+    // P_l falls with T_o (column 1 of normal features) and B, P_d = 0.
+    for (double s : {1000.0, 5000.0}) {
+      for (double t_o = 250; t_o <= 2000; t_o += 250) {
+        for (double delta : {0.0, 10.0, 50.0}) {
+          for (double sem : {0.0, 1.0}) {
+            for (double b : {1.0, 4.0, 10.0}) {
+              const double pl =
+                  std::max(0.0, 0.5 - t_o / 5000.0 - delta / 200.0 -
+                                     0.1 * sem - 0.01 * b);
+              ds.add({s, t_o, delta, sem, b}, {pl, 0.0});
+            }
+          }
+        }
+      }
+    }
+    ds.finalize();
+    return ds;
+  }
+
+  static ann::Dataset synth_abnormal() {
+    ann::Dataset ds;
+    // P_l rises with L, falls with B and M; P_d falls with B.
+    for (double m : {50.0, 200.0, 600.0, 1000.0}) {
+      for (double d : {20.0, 100.0}) {
+        for (double l = 0.0; l <= 0.5; l += 0.05) {
+          for (double sem : {0.0, 1.0}) {
+            for (double b : {1.0, 2.0, 5.0, 10.0}) {
+              const double pl = std::clamp(
+                  l * 2.0 - 0.04 * b - m / 5000.0 - 0.05 * sem, 0.0, 1.0);
+              const double pd = sem * std::max(0.0, 0.05 - 0.004 * b);
+              ds.add({m, d, l, sem, b}, {pl, pd});
+            }
+          }
+        }
+      }
+    }
+    ds.finalize();
+    return ds;
+  }
+
+  static ReliabilityPredictor& predictor() {
+    static ReliabilityPredictor* instance = [] {
+      auto* p = new ReliabilityPredictor();
+      ann::TrainConfig tc;
+      tc.epochs = 150;
+      tc.learning_rate = 0.5;
+      tc.batch_size = 16;
+      Rng rng(42);
+      p->train(synth_normal(), synth_abnormal(), tc, rng);
+      return p;
+    }();
+    return *instance;
+  }
+};
+
+TEST_F(TrainedPredictor, AccuracyMeetsPaperTarget) {
+  ann::TrainConfig tc;
+  tc.epochs = 150;
+  tc.learning_rate = 0.5;
+  tc.batch_size = 16;
+  Rng rng(43);
+  ReliabilityPredictor p;
+  const auto result = p.train(synth_normal(), synth_abnormal(), tc, rng);
+  EXPECT_LT(result.normal_mae, 0.02);
+  EXPECT_LT(result.abnormal_mae, 0.02);
+}
+
+TEST_F(TrainedPredictor, PredictsMonotoneInLoss) {
+  testbed::Scenario lo, hi;
+  lo.packet_loss = 0.05;
+  hi.packet_loss = 0.45;
+  lo.network_delay = hi.network_delay = millis(50);
+  EXPECT_LT(predictor().predict(lo).p_loss, predictor().predict(hi).p_loss);
+}
+
+TEST_F(TrainedPredictor, PredictsBatchingBenefit) {
+  testbed::Scenario b1, b10;
+  b1.packet_loss = b10.packet_loss = 0.3;
+  b1.batch_size = 1;
+  b10.batch_size = 10;
+  EXPECT_GT(predictor().predict(b1).p_loss,
+            predictor().predict(b10).p_loss);
+}
+
+TEST_F(TrainedPredictor, SaveLoadRoundTrip) {
+  const std::string dir = ::testing::TempDir();
+  predictor().save(dir);
+  ReliabilityPredictor loaded;
+  loaded.load(dir);
+  testbed::Scenario sc;
+  sc.packet_loss = 0.25;
+  const auto a = predictor().predict(sc);
+  const auto b = loaded.predict(sc);
+  EXPECT_NEAR(a.p_loss, b.p_loss, 1e-9);
+  EXPECT_NEAR(a.p_duplicate, b.p_duplicate, 1e-9);
+}
+
+TEST_F(TrainedPredictor, ConfiguratorPrefersBatchingUnderLoss) {
+  DynamicConfigurator configurator(predictor(), KpiWeights::defaults(),
+                                   /*gamma_requirement=*/0.99);
+  const auto workload = testbed::web_access_records();
+  const auto calm = configurator.choose(
+      workload, kafka::DeliverySemantics::kAtLeastOnce, millis(20), 0.0);
+  const auto stormy = configurator.choose(
+      workload, kafka::DeliverySemantics::kAtLeastOnce, millis(20), 0.35);
+  EXPECT_GT(stormy.batch_size, calm.batch_size);
+}
+
+TEST_F(TrainedPredictor, ConfiguratorImprovesGamma) {
+  DynamicConfigurator configurator(predictor(), KpiWeights::defaults(), 0.99);
+  const auto workload = testbed::game_traffic();
+  const DynamicParams start{1, 0, millis(1500)};
+  const auto chosen = configurator.choose(
+      workload, kafka::DeliverySemantics::kAtLeastOnce, millis(30), 0.3,
+      start);
+  const double g0 = configurator.predicted_gamma(
+      workload, kafka::DeliverySemantics::kAtLeastOnce, millis(30), 0.3,
+      start);
+  const double g1 = configurator.predicted_gamma(
+      workload, kafka::DeliverySemantics::kAtLeastOnce, millis(30), 0.3,
+      chosen);
+  EXPECT_GE(g1, g0);
+}
+
+TEST_F(TrainedPredictor, ScheduleCoversTrace) {
+  DynamicConfigurator configurator(predictor(), KpiWeights::defaults(), 0.9);
+  net::TraceGenConfig tconf;
+  tconf.duration = seconds(180);
+  Rng rng(44);
+  const auto trace = net::generate_trace(tconf, rng);
+  const auto schedule = configurator.build_schedule(
+      trace, seconds(60), testbed::web_access_records(),
+      kafka::DeliverySemantics::kAtLeastOnce);
+  ASSERT_EQ(schedule.size(), 3u);
+  EXPECT_EQ(schedule[0].start, 0);
+  EXPECT_EQ(schedule[1].start, seconds(60));
+  for (const auto& e : schedule) {
+    EXPECT_GE(e.params.batch_size, 1);
+    EXPECT_GE(e.predicted_gamma, 0.0);
+    EXPECT_LE(e.predicted_gamma, 1.0);
+  }
+}
+
+TEST_F(TrainedPredictor, DynamicRunSmoke) {
+  net::TraceGenConfig tconf;
+  tconf.duration = seconds(30);
+  Rng rng(45);
+  const auto trace = net::generate_trace(tconf, rng);
+  auto workload = testbed::game_traffic();
+  workload.emit_interval = millis(2);  // Keep the run small.
+  const auto result = run_dynamic_experiment(
+      trace, workload, kafka::DeliverySemantics::kAtLeastOnce, nullptr,
+      KpiWeights::defaults(), 7);
+  EXPECT_EQ(result.census.total_keys,
+            static_cast<std::uint64_t>(seconds(30) / millis(2)));
+  EXPECT_GE(result.overall_loss_rate, 0.0);
+  EXPECT_LE(result.overall_loss_rate, 1.0);
+  EXPECT_GT(result.measured_gamma, 0.0);
+}
+
+}  // namespace
+}  // namespace ks::kpi

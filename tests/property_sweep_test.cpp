@@ -1,0 +1,103 @@
+// Parameterised property sweeps over the experiment space: invariants that
+// must hold for EVERY scenario, regardless of calibration.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "testbed/experiment.hpp"
+
+namespace ks::testbed {
+namespace {
+
+using SweepParam =
+    std::tuple<kafka::DeliverySemantics, double /*loss*/, int /*batch*/,
+               std::int64_t /*delay_ms*/>;
+
+class ExperimentInvariants : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ExperimentInvariants, CensusIsConsistent) {
+  const auto [semantics, loss, batch, delay_ms] = GetParam();
+  Scenario sc;
+  sc.semantics = semantics;
+  sc.packet_loss = loss;
+  sc.batch_size = batch;
+  sc.network_delay = millis(delay_ms);
+  sc.message_timeout = millis(2000);
+  sc.num_messages = 1200;
+  sc.seed = 4451;
+
+  const auto r = run_experiment(sc);
+
+  // 1. The census partitions the key space.
+  EXPECT_EQ(r.census.delivered + r.census.duplicated + r.census.lost,
+            sc.num_messages);
+  EXPECT_EQ(r.census.total_keys, sc.num_messages);
+
+  // 2. Probabilities in range.
+  EXPECT_GE(r.p_loss, 0.0);
+  EXPECT_LE(r.p_loss, 1.0);
+  EXPECT_GE(r.p_duplicate, 0.0);
+  EXPECT_LE(r.p_duplicate, 1.0);
+
+  // 3. The appended-record count is at least the unique deliveries and
+  //    accounts for duplicates.
+  EXPECT_GE(r.census.appended_records,
+            r.census.delivered + 2 * r.census.duplicated);
+
+  // 4. The Table I case census agrees with the key census.
+  std::uint64_t case_sum = 0;
+  for (auto c : r.cases.cases) case_sum += c;
+  EXPECT_EQ(case_sum, sc.num_messages);
+  EXPECT_EQ(r.cases.cases[5], r.census.duplicated);  // Case5 == duplicated.
+  EXPECT_EQ(r.cases.cases[1] + r.cases.cases[4], r.census.delivered);
+
+  // 5. Semantics-specific guarantees.
+  if (semantics == kafka::DeliverySemantics::kAtMostOnce ||
+      semantics == kafka::DeliverySemantics::kExactlyOnce) {
+    EXPECT_EQ(r.census.duplicated, 0u);
+  }
+  if (semantics == kafka::DeliverySemantics::kAtMostOnce) {
+    // No retries ever: nothing can be attempted more than once.
+    EXPECT_EQ(r.cases.cases[3], 0u);
+    EXPECT_EQ(r.cases.cases[4], 0u);
+  }
+
+  // 6. The run terminated (the harness caps at kMaxSimTime).
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.events, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SemanticsLossBatchDelay, ExperimentInvariants,
+    ::testing::Combine(
+        ::testing::Values(kafka::DeliverySemantics::kAtMostOnce,
+                          kafka::DeliverySemantics::kAtLeastOnce,
+                          kafka::DeliverySemantics::kExactlyOnce),
+        ::testing::Values(0.0, 0.15, 0.35),
+        ::testing::Values(1, 5),
+        ::testing::Values<std::int64_t>(0, 80)));
+
+class TimeoutMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimeoutMonotonicity, LongerTimeoutNeverLosesMore) {
+  // With common random numbers, increasing T_o can only reduce expiry loss.
+  Scenario sc;
+  sc.source_mode = SourceMode::kOnDemand;
+  sc.semantics = kafka::DeliverySemantics::kAtMostOnce;
+  sc.num_messages = 2500;
+  sc.seed = static_cast<std::uint64_t>(GetParam());
+
+  double prev = 1.1;
+  for (auto t_o : {millis(300), millis(800), millis(2000), seconds(10)}) {
+    sc.message_timeout = t_o;
+    const auto r = run_experiment(sc);
+    EXPECT_LE(r.p_loss, prev + 1e-9) << "T_o=" << to_millis(t_o);
+    prev = r.p_loss;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimeoutMonotonicity,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace ks::testbed

@@ -1,0 +1,266 @@
+// Unit tests for sim/: event queue ordering/cancellation, the simulation
+// kernel, timers and the two-state regime modulator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/modulator.hpp"
+#include "sim/simulation.hpp"
+
+namespace ks::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAtSameTime) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelDropsEvent) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.push(1, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.push(1, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(0));
+  EXPECT_FALSE(q.cancel(999));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.push(1, [] {});
+  q.push(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.push(1, [] {});
+  q.push(9, [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), 9);
+}
+
+TEST(Simulation, ClockAdvancesWithEvents) {
+  Simulation sim;
+  TimePoint seen = -1;
+  sim.at(100, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulation, AfterSchedulesRelative) {
+  Simulation sim;
+  std::vector<TimePoint> times;
+  sim.at(50, [&] {
+    sim.after(25, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 75);
+}
+
+TEST(Simulation, PastEventsClampToNow) {
+  Simulation sim;
+  TimePoint seen = -1;
+  sim.at(100, [&] {
+    sim.at(10, [&] { seen = sim.now(); });  // In the past.
+  });
+  sim.run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(Simulation, RunUntilHorizon) {
+  Simulation sim;
+  int count = 0;
+  for (TimePoint t = 10; t <= 100; t += 10) {
+    sim.at(t, [&] { ++count; });
+  }
+  sim.run(50);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 50);
+  sim.run(1000);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulation, StopHaltsRun) {
+  Simulation sim;
+  int count = 0;
+  sim.at(1, [&] {
+    ++count;
+    sim.stop();
+  });
+  sim.at(2, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, StepRunsOne) {
+  Simulation sim;
+  int count = 0;
+  sim.at(1, [&] { ++count; });
+  sim.at(2, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, EventsExecutedCounter) {
+  Simulation sim;
+  for (int i = 0; i < 5; ++i) sim.after(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  const EventId id = sim.at(5, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Timer, FiresOnce) {
+  Simulation sim;
+  Timer timer(sim);
+  int fired = 0;
+  timer.arm(10, [&] { ++fired; });
+  EXPECT_TRUE(timer.armed());
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(timer.armed());
+}
+
+TEST(Timer, RearmCancelsPrevious) {
+  Simulation sim;
+  Timer timer(sim);
+  int which = 0;
+  timer.arm(10, [&] { which = 1; });
+  timer.arm(20, [&] { which = 2; });
+  sim.run();
+  EXPECT_EQ(which, 2);
+  EXPECT_EQ(sim.now(), 20);
+}
+
+TEST(Timer, CancelPreventsFire) {
+  Simulation sim;
+  Timer timer(sim);
+  bool fired = false;
+  timer.arm(10, [&] { fired = true; });
+  timer.cancel();
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Timer, DeadlineReported) {
+  Simulation sim;
+  Timer timer(sim);
+  timer.arm(42, [] {});
+  EXPECT_EQ(timer.deadline(), 42);
+}
+
+TEST(Timer, DestructorCancels) {
+  Simulation sim;
+  bool fired = false;
+  {
+    Timer timer(sim);
+    timer.arm(10, [&] { fired = true; });
+  }
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Timer, RearmInsideCallback) {
+  Simulation sim;
+  Timer timer(sim);
+  int fires = 0;
+  std::function<void()> tick = [&] {
+    if (++fires < 5) timer.arm(10, tick);
+  };
+  timer.arm(10, tick);
+  sim.run();
+  EXPECT_EQ(fires, 5);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Modulator, DisabledStaysGood) {
+  Simulation sim;
+  TwoStateModulator mod(sim, {.enabled = false});
+  mod.start();
+  sim.run(seconds(10));
+  EXPECT_TRUE(mod.good());
+}
+
+TEST(Modulator, AlternatesStates) {
+  Simulation sim;
+  TwoStateModulator mod(sim,
+                        {.mean_good = millis(100), .mean_bad = millis(50),
+                         .enabled = true});
+  int changes = 0;
+  Regime last = Regime::kGood;
+  mod.on_change([&](Regime r) {
+    EXPECT_NE(r, last);
+    last = r;
+    ++changes;
+  });
+  mod.start();
+  sim.run(seconds(10));
+  EXPECT_GT(changes, 20);
+}
+
+TEST(Modulator, DutyCycleApproximatesMeans) {
+  Simulation sim;
+  TwoStateModulator mod(sim,
+                        {.mean_good = millis(200), .mean_bad = millis(100),
+                         .enabled = true});
+  TimePoint bad_time = 0;
+  TimePoint last_change = 0;
+  mod.on_change([&](Regime r) {
+    if (r == Regime::kGood) bad_time += sim.now() - last_change;
+    last_change = sim.now();
+  });
+  mod.start();
+  sim.run(seconds(300));
+  const double bad_fraction =
+      static_cast<double>(bad_time) / static_cast<double>(sim.now());
+  EXPECT_NEAR(bad_fraction, 1.0 / 3.0, 0.05);
+}
+
+}  // namespace
+}  // namespace ks::sim

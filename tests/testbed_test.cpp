@@ -1,0 +1,215 @@
+// Testbed tests: scenario features, experiment invariants, determinism,
+// the Fig. 3 collector, and workload presets.
+#include <gtest/gtest.h>
+
+#include "testbed/calibration.hpp"
+#include "testbed/collector.hpp"
+#include "testbed/experiment.hpp"
+#include "testbed/workloads.hpp"
+
+namespace ks::testbed {
+namespace {
+
+TEST(Scenario, NormalFeatureVector) {
+  Scenario sc;
+  sc.timeliness = seconds(2);
+  sc.message_timeout = millis(1500);
+  sc.poll_interval = millis(20);
+  sc.semantics = kafka::DeliverySemantics::kAtMostOnce;
+  sc.batch_size = 3;
+  const auto f = sc.normal_features();
+  ASSERT_EQ(f.size(), Scenario::normal_feature_names().size());
+  EXPECT_DOUBLE_EQ(f[0], 2000.0);
+  EXPECT_DOUBLE_EQ(f[1], 1500.0);
+  EXPECT_DOUBLE_EQ(f[2], 20.0);
+  EXPECT_DOUBLE_EQ(f[3], 0.0);
+  EXPECT_DOUBLE_EQ(f[4], 3.0);
+}
+
+TEST(Scenario, AbnormalFeatureVector) {
+  Scenario sc;
+  sc.message_size = 250;
+  sc.network_delay = millis(100);
+  sc.packet_loss = 0.19;
+  sc.semantics = kafka::DeliverySemantics::kAtLeastOnce;
+  sc.batch_size = 5;
+  const auto f = sc.abnormal_features();
+  ASSERT_EQ(f.size(), Scenario::abnormal_feature_names().size());
+  EXPECT_DOUBLE_EQ(f[0], 250.0);
+  EXPECT_DOUBLE_EQ(f[1], 100.0);
+  EXPECT_DOUBLE_EQ(f[2], 0.19);
+  EXPECT_DOUBLE_EQ(f[3], 1.0);
+  EXPECT_DOUBLE_EQ(f[4], 5.0);
+}
+
+TEST(Calibration, FullLoadIntervalGrowsWithSize) {
+  EXPECT_GT(full_load_interval(1000), full_load_interval(100));
+  EXPECT_EQ(full_load_interval(0), kSerializeBase);
+}
+
+Scenario small_scenario() {
+  Scenario sc;
+  sc.num_messages = 1500;
+  sc.broker_regimes = false;
+  sc.seed = 99;
+  return sc;
+}
+
+TEST(Experiment, HealthyNetworkLosesNothing) {
+  const auto r = run_experiment(small_scenario());
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.census.lost, 0u);
+  EXPECT_EQ(r.census.duplicated, 0u);
+  EXPECT_DOUBLE_EQ(r.p_loss, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_duplicate, 0.0);
+}
+
+TEST(Experiment, CensusPartsSumToTotal) {
+  auto sc = small_scenario();
+  sc.packet_loss = 0.25;
+  sc.message_timeout = millis(1500);
+  const auto r = run_experiment(sc);
+  EXPECT_EQ(r.census.delivered + r.census.duplicated + r.census.lost,
+            sc.num_messages);
+  std::uint64_t case_sum = 0;
+  for (auto c : r.cases.cases) case_sum += c;
+  EXPECT_EQ(case_sum, sc.num_messages);
+}
+
+TEST(Experiment, DeterministicGivenSeed) {
+  auto sc = small_scenario();
+  sc.packet_loss = 0.15;
+  sc.broker_regimes = true;
+  const auto a = run_experiment(sc);
+  const auto b = run_experiment(sc);
+  EXPECT_EQ(a.census.delivered, b.census.delivered);
+  EXPECT_EQ(a.census.duplicated, b.census.duplicated);
+  EXPECT_EQ(a.census.lost, b.census.lost);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_DOUBLE_EQ(a.duration_s, b.duration_s);
+}
+
+TEST(Experiment, SeedChangesRun) {
+  auto sc = small_scenario();
+  sc.packet_loss = 0.15;
+  sc.broker_regimes = true;
+  const auto a = run_experiment(sc);
+  sc.seed = 100;
+  const auto b = run_experiment(sc);
+  EXPECT_NE(a.events, b.events);
+}
+
+TEST(Experiment, LossHurtsReliability) {
+  auto sc = small_scenario();
+  sc.message_timeout = millis(1500);
+  sc.source_interval = micros(4000);
+  sc.num_messages = 4000;
+  const auto clean = run_experiment(sc);
+  sc.packet_loss = 0.35;
+  const auto lossy = run_experiment(sc);
+  EXPECT_GT(lossy.p_loss, clean.p_loss + 0.05);
+}
+
+TEST(Experiment, ExactlyOnceNeverDuplicates) {
+  auto sc = small_scenario();
+  sc.semantics = kafka::DeliverySemantics::kExactlyOnce;
+  sc.packet_loss = 0.3;
+  sc.message_timeout = millis(2000);
+  sc.request_timeout = millis(400);
+  sc.num_messages = 2000;
+  const auto r = run_experiment(sc);
+  EXPECT_EQ(r.census.duplicated, 0u);
+}
+
+TEST(Experiment, AtMostOnceNeverDuplicates) {
+  auto sc = small_scenario();
+  sc.semantics = kafka::DeliverySemantics::kAtMostOnce;
+  sc.packet_loss = 0.3;
+  sc.message_timeout = millis(1500);
+  const auto r = run_experiment(sc);
+  EXPECT_EQ(r.census.duplicated, 0u);
+}
+
+TEST(Experiment, KpiInputsPopulated) {
+  const auto r = run_experiment(small_scenario());
+  EXPECT_GT(r.service_rate_mu, 0.0);
+  EXPECT_GT(r.bandwidth_utilization_phi, 0.0);
+  EXPECT_LE(r.bandwidth_utilization_phi, 1.0);
+  EXPECT_GT(r.delivered_throughput, 0.0);
+  EXPECT_GT(r.mean_latency_ms, 0.0);
+}
+
+TEST(Experiment, OnDemandModeHasNoOverruns) {
+  auto sc = small_scenario();
+  sc.source_mode = SourceMode::kOnDemand;
+  const auto r = run_experiment(sc);
+  EXPECT_EQ(r.source_overruns, 0u);
+  EXPECT_EQ(r.census.lost, 0u);
+}
+
+TEST(Collector, GridSizesMatchConfig) {
+  auto config = CollectorConfig::quick();
+  Collector collector(config);
+  const auto reps = static_cast<std::size_t>(config.repeats);
+  EXPECT_EQ(collector.normal_grid_size(),
+            config.timeouts.size() * config.polls.size() *
+                config.timeliness.size() * config.semantics.size() *
+                config.batches.size() * reps);
+  EXPECT_EQ(collector.abnormal_grid_size(),
+            config.sizes.size() * config.delays.size() *
+                config.losses.size() * config.batches.size() *
+                config.semantics.size() * reps);
+}
+
+TEST(Collector, TinyGridProducesDatasets) {
+  CollectorConfig config;
+  config.num_messages = 400;
+  config.timeouts = {millis(500), millis(1500)};
+  config.polls = {0};
+  config.timeliness = {seconds(1)};
+  config.sizes = {100};
+  config.delays = {millis(20)};
+  config.losses = {0.0, 0.2};
+  config.batches = {1};
+  config.semantics = {kafka::DeliverySemantics::kAtLeastOnce};
+  Collector collector(config);
+
+  std::size_t progress = 0;
+  collector.on_progress = [&](std::size_t done, std::size_t total) {
+    progress = done;
+    EXPECT_LE(done, total);
+  };
+  auto normal = collector.collect_normal();
+  EXPECT_EQ(normal.size(), 2u);
+  EXPECT_EQ(normal.x.cols(), 5u);
+  EXPECT_EQ(normal.y.cols(), 2u);
+  EXPECT_EQ(progress, 2u);
+
+  auto abnormal = collector.collect_abnormal();
+  EXPECT_EQ(abnormal.size(), 2u);
+  EXPECT_EQ(abnormal.x.cols(), 5u);
+  for (std::size_t r = 0; r < abnormal.size(); ++r) {
+    EXPECT_GE(abnormal.y(r, 0), 0.0);
+    EXPECT_LE(abnormal.y(r, 0), 1.0);
+  }
+}
+
+TEST(Workloads, PresetsAreDistinctAndWeighted) {
+  const auto sm = social_media();
+  const auto web = web_access_records();
+  const auto game = game_traffic();
+  for (const auto& w : {sm, web, game}) {
+    double sum = 0.0;
+    for (double v : w.weights) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9) << w.name;
+    EXPECT_GT(w.message_size, 0);
+    EXPECT_GT(w.emit_interval, 0);
+  }
+  EXPECT_LT(game.message_size, web.message_size);
+  EXPECT_LT(web.message_size, sm.message_size);
+  EXPECT_GT(web.weights[2], sm.weights[2]);  // Web logs value completeness.
+  EXPECT_LT(game.timeliness, web.timeliness);
+}
+
+}  // namespace
+}  // namespace ks::testbed
