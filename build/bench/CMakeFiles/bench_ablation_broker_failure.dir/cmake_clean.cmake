@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_broker_failure.dir/bench_ablation_broker_failure.cpp.o"
+  "CMakeFiles/bench_ablation_broker_failure.dir/bench_ablation_broker_failure.cpp.o.d"
+  "bench_ablation_broker_failure"
+  "bench_ablation_broker_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_broker_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

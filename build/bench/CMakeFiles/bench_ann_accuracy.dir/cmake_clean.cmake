@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ann_accuracy.dir/bench_ann_accuracy.cpp.o"
+  "CMakeFiles/bench_ann_accuracy.dir/bench_ann_accuracy.cpp.o.d"
+  "bench_ann_accuracy"
+  "bench_ann_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ann_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_polling.dir/bench_fig6_polling.cpp.o"
+  "CMakeFiles/bench_fig6_polling.dir/bench_fig6_polling.cpp.o.d"
+  "bench_fig6_polling"
+  "bench_fig6_polling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_polling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_batching_dup.dir/bench_fig8_batching_dup.cpp.o"
+  "CMakeFiles/bench_fig8_batching_dup.dir/bench_fig8_batching_dup.cpp.o.d"
+  "bench_fig8_batching_dup"
+  "bench_fig8_batching_dup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_batching_dup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

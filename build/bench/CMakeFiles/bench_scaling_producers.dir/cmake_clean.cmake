@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_producers.dir/bench_scaling_producers.cpp.o"
+  "CMakeFiles/bench_scaling_producers.dir/bench_scaling_producers.cpp.o.d"
+  "bench_scaling_producers"
+  "bench_scaling_producers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_producers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

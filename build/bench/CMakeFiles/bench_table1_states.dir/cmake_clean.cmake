@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_states.dir/bench_table1_states.cpp.o"
+  "CMakeFiles/bench_table1_states.dir/bench_table1_states.cpp.o.d"
+  "bench_table1_states"
+  "bench_table1_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

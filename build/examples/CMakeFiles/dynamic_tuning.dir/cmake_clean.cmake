@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_tuning.dir/dynamic_tuning.cpp.o"
+  "CMakeFiles/dynamic_tuning.dir/dynamic_tuning.cpp.o.d"
+  "dynamic_tuning"
+  "dynamic_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

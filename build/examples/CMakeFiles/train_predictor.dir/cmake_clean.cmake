@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_predictor.dir/train_predictor.cpp.o"
+  "CMakeFiles/train_predictor.dir/train_predictor.cpp.o.d"
+  "train_predictor"
+  "train_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

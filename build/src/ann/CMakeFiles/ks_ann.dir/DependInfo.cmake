@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ann/activation.cpp" "src/ann/CMakeFiles/ks_ann.dir/activation.cpp.o" "gcc" "src/ann/CMakeFiles/ks_ann.dir/activation.cpp.o.d"
+  "/root/repo/src/ann/dataset.cpp" "src/ann/CMakeFiles/ks_ann.dir/dataset.cpp.o" "gcc" "src/ann/CMakeFiles/ks_ann.dir/dataset.cpp.o.d"
+  "/root/repo/src/ann/matrix.cpp" "src/ann/CMakeFiles/ks_ann.dir/matrix.cpp.o" "gcc" "src/ann/CMakeFiles/ks_ann.dir/matrix.cpp.o.d"
+  "/root/repo/src/ann/network.cpp" "src/ann/CMakeFiles/ks_ann.dir/network.cpp.o" "gcc" "src/ann/CMakeFiles/ks_ann.dir/network.cpp.o.d"
+  "/root/repo/src/ann/scaler.cpp" "src/ann/CMakeFiles/ks_ann.dir/scaler.cpp.o" "gcc" "src/ann/CMakeFiles/ks_ann.dir/scaler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ks_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

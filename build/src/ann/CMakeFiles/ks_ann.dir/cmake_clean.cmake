@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_ann.dir/activation.cpp.o"
+  "CMakeFiles/ks_ann.dir/activation.cpp.o.d"
+  "CMakeFiles/ks_ann.dir/dataset.cpp.o"
+  "CMakeFiles/ks_ann.dir/dataset.cpp.o.d"
+  "CMakeFiles/ks_ann.dir/matrix.cpp.o"
+  "CMakeFiles/ks_ann.dir/matrix.cpp.o.d"
+  "CMakeFiles/ks_ann.dir/network.cpp.o"
+  "CMakeFiles/ks_ann.dir/network.cpp.o.d"
+  "CMakeFiles/ks_ann.dir/scaler.cpp.o"
+  "CMakeFiles/ks_ann.dir/scaler.cpp.o.d"
+  "libks_ann.a"
+  "libks_ann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_ann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

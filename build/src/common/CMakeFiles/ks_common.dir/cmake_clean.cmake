@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_common.dir/logging.cpp.o"
+  "CMakeFiles/ks_common.dir/logging.cpp.o.d"
+  "CMakeFiles/ks_common.dir/rng.cpp.o"
+  "CMakeFiles/ks_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ks_common.dir/stats.cpp.o"
+  "CMakeFiles/ks_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ks_common.dir/types.cpp.o"
+  "CMakeFiles/ks_common.dir/types.cpp.o.d"
+  "libks_common.a"
+  "libks_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kafka/broker.cpp" "src/kafka/CMakeFiles/ks_kafka.dir/broker.cpp.o" "gcc" "src/kafka/CMakeFiles/ks_kafka.dir/broker.cpp.o.d"
+  "/root/repo/src/kafka/cluster.cpp" "src/kafka/CMakeFiles/ks_kafka.dir/cluster.cpp.o" "gcc" "src/kafka/CMakeFiles/ks_kafka.dir/cluster.cpp.o.d"
+  "/root/repo/src/kafka/consumer.cpp" "src/kafka/CMakeFiles/ks_kafka.dir/consumer.cpp.o" "gcc" "src/kafka/CMakeFiles/ks_kafka.dir/consumer.cpp.o.d"
+  "/root/repo/src/kafka/log.cpp" "src/kafka/CMakeFiles/ks_kafka.dir/log.cpp.o" "gcc" "src/kafka/CMakeFiles/ks_kafka.dir/log.cpp.o.d"
+  "/root/repo/src/kafka/producer.cpp" "src/kafka/CMakeFiles/ks_kafka.dir/producer.cpp.o" "gcc" "src/kafka/CMakeFiles/ks_kafka.dir/producer.cpp.o.d"
+  "/root/repo/src/kafka/source.cpp" "src/kafka/CMakeFiles/ks_kafka.dir/source.cpp.o" "gcc" "src/kafka/CMakeFiles/ks_kafka.dir/source.cpp.o.d"
+  "/root/repo/src/kafka/state_machine.cpp" "src/kafka/CMakeFiles/ks_kafka.dir/state_machine.cpp.o" "gcc" "src/kafka/CMakeFiles/ks_kafka.dir/state_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ks_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ks_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ks_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/ks_tcp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_kafka.dir/broker.cpp.o"
+  "CMakeFiles/ks_kafka.dir/broker.cpp.o.d"
+  "CMakeFiles/ks_kafka.dir/cluster.cpp.o"
+  "CMakeFiles/ks_kafka.dir/cluster.cpp.o.d"
+  "CMakeFiles/ks_kafka.dir/consumer.cpp.o"
+  "CMakeFiles/ks_kafka.dir/consumer.cpp.o.d"
+  "CMakeFiles/ks_kafka.dir/log.cpp.o"
+  "CMakeFiles/ks_kafka.dir/log.cpp.o.d"
+  "CMakeFiles/ks_kafka.dir/producer.cpp.o"
+  "CMakeFiles/ks_kafka.dir/producer.cpp.o.d"
+  "CMakeFiles/ks_kafka.dir/source.cpp.o"
+  "CMakeFiles/ks_kafka.dir/source.cpp.o.d"
+  "CMakeFiles/ks_kafka.dir/state_machine.cpp.o"
+  "CMakeFiles/ks_kafka.dir/state_machine.cpp.o.d"
+  "libks_kafka.a"
+  "libks_kafka.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_kafka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

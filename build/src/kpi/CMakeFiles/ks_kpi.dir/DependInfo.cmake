@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kpi/dynamic_config.cpp" "src/kpi/CMakeFiles/ks_kpi.dir/dynamic_config.cpp.o" "gcc" "src/kpi/CMakeFiles/ks_kpi.dir/dynamic_config.cpp.o.d"
+  "/root/repo/src/kpi/kpi.cpp" "src/kpi/CMakeFiles/ks_kpi.dir/kpi.cpp.o" "gcc" "src/kpi/CMakeFiles/ks_kpi.dir/kpi.cpp.o.d"
+  "/root/repo/src/kpi/perf_model.cpp" "src/kpi/CMakeFiles/ks_kpi.dir/perf_model.cpp.o" "gcc" "src/kpi/CMakeFiles/ks_kpi.dir/perf_model.cpp.o.d"
+  "/root/repo/src/kpi/predictor.cpp" "src/kpi/CMakeFiles/ks_kpi.dir/predictor.cpp.o" "gcc" "src/kpi/CMakeFiles/ks_kpi.dir/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ks_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ks_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ks_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/ks_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/kafka/CMakeFiles/ks_kafka.dir/DependInfo.cmake"
+  "/root/repo/build/src/ann/CMakeFiles/ks_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/ks_testbed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

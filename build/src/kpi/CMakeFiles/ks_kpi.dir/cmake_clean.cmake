@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_kpi.dir/dynamic_config.cpp.o"
+  "CMakeFiles/ks_kpi.dir/dynamic_config.cpp.o.d"
+  "CMakeFiles/ks_kpi.dir/kpi.cpp.o"
+  "CMakeFiles/ks_kpi.dir/kpi.cpp.o.d"
+  "CMakeFiles/ks_kpi.dir/perf_model.cpp.o"
+  "CMakeFiles/ks_kpi.dir/perf_model.cpp.o.d"
+  "CMakeFiles/ks_kpi.dir/predictor.cpp.o"
+  "CMakeFiles/ks_kpi.dir/predictor.cpp.o.d"
+  "libks_kpi.a"
+  "libks_kpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_kpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/delay_model.cpp" "src/net/CMakeFiles/ks_net.dir/delay_model.cpp.o" "gcc" "src/net/CMakeFiles/ks_net.dir/delay_model.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/ks_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/ks_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/loss_model.cpp" "src/net/CMakeFiles/ks_net.dir/loss_model.cpp.o" "gcc" "src/net/CMakeFiles/ks_net.dir/loss_model.cpp.o.d"
+  "/root/repo/src/net/netem.cpp" "src/net/CMakeFiles/ks_net.dir/netem.cpp.o" "gcc" "src/net/CMakeFiles/ks_net.dir/netem.cpp.o.d"
+  "/root/repo/src/net/trace.cpp" "src/net/CMakeFiles/ks_net.dir/trace.cpp.o" "gcc" "src/net/CMakeFiles/ks_net.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ks_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ks_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

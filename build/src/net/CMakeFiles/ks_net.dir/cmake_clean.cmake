@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_net.dir/delay_model.cpp.o"
+  "CMakeFiles/ks_net.dir/delay_model.cpp.o.d"
+  "CMakeFiles/ks_net.dir/link.cpp.o"
+  "CMakeFiles/ks_net.dir/link.cpp.o.d"
+  "CMakeFiles/ks_net.dir/loss_model.cpp.o"
+  "CMakeFiles/ks_net.dir/loss_model.cpp.o.d"
+  "CMakeFiles/ks_net.dir/netem.cpp.o"
+  "CMakeFiles/ks_net.dir/netem.cpp.o.d"
+  "CMakeFiles/ks_net.dir/trace.cpp.o"
+  "CMakeFiles/ks_net.dir/trace.cpp.o.d"
+  "libks_net.a"
+  "libks_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ks_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ks_sim.dir/modulator.cpp.o"
+  "CMakeFiles/ks_sim.dir/modulator.cpp.o.d"
+  "CMakeFiles/ks_sim.dir/simulation.cpp.o"
+  "CMakeFiles/ks_sim.dir/simulation.cpp.o.d"
+  "libks_sim.a"
+  "libks_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

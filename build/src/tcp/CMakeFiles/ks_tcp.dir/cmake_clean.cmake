@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_tcp.dir/endpoint.cpp.o"
+  "CMakeFiles/ks_tcp.dir/endpoint.cpp.o.d"
+  "libks_tcp.a"
+  "libks_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

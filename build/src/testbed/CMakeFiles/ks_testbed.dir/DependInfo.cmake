@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testbed/collector.cpp" "src/testbed/CMakeFiles/ks_testbed.dir/collector.cpp.o" "gcc" "src/testbed/CMakeFiles/ks_testbed.dir/collector.cpp.o.d"
+  "/root/repo/src/testbed/experiment.cpp" "src/testbed/CMakeFiles/ks_testbed.dir/experiment.cpp.o" "gcc" "src/testbed/CMakeFiles/ks_testbed.dir/experiment.cpp.o.d"
+  "/root/repo/src/testbed/scenario.cpp" "src/testbed/CMakeFiles/ks_testbed.dir/scenario.cpp.o" "gcc" "src/testbed/CMakeFiles/ks_testbed.dir/scenario.cpp.o.d"
+  "/root/repo/src/testbed/workloads.cpp" "src/testbed/CMakeFiles/ks_testbed.dir/workloads.cpp.o" "gcc" "src/testbed/CMakeFiles/ks_testbed.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ks_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ks_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ks_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/ks_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/kafka/CMakeFiles/ks_kafka.dir/DependInfo.cmake"
+  "/root/repo/build/src/ann/CMakeFiles/ks_ann.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

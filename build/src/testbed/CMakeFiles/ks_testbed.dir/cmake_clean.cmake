@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_testbed.dir/collector.cpp.o"
+  "CMakeFiles/ks_testbed.dir/collector.cpp.o.d"
+  "CMakeFiles/ks_testbed.dir/experiment.cpp.o"
+  "CMakeFiles/ks_testbed.dir/experiment.cpp.o.d"
+  "CMakeFiles/ks_testbed.dir/scenario.cpp.o"
+  "CMakeFiles/ks_testbed.dir/scenario.cpp.o.d"
+  "CMakeFiles/ks_testbed.dir/workloads.cpp.o"
+  "CMakeFiles/ks_testbed.dir/workloads.cpp.o.d"
+  "libks_testbed.a"
+  "libks_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

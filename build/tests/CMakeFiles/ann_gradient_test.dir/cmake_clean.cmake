@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ann_gradient_test.dir/ann_gradient_test.cpp.o"
+  "CMakeFiles/ann_gradient_test.dir/ann_gradient_test.cpp.o.d"
+  "ann_gradient_test"
+  "ann_gradient_test.pdb"
+  "ann_gradient_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ann_gradient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

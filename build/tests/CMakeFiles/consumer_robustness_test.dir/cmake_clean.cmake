@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consumer_robustness_test.dir/consumer_robustness_test.cpp.o"
+  "CMakeFiles/consumer_robustness_test.dir/consumer_robustness_test.cpp.o.d"
+  "consumer_robustness_test"
+  "consumer_robustness_test.pdb"
+  "consumer_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consumer_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

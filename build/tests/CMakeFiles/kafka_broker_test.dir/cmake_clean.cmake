@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kafka_broker_test.dir/kafka_broker_test.cpp.o"
+  "CMakeFiles/kafka_broker_test.dir/kafka_broker_test.cpp.o.d"
+  "kafka_broker_test"
+  "kafka_broker_test.pdb"
+  "kafka_broker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kafka_broker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

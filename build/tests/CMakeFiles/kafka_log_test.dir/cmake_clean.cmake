@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kafka_log_test.dir/kafka_log_test.cpp.o"
+  "CMakeFiles/kafka_log_test.dir/kafka_log_test.cpp.o.d"
+  "kafka_log_test"
+  "kafka_log_test.pdb"
+  "kafka_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kafka_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

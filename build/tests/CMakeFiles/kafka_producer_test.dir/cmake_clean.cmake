@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kafka_producer_test.dir/kafka_producer_test.cpp.o"
+  "CMakeFiles/kafka_producer_test.dir/kafka_producer_test.cpp.o.d"
+  "kafka_producer_test"
+  "kafka_producer_test.pdb"
+  "kafka_producer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kafka_producer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kpi_test.cpp" "tests/CMakeFiles/kpi_test.dir/kpi_test.cpp.o" "gcc" "tests/CMakeFiles/kpi_test.dir/kpi_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kpi/CMakeFiles/ks_kpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/ks_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/kafka/CMakeFiles/ks_kafka.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/ks_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ks_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ks_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ann/CMakeFiles/ks_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ks_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kpi_test.dir/kpi_test.cpp.o"
+  "CMakeFiles/kpi_test.dir/kpi_test.cpp.o.d"
+  "kpi_test"
+  "kpi_test.pdb"
+  "kpi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

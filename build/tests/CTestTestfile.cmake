@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_property_test[1]_include.cmake")
+include("/root/repo/build/tests/kafka_log_test[1]_include.cmake")
+include("/root/repo/build/tests/kafka_producer_test[1]_include.cmake")
+include("/root/repo/build/tests/kafka_broker_test[1]_include.cmake")
+include("/root/repo/build/tests/ann_test[1]_include.cmake")
+include("/root/repo/build/tests/testbed_test[1]_include.cmake")
+include("/root/repo/build/tests/kpi_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/ann_gradient_test[1]_include.cmake")
+include("/root/repo/build/tests/consumer_robustness_test[1]_include.cmake")
