@@ -28,6 +28,7 @@ int main() {
 
   bench::Table table({"M (bytes)", "P_l at-most-once", "P_l at-least-once",
                       "P_d at-least-once"});
+  bench::BenchArtifact artifact("fig4_message_size");
   for (auto m : sizes) {
     testbed::Scenario sc;
     sc.message_size = m;
@@ -38,10 +39,13 @@ int main() {
     const auto amo = bench::run_averaged(sc, bench::repeats());
     sc.semantics = kafka::DeliverySemantics::kAtLeastOnce;
     const auto alo = bench::run_averaged(sc, bench::repeats());
+    artifact.add_point({{"M", static_cast<double>(m)}, {"semantics", 0}}, amo);
+    artifact.add_point({{"M", static_cast<double>(m)}, {"semantics", 1}}, alo);
 
     table.row({std::to_string(m), bench::pct(amo.p_loss),
                bench::pct(alo.p_loss), bench::pct(alo.p_duplicate)});
   }
   table.print();
+  artifact.write();
   return 0;
 }

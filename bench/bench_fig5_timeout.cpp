@@ -27,6 +27,7 @@ int main() {
               static_cast<unsigned long long>(n));
 
   bench::Table table({"T_o (ms)", "P_l at-most-once", "P_l at-least-once"});
+  bench::BenchArtifact artifact("fig5_timeout");
   for (auto t_o : timeouts) {
     testbed::Scenario sc;
     sc.message_size = 200;
@@ -37,10 +38,13 @@ int main() {
     const auto amo = bench::run_averaged(sc, bench::repeats());
     sc.semantics = kafka::DeliverySemantics::kAtLeastOnce;
     const auto alo = bench::run_averaged(sc, bench::repeats());
+    artifact.add_point({{"T_o_ms", to_millis(t_o)}, {"semantics", 0}}, amo);
+    artifact.add_point({{"T_o_ms", to_millis(t_o)}, {"semantics", 1}}, alo);
 
     table.row({bench::fmt("%.0f", to_millis(t_o)), bench::pct(amo.p_loss),
                bench::pct(alo.p_loss)});
   }
   table.print();
+  artifact.write();
   return 0;
 }

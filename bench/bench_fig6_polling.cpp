@@ -26,6 +26,7 @@ int main() {
               static_cast<unsigned long long>(n));
 
   bench::Table table({"delta (ms)", "P_l at-most-once", "P_l at-least-once"});
+  bench::BenchArtifact artifact("fig6_polling");
   for (auto delta : polls) {
     testbed::Scenario sc;
     sc.message_size = 200;
@@ -37,10 +38,15 @@ int main() {
     const auto amo = bench::run_averaged(sc, bench::repeats());
     sc.semantics = kafka::DeliverySemantics::kAtLeastOnce;
     const auto alo = bench::run_averaged(sc, bench::repeats());
+    artifact.add_point({{"delta_ms", to_millis(delta)}, {"semantics", 0}},
+                       amo);
+    artifact.add_point({{"delta_ms", to_millis(delta)}, {"semantics", 1}},
+                       alo);
 
     table.row({bench::fmt("%.0f", to_millis(delta)), bench::pct(amo.p_loss),
                bench::pct(alo.p_loss)});
   }
   table.print();
+  artifact.write();
   return 0;
 }

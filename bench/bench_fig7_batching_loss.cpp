@@ -27,6 +27,7 @@ int main() {
   std::printf("# messages per run: %llu\n\n",
               static_cast<unsigned long long>(n));
 
+  bench::BenchArtifact artifact("fig7_batching_loss");
   for (auto semantics : {kafka::DeliverySemantics::kAtMostOnce,
                          kafka::DeliverySemantics::kAtLeastOnce}) {
     std::printf("## %s\n", kafka::to_string(semantics));
@@ -45,6 +46,10 @@ int main() {
         sc.num_messages = n;
         sc.semantics = semantics;
         const auto r = bench::run_averaged(sc, bench::repeats());
+        artifact.add_point({{"L", l},
+                            {"B", static_cast<double>(b)},
+                            {"semantics", static_cast<double>(semantics)}},
+                           r);
         row.push_back(bench::pct(r.p_loss));
       }
       table.row(row);
@@ -52,5 +57,6 @@ int main() {
     table.print();
     std::printf("\n");
   }
+  artifact.write();
   return 0;
 }

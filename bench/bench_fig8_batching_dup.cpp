@@ -27,6 +27,7 @@ int main() {
   std::vector<std::string> headers = {"B"};
   for (auto l : losses) headers.push_back("P_d @ L=" + bench::pct(l));
   bench::Table table(headers);
+  bench::BenchArtifact artifact("fig8_batching_dup");
   for (auto b : batches) {
     std::vector<std::string> row = {std::to_string(b)};
     for (auto l : losses) {
@@ -40,10 +41,12 @@ int main() {
       sc.semantics = kafka::DeliverySemantics::kAtLeastOnce;
       sc.num_messages = n;
       const auto r = bench::run_averaged(sc, bench::repeats());
+      artifact.add_point({{"B", static_cast<double>(b)}, {"L", l}}, r);
       row.push_back(bench::pct(r.p_duplicate));
     }
     table.row(row);
   }
   table.print();
+  artifact.write();
   return 0;
 }

@@ -71,6 +71,29 @@ void BM_ProducerPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_ProducerPipeline)->Unit(benchmark::kMillisecond);
 
+void BM_PipelineMetricsOverhead(benchmark::State& state) {
+  // Same pipeline with the observability machinery toggled: arg 0 runs with
+  // the sampler and message trace off, arg 1 with both at their defaults.
+  // Comparing the two timings bounds the metrics overhead on the event loop
+  // (budget: <5% with sampling enabled).
+  const bool observed = state.range(0) != 0;
+  for (auto _ : state) {
+    testbed::Scenario sc;
+    sc.num_messages = 2000;
+    sc.broker_regimes = false;
+    sc.seed = 42;
+    sc.sample_interval = observed ? millis(100) : 0;
+    sc.trace_sample_every = observed ? 0 : ~0ULL;  // Auto vs. near-none.
+    const auto r = testbed::run_experiment(sc);
+    benchmark::DoNotOptimize(r.report.metrics.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_PipelineMetricsOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_AnnForward(benchmark::State& state) {
   Rng rng(3);
   auto net = ann::Network::paper_architecture(5, 2, rng);

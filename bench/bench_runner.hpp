@@ -1,9 +1,21 @@
 // Seed-averaged experiment execution for the figure benches. All points of
 // a sweep share the same seed set (common random numbers), which removes
 // broker-regime noise from the cross-point comparison.
+//
+// Each bench can also emit a structured artifact, BENCH_<name>.json, built
+// from the per-point averages plus one representative RunReport (last seed)
+// per point — metric time series included. Knobs:
+//   KS_BENCH_ARTIFACTS=0      — disable artifact files
+//   KS_BENCH_ARTIFACT_DIR=dir — where to write them (default: cwd)
 #pragma once
 
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "bench_util.hpp"
+#include "obs/json.hpp"
 #include "testbed/experiment.hpp"
 
 namespace ks::bench {
@@ -13,17 +25,20 @@ struct AveragedResult {
   double p_duplicate = 0.0;
   double stale_fraction = 0.0;
   double phi = 0.0;
+  /// Representative run artifact: the last seed's full RunReport.
+  obs::RunReport report;
 };
 
 inline AveragedResult run_averaged(testbed::Scenario scenario, int reps) {
   AveragedResult avg;
   for (int rep = 0; rep < reps; ++rep) {
     scenario.seed = 90001 + static_cast<std::uint64_t>(rep) * 7919;
-    const auto r = testbed::run_experiment(scenario);
+    auto r = testbed::run_experiment(scenario);
     avg.p_loss += r.p_loss;
     avg.p_duplicate += r.p_duplicate;
     avg.stale_fraction += r.stale_fraction;
     avg.phi += r.bandwidth_utilization_phi;
+    if (rep == reps - 1) avg.report = std::move(r.report);
   }
   const double n = reps > 0 ? static_cast<double>(reps) : 1.0;
   avg.p_loss /= n;
@@ -32,5 +47,78 @@ inline AveragedResult run_averaged(testbed::Scenario scenario, int reps) {
   avg.phi /= n;
   return avg;
 }
+
+/// Collects one sweep's points and writes BENCH_<name>.json on demand.
+class BenchArtifact {
+ public:
+  explicit BenchArtifact(std::string name) : name_(std::move(name)) {}
+
+  /// Record one grid point: sweep parameters (name -> value) plus the
+  /// seed-averaged result for that point.
+  void add_point(std::vector<std::pair<std::string, double>> params,
+                 AveragedResult result) {
+    points_.push_back({std::move(params), std::move(result)});
+  }
+
+  static bool enabled() {
+    const char* env = std::getenv("KS_BENCH_ARTIFACTS");
+    return env == nullptr || env[0] != '0';
+  }
+
+  /// Write the artifact; returns the path, or "" when disabled / on error.
+  std::string write() const {
+    if (!enabled()) return "";
+    std::string dir = ".";
+    if (const char* env = std::getenv("KS_BENCH_ARTIFACT_DIR")) dir = env;
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("bench");
+    w.value(name_);
+    w.key("points");
+    w.begin_array();
+    for (const auto& p : points_) {
+      w.begin_object();
+      w.key("params");
+      w.begin_object();
+      for (const auto& [k, v] : p.params) {
+        w.key(k);
+        w.value(v);
+      }
+      w.end_object();
+      w.key("p_loss");
+      w.value(p.result.p_loss);
+      w.key("p_duplicate");
+      w.value(p.result.p_duplicate);
+      w.key("stale_fraction");
+      w.value(p.result.stale_fraction);
+      w.key("phi");
+      w.value(p.result.phi);
+      w.key("report");
+      w.raw(p.result.report.to_json());
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return "";
+    const auto& s = w.str();
+    const bool ok = std::fwrite(s.data(), 1, s.size(), f) == s.size();
+    std::fclose(f);
+    if (!ok) return "";
+    std::printf("\n# artifact: %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  struct Point {
+    std::vector<std::pair<std::string, double>> params;
+    AveragedResult result;
+  };
+  std::string name_;
+  std::vector<Point> points_;
+};
 
 }  // namespace ks::bench

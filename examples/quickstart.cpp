@@ -68,5 +68,17 @@ int main(int argc, char** argv) {
               r.duration_s, static_cast<unsigned long long>(r.events),
               static_cast<unsigned long long>(r.connection_resets),
               static_cast<unsigned long long>(r.requests_retried));
+
+  // Structured run artifact: the full metric snapshot (every layer), the
+  // sampled time series and the per-message trace, for offline analysis.
+  const char* report_path = "quickstart_report.json";
+  if (r.report.write_json(report_path)) {
+    std::printf("\nrun report written to %s\n", report_path);
+    std::printf("  %zu metrics, %zu histograms, %zu time series, "
+                "%zu trace events (1 in %llu keys)\n",
+                r.report.metrics.size(), r.report.histograms.size(),
+                r.report.series.size(), r.report.trace.size(),
+                static_cast<unsigned long long>(r.report.trace_sample_every));
+  }
   return 0;
 }

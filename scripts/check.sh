@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a sanitizer pass over the unit tests.
+#
+#   scripts/check.sh            # tier-1 build + ctest, then asan unit tests
+#   scripts/check.sh --fast     # tier-1 only
+#
+# Tier-1 (the gate every PR must keep green):
+#   cmake -B build -S . && cmake --build build -j && ctest
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+
+echo "== tier-1: ctest =="
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "== done (fast mode: sanitizer pass skipped) =="
+  exit 0
+fi
+
+echo "== asan/ubsan: configure + build unit tests =="
+cmake --preset asan >/dev/null
+TEST_TARGETS="$(sed -n 's/^ks_test(\(.*\))$/\1/p' tests/CMakeLists.txt)"
+# shellcheck disable=SC2086
+cmake --build build-asan -j "${JOBS}" --target ${TEST_TARGETS}
+
+echo "== asan/ubsan: ctest =="
+(cd build-asan && ctest --output-on-failure -j "${JOBS}")
+
+echo "== all checks passed =="

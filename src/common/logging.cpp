@@ -1,5 +1,7 @@
 #include "common/logging.hpp"
 
+#include <cctype>
+#include <cstdarg>
 #include <cstdlib>
 #include <cstring>
 
@@ -25,11 +27,34 @@ const char* level_name(LogLevel level) noexcept {
   return "?";
 }
 
+/// Case-insensitive match against a lowercase literal, no allocation (the
+/// parser is noexcept and may run before main via initial_level()).
+bool eq_ci(const char* name, const char* lower_literal) noexcept {
+  for (; *name != '\0' && *lower_literal != '\0'; ++name, ++lower_literal) {
+    if (std::tolower(static_cast<unsigned char>(*name)) != *lower_literal) {
+      return false;
+    }
+  }
+  return *name == '\0' && *lower_literal == '\0';
+}
+
 }  // namespace
 
 LogLevel& global_level() noexcept {
   static LogLevel level = initial_level();
   return level;
+}
+
+namespace {
+/// Forces the KS_LOG parse at load time: without this, a process that never
+/// reaches a log call site would silently ignore a typo'd KS_LOG instead of
+/// emitting the one-time warning.
+[[maybe_unused]] const LogLevel kEnvLevelParsedAtLoad = global_level();
+}  // namespace
+
+bool& parse_warning_emitted() noexcept {
+  static bool emitted = false;
+  return emitted;
 }
 
 void write(LogLevel level, TimePoint now, const char* component,
@@ -50,13 +75,65 @@ void set_log_level(LogLevel level) noexcept {
 }
 
 LogLevel parse_log_level(const char* name) noexcept {
-  if (name == nullptr) return LogLevel::kOff;
-  if (std::strcmp(name, "trace") == 0) return LogLevel::kTrace;
-  if (std::strcmp(name, "debug") == 0) return LogLevel::kDebug;
-  if (std::strcmp(name, "info") == 0) return LogLevel::kInfo;
-  if (std::strcmp(name, "warn") == 0) return LogLevel::kWarn;
-  if (std::strcmp(name, "error") == 0) return LogLevel::kError;
+  using log_detail::eq_ci;
+  if (name == nullptr || *name == '\0') return LogLevel::kOff;
+  if (eq_ci(name, "trace")) return LogLevel::kTrace;
+  if (eq_ci(name, "debug")) return LogLevel::kDebug;
+  if (eq_ci(name, "info")) return LogLevel::kInfo;
+  if (eq_ci(name, "warn")) return LogLevel::kWarn;
+  if (eq_ci(name, "warning")) return LogLevel::kWarn;
+  if (eq_ci(name, "error")) return LogLevel::kError;
+  if (eq_ci(name, "off")) return LogLevel::kOff;
+  if (!log_detail::parse_warning_emitted()) {
+    log_detail::parse_warning_emitted() = true;
+    std::fprintf(stderr,
+                 "[WARN] unknown log level \"%s\" "
+                 "(expected trace|debug|info|warn|error|off); logging off\n",
+                 name);
+  }
   return LogLevel::kOff;
+}
+
+void Logger::logf(LogLevel level, const char* fmt, ...) const {
+  if (!log_enabled(level)) return;
+  std::va_list args;
+  va_start(args, fmt);
+  vlogf(level, fmt, args);
+  va_end(args);
+}
+
+#define KS_DEFINE_LEVEL_FN(fn, level)           \
+  void Logger::fn(const char* fmt, ...) const { \
+    if (!log_enabled(level)) return;            \
+    std::va_list args;                          \
+    va_start(args, fmt);                        \
+    vlogf(level, fmt, args);                    \
+    va_end(args);                               \
+  }
+
+KS_DEFINE_LEVEL_FN(trace, LogLevel::kTrace)
+KS_DEFINE_LEVEL_FN(debug, LogLevel::kDebug)
+KS_DEFINE_LEVEL_FN(info, LogLevel::kInfo)
+KS_DEFINE_LEVEL_FN(warn, LogLevel::kWarn)
+KS_DEFINE_LEVEL_FN(error, LogLevel::kError)
+
+#undef KS_DEFINE_LEVEL_FN
+
+void Logger::vlogf(LogLevel level, const char* fmt,
+                   std::va_list args) const {
+  char buf[512];
+  const int needed = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  if (needed < 0) {
+    log_detail::write(level, clock_ ? *clock_ : -1, component_.c_str(),
+                      "<log format error>");
+    return;
+  }
+  std::string message(buf);
+  if (static_cast<std::size_t>(needed) >= sizeof(buf)) {
+    message += " ...[truncated]";
+  }
+  log_detail::write(level, clock_ ? *clock_ : -1, component_.c_str(),
+                    message);
 }
 
 }  // namespace ks

@@ -3,11 +3,21 @@
 // variable (trace|debug|info|warn|error|off).
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
 #include <string>
 #include <utility>
 
 #include "common/types.hpp"
+
+// Lets the compiler type-check printf-style call sites (-Wformat). Indices
+// are 1-based and count `this` for non-static member functions.
+#if defined(__GNUC__) || defined(__clang__)
+#define KS_PRINTF_LIKE(fmt_idx, first_arg) \
+  __attribute__((format(printf, fmt_idx, first_arg)))
+#else
+#define KS_PRINTF_LIKE(fmt_idx, first_arg)
+#endif
 
 namespace ks {
 
@@ -17,12 +27,15 @@ namespace log_detail {
 LogLevel& global_level() noexcept;
 void write(LogLevel level, TimePoint now, const char* component,
            const std::string& message);
+/// One-time flag behind the unknown-level warning; tests reset it.
+bool& parse_warning_emitted() noexcept;
 }  // namespace log_detail
 
 /// Set the process-wide log threshold.
 void set_log_level(LogLevel level) noexcept;
 
-/// Parse "debug" etc.; unknown strings map to kOff.
+/// Parse "debug", "WARN", ... (case-insensitive). Unknown strings map to
+/// kOff with a one-time stderr warning (so a typo'd KS_LOG is noticed).
 LogLevel parse_log_level(const char* name) noexcept;
 
 /// True when a message at `level` would be emitted.
@@ -37,36 +50,17 @@ class Logger {
   Logger(std::string component, const TimePoint* clock = nullptr)
       : component_(std::move(component)), clock_(clock) {}
 
-  template <typename... Args>
-  void logf(LogLevel level, const char* fmt, Args&&... args) const {
-    if (!log_enabled(level)) return;
-    char buf[512];
-    std::snprintf(buf, sizeof(buf), fmt, std::forward<Args>(args)...);
-    log_detail::write(level, clock_ ? *clock_ : -1, component_.c_str(), buf);
-  }
+  void logf(LogLevel level, const char* fmt, ...) const KS_PRINTF_LIKE(3, 4);
 
-  template <typename... Args>
-  void trace(const char* fmt, Args&&... args) const {
-    logf(LogLevel::kTrace, fmt, std::forward<Args>(args)...);
-  }
-  template <typename... Args>
-  void debug(const char* fmt, Args&&... args) const {
-    logf(LogLevel::kDebug, fmt, std::forward<Args>(args)...);
-  }
-  template <typename... Args>
-  void info(const char* fmt, Args&&... args) const {
-    logf(LogLevel::kInfo, fmt, std::forward<Args>(args)...);
-  }
-  template <typename... Args>
-  void warn(const char* fmt, Args&&... args) const {
-    logf(LogLevel::kWarn, fmt, std::forward<Args>(args)...);
-  }
-  template <typename... Args>
-  void error(const char* fmt, Args&&... args) const {
-    logf(LogLevel::kError, fmt, std::forward<Args>(args)...);
-  }
+  void trace(const char* fmt, ...) const KS_PRINTF_LIKE(2, 3);
+  void debug(const char* fmt, ...) const KS_PRINTF_LIKE(2, 3);
+  void info(const char* fmt, ...) const KS_PRINTF_LIKE(2, 3);
+  void warn(const char* fmt, ...) const KS_PRINTF_LIKE(2, 3);
+  void error(const char* fmt, ...) const KS_PRINTF_LIKE(2, 3);
 
  private:
+  void vlogf(LogLevel level, const char* fmt, std::va_list args) const;
+
   std::string component_;
   const TimePoint* clock_;
 };

@@ -10,6 +10,30 @@ Broker::Broker(sim::Simulation& sim, Config config)
     : sim_(sim), config_(config), modulator_(sim, config.regime) {
   // A regime flip back to Good should immediately resume request service.
   modulator_.on_change([this](sim::Regime) { pump(); });
+
+  auto& metrics = sim.metrics();
+  const obs::Labels labels{{"broker", std::to_string(config_.id)}};
+  m_produce_ = metrics.counter("kafka_broker_produce_requests_total", labels);
+  m_fetches_ = metrics.counter("kafka_broker_fetch_requests_total", labels);
+  m_records_appended_ =
+      metrics.counter("kafka_broker_records_appended_total", labels);
+  m_bytes_appended_ =
+      metrics.counter("kafka_broker_bytes_appended_total", labels);
+  m_deduplicated_ =
+      metrics.counter("kafka_broker_batches_deduplicated_total", labels);
+  m_bad_regime_ = metrics.gauge("kafka_broker_bad_regime", labels);
+  m_busy_ = metrics.gauge("kafka_broker_busy", labels);
+  m_down_ = metrics.gauge("kafka_broker_down", labels);
+  metrics_collector_ = metrics.add_collector([this] {
+    m_produce_.set(stats_.produce_requests);
+    m_fetches_.set(stats_.fetch_requests);
+    m_records_appended_.set(stats_.records_appended);
+    m_bytes_appended_.set(static_cast<std::uint64_t>(stats_.bytes_appended));
+    m_deduplicated_.set(stats_.batches_deduplicated);
+    m_bad_regime_.set(modulator_.good() ? 0.0 : 1.0);
+    m_busy_.set(busy_ ? 1.0 : 0.0);
+    m_down_.set(down_ ? 1.0 : 0.0);
+  });
 }
 
 void Broker::start() { modulator_.start(); }

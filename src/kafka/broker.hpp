@@ -21,6 +21,7 @@
 #include "common/types.hpp"
 #include "kafka/log.hpp"
 #include "kafka/protocol.hpp"
+#include "obs/metrics.hpp"
 #include "sim/modulator.hpp"
 #include "sim/simulation.hpp"
 #include "tcp/endpoint.hpp"
@@ -102,6 +103,12 @@ class Broker {
   bool busy_ = false;
   bool down_ = false;
   Stats stats_;
+
+  // ---- observability ----
+  obs::Counter m_produce_, m_fetches_, m_records_appended_;
+  obs::Counter m_bytes_appended_, m_deduplicated_;
+  obs::Gauge m_bad_regime_, m_busy_, m_down_;
+  obs::CollectorHandle metrics_collector_;
 };
 
 }  // namespace ks::kafka

@@ -11,6 +11,7 @@
 
 #include "common/types.hpp"
 #include "kafka/protocol.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 #include "tcp/endpoint.hpp"
 
@@ -65,6 +66,11 @@ class Consumer {
   sim::Timer poll_timer_;
   sim::Timer fetch_timeout_timer_;
   Stats stats_;
+
+  // ---- observability ----
+  obs::Counter m_fetches_, m_records_, m_bytes_;
+  obs::Gauge m_position_;
+  obs::CollectorHandle metrics_collector_;
 };
 
 }  // namespace ks::kafka

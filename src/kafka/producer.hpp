@@ -26,6 +26,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "kafka/protocol.hpp"
+#include "obs/metrics.hpp"
 #include "kafka/record.hpp"
 #include "kafka/source.hpp"
 #include "sim/simulation.hpp"
@@ -196,6 +197,14 @@ class Producer {
   sim::Timer expiry_timer_;
   sim::Timer retry_timer_;
   ProducerStats stats_;
+
+  // ---- observability (mirrors stats_ and queue depths at collect time) ----
+  obs::Counter m_pulled_, m_expired_, m_requests_sent_, m_requests_retried_;
+  obs::Counter m_request_timeouts_, m_records_acked_, m_records_failed_;
+  obs::Counter m_resets_, m_dropped_queue_full_;
+  obs::Gauge m_accumulator_, m_in_flight_, m_unresolved_;
+  obs::Histogram m_queue_sojourn_, m_ack_latency_;
+  obs::CollectorHandle metrics_collector_;
 };
 
 }  // namespace ks::kafka

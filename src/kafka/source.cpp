@@ -8,7 +8,19 @@ Source::Source(sim::Simulation& sim, Config config)
     : sim_(sim),
       config_(config),
       rng_(sim.rng().fork()),
-      next_key_(config.first_key) {}
+      next_key_(config.first_key) {
+  auto& metrics = sim.metrics();
+  m_emitted_ = metrics.counter("kafka_source_records_emitted_total");
+  m_pulled_ = metrics.counter("kafka_source_records_pulled_total");
+  m_overruns_ = metrics.counter("kafka_source_overruns_total");
+  m_buffered_ = metrics.gauge("kafka_source_buffered_records");
+  metrics_collector_ = metrics.add_collector([this] {
+    m_emitted_.set(stats_.emitted);
+    m_pulled_.set(stats_.pulled);
+    m_overruns_.set(stats_.overrun_dropped);
+    m_buffered_.set(static_cast<double>(buffer_.size()));
+  });
+}
 
 Bytes Source::next_size() {
   Bytes size = config_.message_size;
@@ -37,8 +49,10 @@ void Source::emit() {
   ++stats_.emitted;
   if (config_.buffer_capacity > 0 &&
       buffer_.size() >= config_.buffer_capacity) {
-    buffer_.pop_front();  // Ring overrun: oldest message is gone for good.
+    // Ring overrun: oldest message is gone for good.
     ++stats_.overrun_dropped;
+    if (on_overrun) on_overrun(buffer_.front());
+    buffer_.pop_front();
   }
   buffer_.push_back(r);
   const Duration gap = std::max<Duration>(1, next_interval());

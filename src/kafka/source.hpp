@@ -18,6 +18,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "kafka/record.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 
 namespace ks::kafka {
@@ -62,6 +63,10 @@ class Source {
   std::size_t buffered() const noexcept { return buffer_.size(); }
   const Stats& stats() const noexcept { return stats_; }
 
+  /// Observer fired when a ring overrun evicts a record (its key will count
+  /// as lost in the census). Used by the message trace.
+  std::function<void(const Record&)> on_overrun;
+
  private:
   void emit();
   Bytes next_size();
@@ -73,6 +78,11 @@ class Source {
   Key next_key_;
   std::deque<Record> buffer_;
   Stats stats_;
+
+  // ---- observability ----
+  obs::Counter m_emitted_, m_pulled_, m_overruns_;
+  obs::Gauge m_buffered_;
+  obs::CollectorHandle metrics_collector_;
 };
 
 }  // namespace ks::kafka

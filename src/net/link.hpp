@@ -14,6 +14,7 @@
 #include "net/delay_model.hpp"
 #include "net/loss_model.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 
 namespace ks::net {
@@ -80,6 +81,12 @@ class Link {
   Bytes queued_bytes_ = 0;
   std::uint64_t next_packet_id_ = 1;
   Stats stats_;
+
+  // ---- observability (drops split by cause at registration time) ----
+  obs::Counter m_offered_, m_delivered_, m_bytes_delivered_;
+  obs::Counter m_dropped_queue_, m_lost_wire_;
+  obs::Gauge m_queue_bytes_, m_utilization_;
+  obs::CollectorHandle metrics_collector_;
 };
 
 /// A symmetric duplex pipe: `a_to_b` and `b_to_a` built from one config.

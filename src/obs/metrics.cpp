@@ -1,0 +1,133 @@
+#include "obs/metrics.hpp"
+
+namespace ks::obs {
+
+const char* to_string(MetricKind k) noexcept {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string render_labels(const Labels& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out += ',';
+    out += k;
+    out += "=\"";
+    out += v;
+    out += '"';
+  }
+  return out;
+}
+
+}  // namespace
+
+double MetricsRegistry::MetricInfo::value() const noexcept {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return counter ? static_cast<double>(*counter) : 0.0;
+    case MetricKind::kGauge: return gauge ? *gauge : 0.0;
+    case MetricKind::kHistogram:
+      return hist ? static_cast<double>(hist->count()) : 0.0;
+  }
+  return 0.0;
+}
+
+std::string MetricsRegistry::MetricInfo::full_name() const {
+  if (label_text.empty()) return name;
+  return name + '{' + label_text + '}';
+}
+
+MetricsRegistry::MetricInfo& MetricsRegistry::resolve(const std::string& name,
+                                                      const Labels& labels,
+                                                      MetricKind kind) {
+  MetricInfo probe;
+  probe.name = name;
+  probe.label_text = render_labels(labels);
+  const std::string full = probe.full_name();
+  auto it = index_.find(full);
+  if (it != index_.end()) return metrics_[it->second];
+
+  probe.kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      counter_cells_.push_back(0);
+      probe.counter = &counter_cells_.back();
+      break;
+    case MetricKind::kGauge:
+      gauge_cells_.push_back(0.0);
+      probe.gauge = &gauge_cells_.back();
+      break;
+    case MetricKind::kHistogram:
+      hist_cells_.emplace_back();
+      probe.hist = &hist_cells_.back();
+      break;
+  }
+  metrics_.push_back(std::move(probe));
+  index_.emplace(full, metrics_.size() - 1);
+  return metrics_.back();
+}
+
+Counter MetricsRegistry::counter(const std::string& name,
+                                 const Labels& labels) {
+  auto& m = resolve(name, labels, MetricKind::kCounter);
+  return Counter(const_cast<std::uint64_t*>(m.counter));
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  auto& m = resolve(name, labels, MetricKind::kGauge);
+  return Gauge(const_cast<double*>(m.gauge));
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name,
+                                     const Labels& labels) {
+  auto& m = resolve(name, labels, MetricKind::kHistogram);
+  return Histogram(const_cast<LatencyHistogram*>(m.hist));
+}
+
+CollectorHandle MetricsRegistry::add_collector(std::function<void()> fn) {
+  const std::uint64_t id = next_collector_id_++;
+  collectors_.emplace(id, std::move(fn));
+  return CollectorHandle(this, id);
+}
+
+void MetricsRegistry::collect() {
+  for (auto& [id, fn] : collectors_) fn();
+}
+
+void MetricsRegistry::visit(
+    const std::function<void(const MetricInfo&)>& fn) const {
+  for (const auto& m : metrics_) fn(m);
+}
+
+CollectorHandle::CollectorHandle(CollectorHandle&& other) noexcept
+    : registry_(other.registry_), id_(other.id_) {
+  other.registry_ = nullptr;
+  other.id_ = 0;
+}
+
+CollectorHandle& CollectorHandle::operator=(CollectorHandle&& other) noexcept {
+  if (this != &other) {
+    release();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void CollectorHandle::release() noexcept {
+  if (registry_ != nullptr) {
+    registry_->collectors_.erase(id_);
+    registry_ = nullptr;
+    id_ = 0;
+  }
+}
+
+}  // namespace ks::obs

@@ -1,0 +1,169 @@
+// Simulation-wide metrics registry.
+//
+// Design constraints (the sim is single-threaded and deterministic — exploit
+// it): handles are resolved to raw cell pointers at registration time, so a
+// hot-path update is one integer/double store with no lookup, no locking and
+// no allocation. Components that already keep their own `Stats` structs do
+// not pay anything on the hot path at all: they register a *collector*, a
+// callback that publishes the current struct values into registry cells, and
+// collectors only run at collection time (a sampler tick or an export).
+//
+// Cell storage uses deques so addresses stay stable as metrics register.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace ks::obs {
+
+/// Label set resolved at registration time, e.g. {{"conn", "prod:client"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* to_string(MetricKind k) noexcept;
+
+/// Monotonic counter handle. Default-constructed handles are inert no-ops so
+/// components can declare members before wiring them in the constructor.
+class Counter {
+ public:
+  Counter() = default;
+
+  void inc(std::uint64_t n = 1) noexcept {
+    if (cell_) *cell_ += n;
+  }
+  /// Mirror an externally maintained monotonic value (collector use).
+  void set(std::uint64_t v) noexcept {
+    if (cell_) *cell_ = v;
+  }
+  std::uint64_t value() const noexcept { return cell_ ? *cell_ : 0; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::uint64_t* cell) : cell_(cell) {}
+  std::uint64_t* cell_ = nullptr;
+};
+
+/// Point-in-time gauge handle (depths, occupancies, window sizes).
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void set(double v) noexcept {
+    if (cell_) *cell_ = v;
+  }
+  void add(double d) noexcept {
+    if (cell_) *cell_ += d;
+  }
+  double value() const noexcept { return cell_ ? *cell_ : 0.0; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(double* cell) : cell_(cell) {}
+  double* cell_ = nullptr;
+};
+
+/// Histogram handle over the shared log-bucketed LatencyHistogram.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void observe(Duration d) noexcept {
+    if (hist_) hist_->add(d);
+  }
+  const LatencyHistogram* get() const noexcept { return hist_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(LatencyHistogram* hist) : hist_(hist) {}
+  LatencyHistogram* hist_ = nullptr;
+};
+
+class MetricsRegistry;
+
+/// RAII registration of a collector callback: deregisters on destruction so
+/// a component whose lifetime ends before the registry's leaves no dangling
+/// callback behind.
+class CollectorHandle {
+ public:
+  CollectorHandle() = default;
+  CollectorHandle(CollectorHandle&& other) noexcept;
+  CollectorHandle& operator=(CollectorHandle&& other) noexcept;
+  CollectorHandle(const CollectorHandle&) = delete;
+  CollectorHandle& operator=(const CollectorHandle&) = delete;
+  ~CollectorHandle() { release(); }
+
+  void release() noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  CollectorHandle(MetricsRegistry* registry, std::uint64_t id)
+      : registry_(registry), id_(id) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register (or re-resolve) a metric. Registering the same name+labels
+  /// twice returns a handle to the same cell, so independent components can
+  /// share a series.
+  Counter counter(const std::string& name, const Labels& labels = {});
+  Gauge gauge(const std::string& name, const Labels& labels = {});
+  Histogram histogram(const std::string& name, const Labels& labels = {});
+
+  /// Register a callback that publishes component state into cells; runs on
+  /// every collect(). Hold the returned handle for the component's lifetime.
+  [[nodiscard]] CollectorHandle add_collector(std::function<void()> fn);
+
+  /// Run all collectors so cells reflect current component state.
+  void collect();
+
+  /// A registered metric, exposed for exporters and samplers.
+  struct MetricInfo {
+    std::string name;
+    std::string label_text;  ///< Rendered `key="value",...` (may be empty).
+    MetricKind kind = MetricKind::kCounter;
+    const std::uint64_t* counter = nullptr;
+    const double* gauge = nullptr;
+    const LatencyHistogram* hist = nullptr;
+
+    /// Scalar value (histograms report their count).
+    double value() const noexcept;
+    /// `name{labels}` or bare `name`.
+    std::string full_name() const;
+  };
+
+  /// Visit metrics in registration order. Does NOT run collectors first.
+  void visit(const std::function<void(const MetricInfo&)>& fn) const;
+
+  std::size_t size() const noexcept { return metrics_.size(); }
+
+ private:
+  friend class CollectorHandle;
+
+  MetricInfo& resolve(const std::string& name, const Labels& labels,
+                      MetricKind kind);
+
+  std::deque<MetricInfo> metrics_;
+  std::deque<std::uint64_t> counter_cells_;
+  std::deque<double> gauge_cells_;
+  std::deque<LatencyHistogram> hist_cells_;
+  std::map<std::string, std::size_t> index_;  ///< full name -> metrics_ idx.
+  std::map<std::uint64_t, std::function<void()>> collectors_;
+  std::uint64_t next_collector_id_ = 1;
+};
+
+}  // namespace ks::obs

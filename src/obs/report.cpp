@@ -1,0 +1,196 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace ks::obs {
+
+double RunReport::metric(const std::string& full_name, double fallback) const {
+  for (const auto& m : metrics) {
+    if ((m.labels.empty() ? m.name : m.name + '{' + m.labels + '}') ==
+        full_name) {
+      return m.value;
+    }
+  }
+  return fallback;
+}
+
+std::string RunReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+
+  w.key("summary");
+  w.begin_object();
+  for (const auto& [k, v] : summary) {
+    w.key(k);
+    w.value(v);
+  }
+  w.end_object();
+
+  w.key("metrics");
+  w.begin_array();
+  for (const auto& m : metrics) {
+    w.begin_object();
+    w.key("name");
+    w.value(m.name);
+    if (!m.labels.empty()) {
+      w.key("labels");
+      w.value(m.labels);
+    }
+    w.key("kind");
+    w.value(to_string(m.kind));
+    w.key("value");
+    w.value(m.value);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("histograms");
+  w.begin_array();
+  for (const auto& h : histograms) {
+    w.begin_object();
+    w.key("name");
+    w.value(h.name);
+    if (!h.labels.empty()) {
+      w.key("labels");
+      w.value(h.labels);
+    }
+    w.key("count");
+    w.value(h.count);
+    w.key("mean_us");
+    w.value(h.mean_us);
+    w.key("p50_us");
+    w.value(h.p50_us);
+    w.key("p99_us");
+    w.value(h.p99_us);
+    w.key("max_us");
+    w.value(h.max_us);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("series");
+  w.begin_array();
+  for (const auto& s : series) {
+    w.begin_object();
+    w.key("name");
+    w.value(s.name);
+    w.key("kind");
+    w.value(to_string(s.kind));
+    w.key("t_us");
+    w.begin_array();
+    for (const auto t : s.t) w.value(static_cast<std::int64_t>(t));
+    w.end_array();
+    w.key("v");
+    w.begin_array();
+    for (const auto v : s.v) w.value(v);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("trace");
+  w.begin_object();
+  w.key("sample_every");
+  w.value(trace_sample_every);
+  w.key("dropped");
+  w.value(trace_dropped);
+  w.key("events");
+  w.begin_array();
+  for (const auto& e : trace) {
+    w.begin_object();
+    w.key("t_us");
+    w.value(static_cast<std::int64_t>(e.t));
+    w.key("key");
+    w.value(e.key);
+    w.key("event");
+    w.value(e.event);
+    w.key("detail");
+    w.value(e.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.end_object();
+  return w.str();
+}
+
+bool RunReport::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+RunReport build_run_report(MetricsRegistry& registry, const Sampler* sampler,
+                           const MessageTrace* trace) {
+  registry.collect();
+  RunReport report;
+  registry.visit([&](const MetricsRegistry::MetricInfo& m) {
+    if (m.kind == MetricKind::kHistogram) {
+      const LatencyHistogram& h = *m.hist;
+      report.histograms.push_back(RunReport::HistogramSummary{
+          m.name, m.label_text, h.count(), h.mean(),
+          static_cast<double>(h.p50()), static_cast<double>(h.p99()),
+          static_cast<double>(h.max_seen())});
+      return;
+    }
+    report.metrics.push_back(
+        RunReport::Metric{m.name, m.label_text, m.kind, m.value()});
+  });
+  if (sampler != nullptr) report.series = sampler->series();
+  if (trace != nullptr) {
+    report.trace_sample_every = trace->sample_every();
+    report.trace_dropped = trace->dropped();
+    for (const auto& e : trace->entries()) {
+      report.trace.push_back(
+          RunReport::TraceEntry{e.t, e.key, to_string(e.event), e.detail});
+    }
+  }
+  return report;
+}
+
+std::string prometheus_text(MetricsRegistry& registry) {
+  registry.collect();
+  std::string out;
+  char buf[64];
+  const auto emit = [&](const std::string& name, const std::string& labels,
+                        double v) {
+    out += name;
+    if (!labels.empty()) {
+      out += '{';
+      out += labels;
+      out += '}';
+    }
+    std::snprintf(buf, sizeof(buf), " %.17g\n", v);
+    out += buf;
+  };
+  registry.visit([&](const MetricsRegistry::MetricInfo& m) {
+    if (m.kind == MetricKind::kHistogram) {
+      out += "# TYPE " + m.name + " summary\n";
+      const LatencyHistogram& h = *m.hist;
+      emit(m.name + "_count", m.label_text, static_cast<double>(h.count()));
+      emit(m.name + "_sum", m.label_text,
+           h.mean() * static_cast<double>(h.count()));
+      const std::string q50 = m.label_text.empty()
+                                  ? std::string("quantile=\"0.5\"")
+                                  : m.label_text + ",quantile=\"0.5\"";
+      const std::string q99 = m.label_text.empty()
+                                  ? std::string("quantile=\"0.99\"")
+                                  : m.label_text + ",quantile=\"0.99\"";
+      emit(m.name, q50, static_cast<double>(h.p50()));
+      emit(m.name, q99, static_cast<double>(h.p99()));
+      return;
+    }
+    out += "# TYPE " + m.name + ' ' +
+           (m.kind == MetricKind::kCounter ? "counter\n" : "gauge\n");
+    emit(m.name, m.label_text, m.value());
+  });
+  return out;
+}
+
+}  // namespace ks::obs

@@ -1,0 +1,73 @@
+// Structured run artifacts: the RunReport every experiment returns, plus
+// text exporters (Prometheus exposition, CSV time series, JSON).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+
+namespace ks::obs {
+
+/// Everything observable about one simulation run, in plain data: run-level
+/// summary scalars, the final value of every registered metric, histogram
+/// summaries, sampled time series and the message-lifecycle trace.
+struct RunReport {
+  struct Metric {
+    std::string name;
+    std::string labels;  ///< Rendered `key="value",...`; may be empty.
+    MetricKind kind = MetricKind::kCounter;
+    double value = 0.0;
+  };
+
+  struct HistogramSummary {
+    std::string name;
+    std::string labels;
+    std::uint64_t count = 0;
+    double mean_us = 0.0;
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    double max_us = 0.0;
+  };
+
+  struct TraceEntry {
+    TimePoint t = 0;
+    std::uint64_t key = 0;
+    std::string event;
+    std::int32_t detail = 0;
+  };
+
+  /// Run-level scalars (p_loss, duration_s, ...), keyed by name; insertion
+  /// order is irrelevant, a map keeps the JSON deterministic.
+  std::map<std::string, double> summary;
+  std::vector<Metric> metrics;
+  std::vector<HistogramSummary> histograms;
+  std::vector<Sampler::Series> series;
+  std::vector<TraceEntry> trace;
+  std::uint64_t trace_dropped = 0;
+  std::uint64_t trace_sample_every = 0;
+
+  /// Final value of a metric by full name (`name{labels}` or bare name);
+  /// `fallback` when absent.
+  double metric(const std::string& full_name, double fallback = 0.0) const;
+
+  std::string to_json() const;
+  bool write_json(const std::string& path) const;
+};
+
+/// Snapshot `registry` (collectors are run) plus optional sampler series and
+/// trace into a report. Callers add summary scalars afterwards.
+RunReport build_run_report(MetricsRegistry& registry,
+                           const Sampler* sampler = nullptr,
+                           const MessageTrace* trace = nullptr);
+
+/// Prometheus text exposition of the registry's current values (collectors
+/// are run first). Histograms export _count/_sum plus quantile gauges.
+std::string prometheus_text(MetricsRegistry& registry);
+
+}  // namespace ks::obs

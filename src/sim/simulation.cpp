@@ -1,11 +1,25 @@
 #include "sim/simulation.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace ks::sim {
 
-Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {
+  m_events_ = metrics_.counter("sim_events_total");
+  m_wall_us_ = metrics_.counter("sim_wall_time_us_total");
+  m_pending_ = metrics_.gauge("sim_pending_events");
+  m_wall_us_per_sim_s_ = metrics_.gauge("sim_wall_us_per_sim_s");
+  metrics_collector_ = metrics_.add_collector([this] {
+    m_events_.set(executed_);
+    m_wall_us_.set(wall_time_us_);
+    m_pending_.set(static_cast<double>(queue_.size()));
+    m_wall_us_per_sim_s_.set(
+        now_ > 0 ? static_cast<double>(wall_time_us_) / to_seconds(now_)
+                 : 0.0);
+  });
+}
 
 EventId Simulation::at(TimePoint t, std::function<void()> fn) {
   return queue_.push(std::max(t, now_), std::move(fn));
@@ -26,9 +40,14 @@ bool Simulation::step(TimePoint until) {
 }
 
 std::uint64_t Simulation::run(TimePoint until) {
+  const auto wall_start = std::chrono::steady_clock::now();
   stop_requested_ = false;
   std::uint64_t ran = 0;
   while (!stop_requested_ && step(until)) ++ran;
+  wall_time_us_ += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
   // If we stopped because the next event lies beyond `until`, advance the
   // clock to the horizon so repeated run(until) calls observe monotonic time.
   if (until != std::numeric_limits<TimePoint>::max() && now_ < until &&

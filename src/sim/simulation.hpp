@@ -11,6 +11,7 @@
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 
 namespace ks::sim {
@@ -27,6 +28,11 @@ class Simulation {
   /// Root RNG; components should fork their own streams from it so that
   /// adding a component does not perturb the draws of another.
   Rng& rng() noexcept { return rng_; }
+
+  /// Per-simulation metrics registry. Components attached to this simulation
+  /// register their counters/gauges/collectors here; exporters and samplers
+  /// read it. Owned by the simulation so one experiment = one metric space.
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
 
   /// Schedule `fn` at absolute time `t` (clamped to now if in the past).
   EventId at(TimePoint t, std::function<void()> fn);
@@ -54,6 +60,10 @@ class Simulation {
   std::uint64_t events_executed() const noexcept { return executed_; }
   std::size_t pending_events() const noexcept { return queue_.size(); }
 
+  /// Host wall-clock time spent inside run()/step(), microseconds. Together
+  /// with now() this yields the wall-time-per-sim-second metric.
+  std::uint64_t wall_time_us() const noexcept { return wall_time_us_; }
+
   /// Pointer usable by Logger instances to stamp log lines with sim time.
   const TimePoint* clock_ptr() const noexcept { return &now_; }
 
@@ -62,7 +72,14 @@ class Simulation {
   TimePoint now_ = 0;
   Rng rng_;
   std::uint64_t executed_ = 0;
+  std::uint64_t wall_time_us_ = 0;
   bool stop_requested_ = false;
+  obs::MetricsRegistry metrics_;
+  obs::Counter m_events_;
+  obs::Counter m_wall_us_;
+  obs::Gauge m_pending_;
+  obs::Gauge m_wall_us_per_sim_s_;
+  obs::CollectorHandle metrics_collector_;
 };
 
 /// A restartable one-shot timer bound to a Simulation. Rearming cancels any

@@ -18,6 +18,27 @@ Endpoint::Endpoint(sim::Simulation& sim, Config config, net::Link& tx,
       persist_timer_(sim),
       syn_timer_(sim) {
   fresh_epoch_state();
+
+  auto& metrics = sim.metrics();
+  const obs::Labels labels{{"conn", name_}};
+  m_segments_ = metrics.counter("tcp_segments_sent_total", labels);
+  m_retransmissions_ = metrics.counter("tcp_retransmissions_total", labels);
+  m_fast_retransmits_ = metrics.counter("tcp_fast_retransmits_total", labels);
+  m_rto_events_ = metrics.counter("tcp_rto_events_total", labels);
+  m_resets_ = metrics.counter("tcp_resets_total", labels);
+  m_bytes_acked_ = metrics.counter("tcp_bytes_acked_total", labels);
+  m_cwnd_ = metrics.gauge("tcp_cwnd_bytes", labels);
+  m_outstanding_ = metrics.gauge("tcp_bytes_outstanding", labels);
+  metrics_collector_ = metrics.add_collector([this] {
+    m_segments_.set(stats_.segments_sent);
+    m_retransmissions_.set(stats_.retransmissions);
+    m_fast_retransmits_.set(stats_.fast_retransmits);
+    m_rto_events_.set(stats_.rto_events);
+    m_resets_.set(stats_.resets);
+    m_bytes_acked_.set(static_cast<std::uint64_t>(stats_.bytes_acked));
+    m_cwnd_.set(established() ? cwnd_ : 0.0);
+    m_outstanding_.set(static_cast<double>(bytes_outstanding()));
+  });
 }
 
 void Endpoint::fresh_epoch_state() {

@@ -27,6 +27,7 @@
 #include "common/logging.hpp"
 #include "common/types.hpp"
 #include "net/link.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 #include "tcp/segment.hpp"
 
@@ -230,6 +231,12 @@ class Endpoint {
   sim::Timer syn_timer_;
 
   Stats stats_;
+
+  // ---- observability (published from stats_/cwnd_ at collection time) ----
+  obs::Counter m_segments_, m_retransmissions_, m_fast_retransmits_;
+  obs::Counter m_rto_events_, m_resets_, m_bytes_acked_;
+  obs::Gauge m_cwnd_, m_outstanding_;
+  obs::CollectorHandle metrics_collector_;
 };
 
 /// Glue for a producer/consumer <-> broker duplex connection: two endpoints

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 
+#include <functional>
+
 #include "common/stats.hpp"
 #include "net/netem.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulation.hpp"
 #include "tcp/endpoint.hpp"
 #include "testbed/calibration.hpp"
@@ -107,23 +111,61 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   kafka::Producer producer(sim, producer_config(scenario), conn.client,
                            source, partition);
 
+  // Message-lifecycle trace (Fig. 2 transitions with cause + timestamp) for
+  // a sampled subset of keys, bounded by a ring.
+  const std::uint64_t trace_every =
+      scenario.trace_sample_every > 0
+          ? scenario.trace_sample_every
+          : std::max<std::uint64_t>(scenario.num_messages / 64, 1);
+  obs::MessageTrace trace(scenario.trace_capacity, trace_every);
+  source.on_overrun = [&](const kafka::Record& r) {
+    trace.record(sim.now(), r.key, obs::TraceEvent::kOverrun);
+  };
+
   // Message-state tracking (Fig. 2 / Table I) and delivery-latency capture.
   kafka::MessageStateTracker tracker(scenario.num_messages);
-  producer.on_send_attempt = [&tracker](const kafka::Record& r, int attempt) {
+  producer.on_send_attempt = [&](const kafka::Record& r, int attempt) {
     tracker.on_send_attempt(r.key, attempt);
+    trace.record(sim.now(), r.key,
+                 attempt <= 1 ? obs::TraceEvent::kSendAttempt
+                              : obs::TraceEvent::kRetry,
+                 attempt);
   };
-  LatencyHistogram latency;
+  producer.on_record_expired = [&](const kafka::Record& r) {
+    trace.record(sim.now(), r.key, obs::TraceEvent::kExpired);
+  };
+  producer.on_record_failed = [&](const kafka::Record& r) {
+    trace.record(sim.now(), r.key, obs::TraceEvent::kFailed, r.attempts);
+  };
+  producer.on_record_acked = [&](const kafka::Record& r) {
+    trace.record(sim.now(), r.key, obs::TraceEvent::kAcked, r.attempts);
+  };
+  obs::Histogram delivery_latency =
+      sim.metrics().histogram("delivery_latency_us");
   std::uint64_t stale = 0;
   for (int b = 0; b < cluster.num_brokers(); ++b) {
-    cluster.broker(b).on_append = [&](const kafka::Record& r, std::int64_t) {
+    cluster.broker(b).on_append = [&, b](const kafka::Record& r,
+                                         std::int64_t) {
       tracker.on_append(r.key);
+      trace.record(sim.now(), r.key, obs::TraceEvent::kAppended, b);
       if (tracker.state_of(r.key) == kafka::MessageState::kDelivered) {
         const Duration d = sim.now() - r.created_at;
-        latency.add(d);
+        delivery_latency.observe(d);
         if (d > scenario.timeliness) ++stale;
       }
     };
   }
+
+  // Metric time series: a recurring sim event snapshots every counter and
+  // gauge (collectors first) on the scenario's sampling interval.
+  obs::Sampler sampler(sim.metrics(), scenario.sample_interval > 0
+                                          ? scenario.sample_interval
+                                          : millis(200));
+  std::function<void()> sampler_tick = [&] {
+    sampler.sample(sim.now());
+    sim.after(sampler.interval(), sampler_tick);
+  };
+  if (scenario.sample_interval > 0) sim.after(0, sampler_tick);
 
   cluster.start();
   source.start();
@@ -155,6 +197,7 @@ ExperimentResult run_experiment(const Scenario& scenario) {
         result.duration_s;
   }
 
+  const LatencyHistogram& latency = *delivery_latency.get();
   if (latency.count() > 0) {
     result.stale_fraction =
         static_cast<double>(stale) / static_cast<double>(latency.count());
@@ -176,6 +219,32 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   result.link_packets_dropped_queue =
       link.a_to_b.stats().packets_dropped_queue;
   result.events = sim.events_executed();
+
+  // Structured run artifact: final snapshot (collectors run inside), time
+  // series and the sampled message trace, plus the run-level summary.
+  if (scenario.sample_interval > 0) sampler.sample(sim.now());
+  result.report = obs::build_run_report(
+      sim.metrics(), scenario.sample_interval > 0 ? &sampler : nullptr,
+      &trace);
+  auto& summary = result.report.summary;
+  summary["p_loss"] = result.p_loss;
+  summary["p_duplicate"] = result.p_duplicate;
+  summary["stale_fraction"] = result.stale_fraction;
+  summary["mean_latency_ms"] = result.mean_latency_ms;
+  summary["p99_latency_ms"] = result.p99_latency_ms;
+  summary["service_rate_mu"] = result.service_rate_mu;
+  summary["bandwidth_utilization_phi"] = result.bandwidth_utilization_phi;
+  summary["delivered_throughput"] = result.delivered_throughput;
+  summary["duration_s"] = result.duration_s;
+  summary["events"] = static_cast<double>(result.events);
+  summary["completed"] = result.completed ? 1.0 : 0.0;
+  summary["seed"] = static_cast<double>(scenario.seed);
+  summary["num_messages"] = static_cast<double>(scenario.num_messages);
+  summary["message_size"] = static_cast<double>(scenario.message_size);
+  summary["network_delay_ms"] = to_millis(scenario.network_delay);
+  summary["packet_loss"] = scenario.packet_loss;
+  summary["batch_size"] = static_cast<double>(scenario.batch_size);
+  summary["semantics"] = static_cast<double>(scenario.semantics);
   return result;
 }
 

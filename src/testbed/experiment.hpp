@@ -14,6 +14,7 @@
 #include "kafka/cluster.hpp"
 #include "kafka/producer.hpp"
 #include "kafka/state_machine.hpp"
+#include "obs/report.hpp"
 #include "testbed/scenario.hpp"
 
 namespace ks::testbed {
@@ -54,6 +55,10 @@ struct ExperimentResult {
   std::uint64_t events = 0;
   double duration_s = 0.0;
   bool completed = false;  ///< Producer finished before the time cap.
+
+  /// Structured run artifact: final metric values across every layer,
+  /// sampled time series, histogram summaries and the message trace.
+  obs::RunReport report;
 };
 
 /// Run one scenario end to end. Deterministic given scenario.seed.

@@ -50,6 +50,16 @@ struct Scenario {
   /// Enable broker Good/Bad service regimes (on for full-load studies).
   bool broker_regimes = true;
 
+  // --- observability ---------------------------------------------------------
+  /// Metric-sampling interval for the run's time series; 0 disables the
+  /// sampler (the final RunReport snapshot is always taken).
+  Duration sample_interval = millis(200);
+  /// Message-trace key sampling: record lifecycles of keys where
+  /// key % trace_sample_every == 0. 0 = auto (aim for ~64 traced keys).
+  std::uint64_t trace_sample_every = 0;
+  /// Bound on retained trace events (ring overwrites the oldest).
+  std::size_t trace_capacity = 4096;
+
   /// Feature vector for the "normal network" model of Fig. 3:
   /// {S, T_o, delta, semantics, B}. (B stays effective even without
   /// faults in this substrate — broker per-request overhead — so the

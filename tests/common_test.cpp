@@ -194,6 +194,34 @@ TEST(RunningStats, MergeMatchesSequential) {
   EXPECT_EQ(a.max(), all.max());
 }
 
+TEST(RunningStats, MergeBothEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeDisjointRangesMatchesSinglePass) {
+  // Two far-apart clusters stress the parallel-variance combination term.
+  RunningStats lo, hi, all;
+  for (int i = 0; i < 500; ++i) {
+    lo.add(i);
+    all.add(i);
+  }
+  for (int i = 100000; i < 100500; ++i) {
+    hi.add(i);
+    all.add(i);
+  }
+  lo.merge(hi);
+  EXPECT_EQ(lo.count(), all.count());
+  EXPECT_NEAR(lo.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(lo.variance() / all.variance(), 1.0, 1e-12);
+  EXPECT_EQ(lo.min(), all.min());
+  EXPECT_EQ(lo.max(), all.max());
+  EXPECT_DOUBLE_EQ(lo.sum(), all.sum());
+}
+
 TEST(RunningStats, MergeWithEmpty) {
   RunningStats a, b;
   a.add(5.0);
@@ -217,6 +245,33 @@ TEST(LatencyHistogram, SingleValue) {
   EXPECT_EQ(h.max_seen(), millis(5));
   EXPECT_LE(h.p50(), millis(6));
   EXPECT_GE(h.p50(), millis(4));
+}
+
+TEST(LatencyHistogram, PercentileEmptyAllPoints) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.percentile(0), 0);
+  EXPECT_EQ(h.percentile(50), 0);
+  EXPECT_EQ(h.percentile(100), 0);
+}
+
+TEST(LatencyHistogram, PercentileExtremesSingleBucket) {
+  // All observations land in one bucket: p100 is bounded by the true max,
+  // p0 by the smallest bucket bound, and they bracket every percentile.
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.add(millis(5));
+  EXPECT_EQ(h.percentile(100), h.max_seen());
+  EXPECT_LE(h.percentile(0), h.percentile(50));
+  EXPECT_LE(h.percentile(50), h.percentile(100));
+  EXPECT_GE(h.percentile(50), millis(4));
+  EXPECT_LE(h.percentile(50), millis(6));
+}
+
+TEST(LatencyHistogram, PercentileClampsOutOfRangeP) {
+  LatencyHistogram h;
+  h.add(millis(2));
+  h.add(millis(8));
+  EXPECT_EQ(h.percentile(-5.0), h.percentile(0.0));
+  EXPECT_EQ(h.percentile(150.0), h.percentile(100.0));
 }
 
 TEST(LatencyHistogram, PercentilesMonotone) {
@@ -263,8 +318,55 @@ TEST(Logging, ParseLevels) {
   EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
   EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
   EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
   EXPECT_EQ(parse_log_level("bogus"), LogLevel::kOff);
   EXPECT_EQ(parse_log_level(nullptr), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kOff);
+}
+
+TEST(Logging, ParseLevelsCaseInsensitive) {
+  EXPECT_EQ(parse_log_level("TRACE"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("Debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("WARNING"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("eRRoR"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("OFF"), LogLevel::kOff);
+}
+
+TEST(Logging, UnknownLevelWarnsOnStderrOnce) {
+  log_detail::parse_warning_emitted() = false;
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kOff);
+  const std::string first = testing::internal::GetCapturedStderr();
+  EXPECT_NE(first.find("unknown log level"), std::string::npos);
+  EXPECT_NE(first.find("bogus"), std::string::npos);
+
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(parse_log_level("also-bogus"), LogLevel::kOff);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(Logging, TruncatedLineIsMarked) {
+  set_log_level(LogLevel::kInfo);
+  const Logger log("test");
+  const std::string big(1000, 'x');
+  testing::internal::CaptureStderr();
+  log.info("%s", big.c_str());
+  const std::string out = testing::internal::GetCapturedStderr();
+  set_log_level(LogLevel::kOff);
+  EXPECT_NE(out.find("...[truncated]"), std::string::npos);
+}
+
+TEST(Logging, ShortLineNotMarked) {
+  set_log_level(LogLevel::kInfo);
+  const Logger log("test");
+  testing::internal::CaptureStderr();
+  log.info("answer=%d", 42);
+  const std::string out = testing::internal::GetCapturedStderr();
+  set_log_level(LogLevel::kOff);
+  EXPECT_NE(out.find("answer=42"), std::string::npos);
+  EXPECT_EQ(out.find("truncated"), std::string::npos);
 }
 
 TEST(Logging, LevelGate) {

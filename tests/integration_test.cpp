@@ -3,8 +3,10 @@
 // methodology (consumer-side key census).
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <set>
+#include <string>
 
 #include "kafka/cluster.hpp"
 #include "kafka/consumer.hpp"
@@ -210,6 +212,106 @@ TEST(Integration, MultiPartitionClusterServesParallelProducers) {
                   ->log_end_offset(),
               500);
   }
+}
+
+// Sum of every labeled instance of one metric in a report.
+double metric_sum(const obs::RunReport& rep, const std::string& name) {
+  double sum = 0.0;
+  for (const auto& m : rep.metrics) {
+    if (m.name == name) sum += m.value;
+  }
+  return sum;
+}
+
+// Tentpole acceptance: a faulty-network run returns a populated RunReport
+// whose cross-layer numbers reconcile with the census.
+TEST(Observability, RunReportPopulatedAndCrossLayerConsistent) {
+  testbed::Scenario sc;
+  sc.num_messages = 3000;
+  sc.packet_loss = 0.19;
+  sc.network_delay = millis(50);
+  sc.message_timeout = millis(2000);
+  sc.semantics = kafka::DeliverySemantics::kAtLeastOnce;
+  sc.seed = 41;
+  const auto r = testbed::run_experiment(sc);
+  const auto& rep = r.report;
+
+  // Every layer registered metrics and the sampler produced time series.
+  EXPECT_FALSE(rep.metrics.empty());
+  EXPECT_FALSE(rep.series.empty());
+  EXPECT_FALSE(rep.histograms.empty());
+  ASSERT_TRUE(rep.summary.count("p_loss"));
+  EXPECT_DOUBLE_EQ(rep.summary.at("p_loss"), r.p_loss);
+
+  // The report mirrors the component stats the result carries.
+  EXPECT_DOUBLE_EQ(metric_sum(rep, "sim_events_total"),
+                   static_cast<double>(r.events));
+  EXPECT_DOUBLE_EQ(
+      rep.metric("tcp_retransmissions_total{conn=\"prod-conn:client\"}"),
+      static_cast<double>(r.tcp_retransmissions));
+
+  // Under 19% injected loss TCP must be retransmitting, and the link must
+  // attribute drops to its loss model.
+  EXPECT_GT(r.tcp_retransmissions, 0u);
+  EXPECT_GT(metric_sum(rep, "link_packets_dropped_total"), 0.0);
+
+  // Census reconciliation: every lost key has a recorded pre-append cause.
+  const double failed =
+      metric_sum(rep, "kafka_producer_records_failed_total");
+  const double dropped_full =
+      metric_sum(rep, "kafka_producer_records_dropped_queue_full_total");
+  EXPECT_LE(static_cast<double>(r.census.lost),
+            static_cast<double>(r.source_overruns + r.expired_in_queue) +
+                failed + dropped_full);
+
+  // The sampled message trace captured lifecycles.
+  EXPECT_GT(rep.trace_sample_every, 0u);
+  EXPECT_FALSE(rep.trace.empty());
+
+  // And the artifact serializes to JSON on disk.
+  const std::string path = testing::TempDir() + "ks_run_report.json";
+  ASSERT_TRUE(rep.write_json(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char first = 0;
+  ASSERT_EQ(std::fread(&first, 1, 1, f), 1u);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(first, '{');
+}
+
+// On a healthy, lightly loaded link the transport layer must be silent:
+// no retransmissions, no RTOs, no link drops — and the report agrees.
+TEST(Observability, CleanLinkReportsNoRetransmissions) {
+  testbed::Scenario sc;
+  sc.num_messages = 1000;
+  // Well under the ~294 msg/s serialization ceiling for 200 B messages, so
+  // the producer keeps up and nothing is lost upstream either.
+  sc.source_interval = millis(5);
+  sc.broker_regimes = false;
+  sc.seed = 42;
+  const auto r = testbed::run_experiment(sc);
+
+  EXPECT_EQ(r.tcp_retransmissions, 0u);
+  EXPECT_EQ(r.tcp_rto_events, 0u);
+  EXPECT_DOUBLE_EQ(metric_sum(r.report, "tcp_retransmissions_total"), 0.0);
+  EXPECT_DOUBLE_EQ(metric_sum(r.report, "link_packets_dropped_total"), 0.0);
+  EXPECT_EQ(r.census.lost, 0u);
+  EXPECT_DOUBLE_EQ(r.p_loss, 0.0);
+}
+
+// Disabling the sampler must still produce the final snapshot, just no
+// series.
+TEST(Observability, SamplerCanBeDisabledPerScenario) {
+  testbed::Scenario sc;
+  sc.num_messages = 500;
+  sc.source_interval = millis(5);
+  sc.broker_regimes = false;
+  sc.sample_interval = 0;
+  sc.seed = 43;
+  const auto r = testbed::run_experiment(sc);
+  EXPECT_TRUE(r.report.series.empty());
+  EXPECT_FALSE(r.report.metrics.empty());
 }
 
 }  // namespace
