@@ -15,8 +15,13 @@ echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 
+# --timeout turns a hung test into a hard failure; set -e propagates any
+# nonzero ctest exit (failures and timeouts alike) to the caller/CI.
+CTEST_TIMEOUT="${KS_CTEST_TIMEOUT:-300}"
+
 echo "== tier-1: ctest =="
-(cd build && ctest --output-on-failure -j "${JOBS}")
+(cd build && ctest --output-on-failure --timeout "${CTEST_TIMEOUT}" \
+  -j "${JOBS}")
 
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== done (fast mode: sanitizer pass skipped) =="
@@ -30,6 +35,7 @@ TEST_TARGETS="$(sed -n 's/^ks_test(\(.*\))$/\1/p' tests/CMakeLists.txt)"
 cmake --build build-asan -j "${JOBS}" --target ${TEST_TARGETS}
 
 echo "== asan/ubsan: ctest =="
-(cd build-asan && ctest --output-on-failure -j "${JOBS}")
+(cd build-asan && ctest --output-on-failure --timeout "${CTEST_TIMEOUT}" \
+  -j "${JOBS}")
 
 echo "== all checks passed =="

@@ -1,0 +1,194 @@
+#include "chaos/generator.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "testbed/calibration.hpp"
+
+namespace ks::chaos {
+
+namespace {
+
+using testbed::FaultAction;
+using testbed::Scenario;
+using testbed::SourceMode;
+
+Duration uniform_duration(Rng& rng, Duration lo, Duration hi) {
+  return static_cast<Duration>(rng.uniform_int(lo, hi));
+}
+
+kafka::DeliverySemantics pick_semantics(Rng& rng) {
+  switch (rng.uniform_int(0, 2)) {
+    case 0: return kafka::DeliverySemantics::kAtMostOnce;
+    case 1: return kafka::DeliverySemantics::kAtLeastOnce;
+    default: return kafka::DeliverySemantics::kExactlyOnce;
+  }
+}
+
+}  // namespace
+
+std::uint64_t scenario_seed(std::uint64_t master_seed, std::uint64_t index) {
+  // Decorrelate indices with the SplitMix64 increment before hashing, so
+  // nearby master seeds / indices yield unrelated scenarios.
+  SplitMix64 mix(master_seed + 0x9e3779b97f4a7c15ULL * (index + 1));
+  return mix.next();
+}
+
+ChaosScenario generate_scenario(std::uint64_t chaos_seed) {
+  ChaosScenario cs;
+  cs.chaos_seed = chaos_seed;
+  Rng rng(chaos_seed);
+  Scenario& sc = cs.scenario;
+  sc.seed = rng.next_u64();
+
+  // --- randomized configuration (all three semantics presets) ---------------
+  sc.num_messages = static_cast<std::uint64_t>(rng.uniform_int(150, 450));
+  sc.message_size = rng.uniform_int(50, 800);
+  sc.semantics = pick_semantics(rng);
+  sc.batch_size = static_cast<int>(rng.uniform_int(1, 8));
+  sc.poll_interval =
+      rng.bernoulli(0.3) ? millis(rng.uniform_int(1, 15)) : 0;
+  sc.message_timeout = millis(rng.uniform_int(400, 2000));
+  sc.request_timeout =
+      rng.bernoulli(0.4) ? millis(rng.uniform_int(200, 900)) : 0;
+  sc.source_mode =
+      rng.bernoulli(0.5) ? SourceMode::kOnDemand : SourceMode::kRealTime;
+  if (sc.source_mode == SourceMode::kRealTime && rng.bernoulli(0.5)) {
+    sc.source_interval = micros(rng.uniform_int(2000, 8000));
+  }
+  sc.broker_regimes = rng.bernoulli(0.4);
+  if (rng.bernoulli(0.3)) sc.network_delay = millis(rng.uniform_int(1, 100));
+  if (rng.bernoulli(0.3)) sc.packet_loss = rng.uniform(0.0, 0.30);
+  // Sampling off for most scenarios (wall-clock budget); on for a quarter
+  // so the sampler's determinism stays covered.
+  sc.sample_interval = rng.bernoulli(0.25) ? millis(250) : 0;
+  // Trace ~40 keys per run with headroom so legality checks see complete
+  // per-key sequences (the checker skips keys if the ring ever dropped).
+  sc.trace_sample_every = std::max<std::uint64_t>(sc.num_messages / 40, 1);
+  sc.trace_capacity = 8192;
+
+  // --- benign-recovery class: eventual connectivity => zero loss ------------
+  const bool benign = rng.bernoulli(0.22);
+  if (benign) {
+    sc.semantics = rng.bernoulli(0.5)
+                       ? kafka::DeliverySemantics::kAtLeastOnce
+                       : kafka::DeliverySemantics::kExactlyOnce;
+    sc.source_mode = SourceMode::kOnDemand;  // The source cannot overrun.
+    sc.source_interval = 0;
+    sc.message_timeout = seconds(120);  // T_o far beyond any fault window.
+    sc.retries_override = 50;           // Retry budget outlasts every fault.
+    sc.request_timeout = 0;             // Preset default (2 s).
+    sc.network_delay = 0;               // Faults come only from the schedule
+    sc.packet_loss = 0.0;               // and all clear below.
+    cs.expect_no_loss = true;
+  }
+  cs.expect_no_duplicates =
+      sc.semantics != kafka::DeliverySemantics::kAtLeastOnce;
+
+  // --- fault schedule -------------------------------------------------------
+  const Duration per_message = std::max(
+      {testbed::full_load_interval(sc.message_size), sc.source_interval,
+       sc.poll_interval});
+  const Duration est_run =
+      per_message * static_cast<Duration>(sc.num_messages) + millis(500);
+  // Benign faults must clear early so the retry budget can finish the job.
+  const Duration window_end = benign ? est_run / 2 : est_run;
+  const Duration clear_time = window_end + millis(100);
+
+  const int num_faults =
+      benign ? static_cast<int>(rng.uniform_int(1, 4))
+             : (rng.bernoulli(0.12) ? 0
+                                    : static_cast<int>(rng.uniform_int(1, 5)));
+  bool broker_failed[3] = {false, false, false};
+  for (int i = 0; i < num_faults; ++i) {
+    FaultAction f;
+    f.at = uniform_duration(rng, est_run / 20, window_end);
+    const double roll = rng.uniform01();
+    if (roll < 0.35) {
+      f.kind = FaultAction::Kind::kNetem;
+      f.delay = rng.bernoulli(0.6) ? millis(rng.uniform_int(1, 250)) : 0;
+      f.loss = rng.bernoulli(0.15) ? rng.uniform(0.6, 0.9)  // Heavy burst.
+                                   : rng.uniform(0.0, 0.45);
+      sc.faults.push_back(f);
+    } else if (roll < 0.50) {
+      f.kind = FaultAction::Kind::kGilbertElliott;
+      f.delay = millis(rng.uniform_int(0, 100));
+      f.ge.p_good_to_bad = rng.uniform(0.005, 0.05);
+      f.ge.p_bad_to_good = rng.uniform(0.02, 0.20);
+      f.ge.loss_good = rng.uniform(0.0, 0.02);
+      f.ge.loss_bad = rng.uniform(0.2, 0.8);
+      sc.faults.push_back(f);
+    } else if (roll < 0.65) {
+      f.kind = FaultAction::Kind::kBandwidth;
+      f.bandwidth_bps = rng.uniform(0.5e6, 20e6);
+      sc.faults.push_back(f);
+    } else {
+      // Fail-stop outage with a paired resume. Mostly the leader (broker
+      // 0) — follower outages are latency-invisible with one partition,
+      // but keep them for coverage of the scheduling path.
+      const int broker = rng.bernoulli(0.7)
+                             ? 0
+                             : static_cast<int>(rng.uniform_int(1, 2));
+      Duration down_for = uniform_duration(rng, millis(50), millis(800));
+      if (benign) down_for = std::min(down_for, clear_time - f.at);
+      f.kind = FaultAction::Kind::kBrokerFail;
+      f.broker = broker;
+      sc.faults.push_back(f);
+      FaultAction r = f;
+      r.kind = FaultAction::Kind::kBrokerResume;
+      r.at = f.at + std::max<Duration>(down_for, millis(10));
+      sc.faults.push_back(r);
+      broker_failed[broker] = true;
+    }
+  }
+
+  if (benign) {
+    // Restore everything at clear_time: netem back to clean, line rate back
+    // to base, every possibly-failed broker resumed (resume is idempotent).
+    FaultAction restore;
+    restore.at = clear_time;
+    restore.kind = FaultAction::Kind::kNetem;
+    sc.faults.push_back(restore);
+    restore.kind = FaultAction::Kind::kBandwidth;
+    restore.bandwidth_bps = 0.0;
+    sc.faults.push_back(restore);
+    for (int b = 0; b < 3; ++b) {
+      if (!broker_failed[b]) continue;
+      FaultAction resume;
+      resume.at = clear_time;
+      resume.kind = FaultAction::Kind::kBrokerResume;
+      resume.broker = b;
+      sc.faults.push_back(resume);
+    }
+  }
+  return cs;
+}
+
+std::string ChaosScenario::describe() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "seed=0x%" PRIx64
+      " N=%llu M=%lldB %s B=%d delta=%.0fms To=%.0fms %s D=%.0fms "
+      "L=%.2f regimes=%d%s%s faults=%zu",
+      chaos_seed, static_cast<unsigned long long>(scenario.num_messages),
+      static_cast<long long>(scenario.message_size),
+      kafka::to_string(scenario.semantics), scenario.batch_size,
+      to_millis(scenario.poll_interval), to_millis(scenario.message_timeout),
+      scenario.source_mode == SourceMode::kOnDemand ? "on-demand"
+                                                    : "real-time",
+      to_millis(scenario.network_delay), scenario.packet_loss,
+      scenario.broker_regimes ? 1 : 0,
+      expect_no_loss ? " [no-loss]" : "",
+      expect_no_duplicates ? " [no-dup]" : "", scenario.faults.size());
+  std::string out = buf;
+  for (const auto& f : scenario.faults) {
+    out += "\n    ";
+    out += f.describe();
+  }
+  return out;
+}
+
+}  // namespace ks::chaos

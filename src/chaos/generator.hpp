@@ -1,0 +1,49 @@
+// Deterministic chaos-scenario generation.
+//
+// One 64-bit seed expands into a full scenario program: a randomized
+// producer/source/broker configuration (covering all three delivery-
+// semantics presets) plus a timed fault schedule — Bernoulli and
+// Gilbert-Elliott loss bursts, delay spikes, bandwidth drops and broker
+// fail-stop outages. The expansion is pure (xoshiro over the seed), so a
+// violating run is reproduced exactly by its seed: KS_CHAOS_SEED=0x...
+//
+// Scenarios are sized for the tier-1 budget (hundreds of scenarios in
+// seconds), per the reproducible-workload practice the Kafka benchmarking
+// surveys call for: machine-generated, systematically varied, replayable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "testbed/scenario.hpp"
+
+namespace ks::chaos {
+
+/// A generated scenario plus the invariant expectations the generator can
+/// promise by construction (checked by the invariant library).
+struct ChaosScenario {
+  std::uint64_t chaos_seed = 0;  ///< Reproduces everything below.
+  testbed::Scenario scenario;    ///< Config + fault schedule + sim seed.
+
+  /// Benign-recovery class (Fig. 2's "every message eventually reaches
+  /// Delivered"): acks>=1 semantics, on-demand source (no ring overruns),
+  /// generous T_o and retry budget, and every fault clears while plenty of
+  /// retry budget remains — so a correct implementation loses nothing.
+  bool expect_no_loss = false;
+
+  /// at-most-once never retries and exactly-once deduplicates at the log,
+  /// so neither may ever produce a duplicate (Table I: Case 5 needs a
+  /// duplicated retry, transition VI).
+  bool expect_no_duplicates = false;
+
+  /// One-line human summary (config + fault schedule).
+  std::string describe() const;
+};
+
+/// The i-th scenario seed of a master-seeded run (SplitMix64 stream).
+std::uint64_t scenario_seed(std::uint64_t master_seed, std::uint64_t index);
+
+/// Deterministically expand one seed into a scenario program.
+ChaosScenario generate_scenario(std::uint64_t chaos_seed);
+
+}  // namespace ks::chaos

@@ -1,0 +1,226 @@
+#include "chaos/harness.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace ks::chaos {
+
+namespace {
+
+std::vector<Violation> check_all(const Options& options,
+                                 const ChaosScenario& cs,
+                                 const testbed::ExperimentResult& result) {
+  auto violations = check_invariants(cs, result);
+  if (options.extra_invariant) {
+    options.extra_invariant(cs, result, violations);
+  }
+  return violations;
+}
+
+/// Restoration actions (loss/delay cleared, base bandwidth, resume) keep a
+/// scenario's eventual-connectivity guarantee; the shrinker never removes
+/// them, only the impairments themselves.
+bool is_restore(const testbed::FaultAction& f) {
+  using Kind = testbed::FaultAction::Kind;
+  switch (f.kind) {
+    case Kind::kNetem: return f.loss <= 0.0 && f.delay <= 0;
+    case Kind::kBandwidth: return f.bandwidth_bps <= 0.0;
+    case Kind::kBrokerResume: return true;
+    case Kind::kGilbertElliott:
+    case Kind::kBrokerFail: return false;
+  }
+  return false;
+}
+
+/// Greedy delta-debugging over the fault schedule: drop impairments one at
+/// a time, then halve the survivors' intensities, re-running after every
+/// candidate edit and keeping it while the scenario still violates.
+ChaosScenario shrink_scenario(const Options& options, ChaosScenario cs,
+                              std::size_t& runs_used) {
+  runs_used = 0;
+  auto still_violates = [&](const ChaosScenario& candidate) {
+    ++runs_used;
+    const auto result = testbed::run_experiment(candidate.scenario);
+    return !check_all(options, candidate, result).empty();
+  };
+
+  bool improved = true;
+  while (improved && runs_used < options.max_shrink_runs) {
+    improved = false;
+
+    // Pass 1: drop whole impairments (a dropped broker failure leaves its
+    // resume behind; resuming an up broker is a no-op).
+    const auto& faults = cs.scenario.faults;
+    for (std::size_t i = 0;
+         i < faults.size() && runs_used < options.max_shrink_runs; ++i) {
+      if (is_restore(faults[i])) continue;
+      ChaosScenario candidate = cs;
+      candidate.scenario.faults.erase(candidate.scenario.faults.begin() +
+                                      static_cast<std::ptrdiff_t>(i));
+      if (still_violates(candidate)) {
+        cs = std::move(candidate);
+        improved = true;
+        break;
+      }
+    }
+    if (improved) continue;
+
+    // Pass 2: halve impairment intensities.
+    for (std::size_t i = 0;
+         i < faults.size() && runs_used < options.max_shrink_runs; ++i) {
+      if (is_restore(faults[i])) continue;
+      ChaosScenario candidate = cs;
+      auto& f = candidate.scenario.faults[i];
+      bool changed = false;
+      if (f.loss > 0.01) {
+        f.loss /= 2;
+        changed = true;
+      }
+      if (f.delay > millis(1)) {
+        f.delay /= 2;
+        changed = true;
+      }
+      if (f.kind == testbed::FaultAction::Kind::kGilbertElliott &&
+          f.ge.loss_bad > 0.01) {
+        f.ge.loss_bad /= 2;
+        changed = true;
+      }
+      if (!changed) continue;
+      if (still_violates(candidate)) {
+        cs = std::move(candidate);
+        improved = true;
+        break;
+      }
+    }
+  }
+  return cs;
+}
+
+std::string repro_command(std::uint64_t chaos_seed) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "KS_CHAOS_SEED=0x%" PRIx64 " ctest -R Chaos "
+                "--output-on-failure",
+                chaos_seed);
+  return buf;
+}
+
+/// Run one scenario (plus the optional determinism double-run) and record
+/// any failure. Returns true when the scenario passed.
+bool run_scenario(const Options& options, std::uint64_t chaos_seed,
+                  bool replay_check, Report& report) {
+  const ChaosScenario cs = generate_scenario(chaos_seed);
+  auto result = testbed::run_experiment(cs.scenario);
+  ++report.scenarios_run;
+  auto violations = check_all(options, cs, result);
+
+  if (replay_check && violations.empty()) {
+    // Replay-determinism invariant: the same seed must reproduce the run
+    // bit for bit (canonical JSON excludes host wall-clock metrics).
+    const auto replay = testbed::run_experiment(cs.scenario);
+    ++report.scenarios_run;
+    ++report.replay_checks;
+    if (result.report.canonical_json() != replay.report.canonical_json()) {
+      violations.push_back(
+          {"replay-determinism",
+           "same seed produced different canonical RunReport JSON"});
+    }
+  }
+
+  if (violations.empty()) return true;
+
+  Failure failure;
+  failure.chaos_seed = chaos_seed;
+  failure.violations = violations;
+  failure.original_fault_count = cs.scenario.faults.size();
+  failure.repro = repro_command(chaos_seed);
+  failure.shrunk = cs;
+  failure.shrunk_fault_count = cs.scenario.faults.size();
+  // Determinism failures are not schedule-dependent; shrinking them would
+  // just thrash the budget.
+  const bool schedule_dependent =
+      violations.front().invariant != "replay-determinism";
+  if (options.shrink && schedule_dependent && !cs.scenario.faults.empty()) {
+    std::size_t runs_used = 0;
+    failure.shrunk = shrink_scenario(options, cs, runs_used);
+    failure.shrunk_fault_count = failure.shrunk.scenario.faults.size();
+    report.scenarios_run += runs_used;
+  }
+  if (options.verbose_failures) {
+    std::printf("%s\n", failure.summary().c_str());
+    std::fflush(stdout);
+  }
+  report.failures.push_back(std::move(failure));
+  return false;
+}
+
+}  // namespace
+
+std::string Failure::summary() const {
+  std::string out = "chaos: invariant violation\n";
+  for (const auto& v : violations) {
+    out += "  [" + v.invariant + "] " + v.detail + "\n";
+  }
+  out += "  repro: " + repro;
+  char counts[96];
+  std::snprintf(counts, sizeof(counts),
+                "\n  schedule shrunk from %zu to %zu fault actions:",
+                original_fault_count, shrunk_fault_count);
+  out += counts;
+  out += "\n  ";
+  out += shrunk.describe();
+  return out;
+}
+
+Report run(const Options& options) {
+  Report report;
+
+  if (options.single_seed) {
+    run_scenario(options, *options.single_seed, /*replay_check=*/true,
+                 report);
+    return report;
+  }
+
+  for (const auto seed : options.corpus) {
+    if (report.failures.size() >= options.max_failures) return report;
+    run_scenario(options, seed, /*replay_check=*/false, report);
+    ++report.corpus_replayed;
+  }
+
+  for (std::uint64_t i = 0; i < options.iterations; ++i) {
+    if (report.failures.size() >= options.max_failures) return report;
+    const bool replay_check =
+        options.replay_every != 0 && i % options.replay_every == 0;
+    run_scenario(options, scenario_seed(options.master_seed, i),
+                 replay_check, report);
+  }
+  return report;
+}
+
+Options options_from_env(Options base) {
+  if (const char* seed = std::getenv("KS_CHAOS_SEED");
+      seed != nullptr && *seed != '\0') {
+    base.single_seed = std::strtoull(seed, nullptr, 0);
+  }
+  if (const char* iters = std::getenv("KS_CHAOS_ITERS");
+      iters != nullptr && *iters != '\0') {
+    base.iterations = std::strtoull(iters, nullptr, 0);
+  }
+  return base;
+}
+
+std::vector<std::uint64_t> load_seed_corpus(const std::string& path) {
+  std::vector<std::uint64_t> seeds;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    seeds.push_back(std::strtoull(line.c_str() + start, nullptr, 0));
+  }
+  return seeds;
+}
+
+}  // namespace ks::chaos

@@ -1,0 +1,206 @@
+#include "chaos/invariants.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+
+#include "common/logging.hpp"
+
+namespace ks::chaos {
+
+namespace {
+
+std::string fmt(const char* format, ...) KS_PRINTF_LIKE(1, 2);
+std::string fmt(const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+/// Per-key walk of the Fig. 2 automaton as observed through the trace.
+struct KeyWalk {
+  std::uint64_t key = 0;
+  int overruns = 0;
+  int sends = 0;       ///< send_attempt + retry events.
+  int last_attempt = 0;
+  int appends = 0;
+  int acks = 0;
+  int expiries = 0;
+  int fails = 0;
+  bool illegal = false;
+  std::string why;
+
+  void flag(std::string reason) {
+    if (!illegal) why = std::move(reason);
+    illegal = true;
+  }
+
+  void step(const obs::RunReport::TraceEntry& e) {
+    if (illegal) return;
+    if (e.event == "overrun") {
+      ++overruns;
+      if (sends + appends + acks + expiries + fails > 0) {
+        flag("overrun after another lifecycle event");
+      }
+    } else if (e.event == "send_attempt") {
+      ++sends;
+      if (overruns > 0) flag("send after overrun");
+      if (expiries > 0) flag("send after pre-send expiry");
+      if (fails > 0) flag("send after terminal failure");
+      if (acks > 0) flag("send after ack");
+      if (e.detail != 1) flag(fmt("initial attempt numbered %d", e.detail));
+      if (last_attempt != 0) flag("second initial send attempt");
+      last_attempt = 1;
+    } else if (e.event == "retry") {
+      ++sends;
+      if (overruns > 0) flag("retry after overrun");
+      if (expiries > 0) flag("retry after pre-send expiry");
+      if (fails > 0) flag("retry after terminal failure");
+      if (acks > 0) flag("retry after ack");
+      if (e.detail != last_attempt + 1) {
+        flag(fmt("attempt %d after attempt %d (transition III must be "
+                 "consecutive)",
+                 e.detail, last_attempt));
+      }
+      last_attempt = e.detail;
+    } else if (e.event == "appended") {
+      ++appends;
+      // Late appends after the producer gave up (failed) or resolved
+      // (acked) are legal — that is exactly how Case 5 duplicates and
+      // lost-then-persisted races arise. But an append with no send at
+      // all is impossible.
+      if (sends == 0) flag("append with no send attempt (transition I/IV "
+                          "without I/II)");
+      if (overruns > 0) flag("append after overrun");
+      if (expiries > 0) flag("append after pre-send expiry");
+    } else if (e.event == "acked") {
+      ++acks;
+      if (appends == 0) flag("ack with no append (V before I/IV)");
+      if (acks > 1) flag("record acked twice");
+      if (fails > 0) flag("ack after terminal failure");
+    } else if (e.event == "expired") {
+      ++expiries;
+      if (sends + appends + acks + fails > 0) {
+        flag("pre-send expiry after other lifecycle events");
+      }
+      if (expiries > 1) flag("record expired twice");
+    } else if (e.event == "failed") {
+      ++fails;
+      if (sends == 0) flag("failure with no send attempt");
+      if (acks > 0) flag("failure after ack");
+      if (fails > 1) flag("record failed twice");
+    }
+  }
+};
+
+}  // namespace
+
+void check_census_conservation(const ChaosScenario& cs,
+                               const testbed::ExperimentResult& result,
+                               std::vector<Violation>& out) {
+  const auto& census = result.census;
+  const std::uint64_t n = cs.scenario.num_messages;
+  if (census.total_keys != n) {
+    out.push_back({"census-conservation",
+                   fmt("census over %llu keys, produced %llu",
+                       static_cast<unsigned long long>(census.total_keys),
+                       static_cast<unsigned long long>(n))});
+  }
+  if (census.delivered + census.duplicated + census.lost != n) {
+    out.push_back(
+        {"census-conservation",
+         fmt("delivered %llu + duplicated %llu + lost %llu != produced %llu",
+             static_cast<unsigned long long>(census.delivered),
+             static_cast<unsigned long long>(census.duplicated),
+             static_cast<unsigned long long>(census.lost),
+             static_cast<unsigned long long>(n))});
+  }
+  std::uint64_t case_sum = 0;
+  for (auto c : result.cases.cases) case_sum += c;
+  if (case_sum != n) {
+    out.push_back({"census-conservation",
+                   fmt("Table I cases sum to %llu, produced %llu",
+                       static_cast<unsigned long long>(case_sum),
+                       static_cast<unsigned long long>(n))});
+  }
+}
+
+void check_expectations(const ChaosScenario& cs,
+                        const testbed::ExperimentResult& result,
+                        std::vector<Violation>& out) {
+  if (cs.expect_no_duplicates && result.census.duplicated != 0) {
+    out.push_back(
+        {"no-duplicates",
+         fmt("%llu duplicated keys under %s (Case 5 requires a duplicated "
+             "retry, impossible here)",
+             static_cast<unsigned long long>(result.census.duplicated),
+             kafka::to_string(cs.scenario.semantics))});
+  }
+  if (cs.expect_no_loss) {
+    if (!result.completed) {
+      out.push_back({"no-loss",
+                     "benign-recovery run hit the simulation time cap"});
+    }
+    if (result.census.lost != 0) {
+      out.push_back(
+          {"no-loss",
+           fmt("%llu lost keys despite eventual connectivity and retry "
+               "budget to spare (Fig. 2: all messages must reach Delivered)",
+               static_cast<unsigned long long>(result.census.lost))});
+    }
+  }
+}
+
+void check_offset_contiguity(const testbed::ExperimentResult& result,
+                             std::vector<Violation>& out) {
+  if (result.offset_gap_violations != 0) {
+    out.push_back({"offset-contiguity",
+                   fmt("%llu appends broke per-partition offset contiguity",
+                       static_cast<unsigned long long>(
+                           result.offset_gap_violations))});
+  }
+}
+
+void check_trace_legality(const obs::RunReport& report,
+                          std::vector<Violation>& out) {
+  // The ring dropped entries => per-key sequences may be truncated and
+  // legality cannot be judged. The generator sizes the ring to avoid this;
+  // flag it so capacity regressions surface instead of silently skipping.
+  if (report.trace_dropped != 0) {
+    out.push_back({"trace-legality",
+                   fmt("trace ring dropped %llu events; resize the ring",
+                       static_cast<unsigned long long>(
+                           report.trace_dropped))});
+    return;
+  }
+  std::map<std::uint64_t, KeyWalk> walks;
+  for (const auto& e : report.trace) {
+    auto [it, inserted] = walks.try_emplace(e.key);
+    if (inserted) it->second.key = e.key;
+    it->second.step(e);
+  }
+  for (const auto& [key, walk] : walks) {
+    if (!walk.illegal) continue;
+    out.push_back({"trace-legality",
+                   fmt("key %llu: %s",
+                       static_cast<unsigned long long>(key),
+                       walk.why.c_str())});
+    if (out.size() >= 8) return;  // Enough to diagnose; don't flood.
+  }
+}
+
+std::vector<Violation> check_invariants(
+    const ChaosScenario& cs, const testbed::ExperimentResult& result) {
+  std::vector<Violation> out;
+  check_census_conservation(cs, result, out);
+  check_expectations(cs, result, out);
+  check_offset_contiguity(result, out);
+  check_trace_legality(result.report, out);
+  return out;
+}
+
+}  // namespace ks::chaos

@@ -1,0 +1,49 @@
+// The chaos harness's invariant library, each check anchored to the
+// paper's message-state model (Fig. 2 / Table I):
+//
+//  - census-conservation: every unique key ends in exactly one of
+//    {delivered, duplicated, lost}, and the Table I case census sums to N.
+//  - trace-legality: every traced per-key lifecycle is a legal walk of the
+//    Fig. 2 automaton (attempt numbers consecutive from I/II, appends only
+//    after a send, acks only after an append, expiry only pre-send, at
+//    most one terminal resolution).
+//  - no-duplicates: at-most-once (no retries => transition VI impossible)
+//    and exactly-once (log-side dedup) must show zero Case 5.
+//  - no-loss: benign-recovery scenarios (eventual connectivity, budget to
+//    spare) must deliver every key — Cases 2/3 and unsent must be zero.
+//  - offset-contiguity: partition logs hand out strictly contiguous
+//    offsets (consumer-side offset monotonicity).
+//  - replay-determinism (harness-level): the same seed yields a
+//    byte-identical canonical RunReport JSON.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chaos/generator.hpp"
+#include "testbed/experiment.hpp"
+
+namespace ks::chaos {
+
+struct Violation {
+  std::string invariant;  ///< Stable check name (e.g. "census-conservation").
+  std::string detail;     ///< Human-readable specifics.
+};
+
+/// Run every scenario-level invariant over one experiment result.
+std::vector<Violation> check_invariants(
+    const ChaosScenario& cs, const testbed::ExperimentResult& result);
+
+/// Individual checks (exposed for targeted tests). Each appends to `out`.
+void check_census_conservation(const ChaosScenario& cs,
+                               const testbed::ExperimentResult& result,
+                               std::vector<Violation>& out);
+void check_expectations(const ChaosScenario& cs,
+                        const testbed::ExperimentResult& result,
+                        std::vector<Violation>& out);
+void check_offset_contiguity(const testbed::ExperimentResult& result,
+                             std::vector<Violation>& out);
+void check_trace_legality(const obs::RunReport& report,
+                          std::vector<Violation>& out);
+
+}  // namespace ks::chaos

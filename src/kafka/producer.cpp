@@ -262,7 +262,13 @@ void Producer::try_send() {
     retry_order_.pop_front();
   }
 
-  // 2. Fresh batches from the accumulator.
+  // 2. Fresh batches from the accumulator. An idempotent producer must not
+  //    let a fresh (higher-sequence) batch overtake one still waiting for
+  //    its retry backoff: the broker would record the higher sequence and
+  //    then drop the earlier batch's retry as a "duplicate" — an ack
+  //    without an append, which breaks exactly-once. Head-of-line block
+  //    until the retry queue drains (Kafka's in-order in-flight rule).
+  if (config_.enable_idempotence && !retry_order_.empty()) return;
   while (true) {
     expire_queue_front();
     if (queue_.empty()) {
@@ -407,7 +413,14 @@ void Producer::retry_or_fail(std::uint64_t batch_id) {
   const Duration backoff =
       config_.retry_backoff * std::min(batch.attempt, 10);
   batch.ready_at = sim_.now() + backoff;
-  retry_order_.push_back(batch_id);
+  // Keep the retry queue ordered by batch id (== idempotent sequence
+  // order). Timeout scans and connection resets discover batches in hash
+  // order; retrying a later sequence before an earlier one would let the
+  // broker's duplicate check (base_sequence <= last appended) mistake the
+  // earlier batch's retry for a duplicate and ack it without appending.
+  retry_order_.insert(
+      std::lower_bound(retry_order_.begin(), retry_order_.end(), batch_id),
+      batch_id);
   retry_timer_.arm(backoff, [this] { try_send(); });
 }
 

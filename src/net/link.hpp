@@ -57,6 +57,14 @@ class Link {
     loss_ = std::move(loss);
   }
 
+  /// Change the line rate mid-run (NetEm-style bandwidth impairment).
+  /// Packets already serialized keep their old transmit schedule; 0 means
+  /// infinite bandwidth.
+  void set_bandwidth(double bandwidth_bps) noexcept {
+    config_.bandwidth_bps = bandwidth_bps;
+  }
+  double bandwidth() const noexcept { return config_.bandwidth_bps; }
+
   const Stats& stats() const noexcept { return stats_; }
   const std::string& name() const noexcept { return name_; }
 

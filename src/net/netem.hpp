@@ -29,8 +29,18 @@ class NetEm {
   /// Apply a fixed condition immediately.
   void apply(Duration one_way_delay, double loss_rate);
 
+  /// Apply a delay plus an arbitrary loss process (e.g. Gilbert-Elliott
+  /// bursts) immediately.
+  void apply(Duration one_way_delay, std::shared_ptr<LossModel> loss);
+
   /// Schedule a condition change at absolute simulated time `t`.
   void apply_at(TimePoint t, Duration one_way_delay, double loss_rate);
+  void apply_at(TimePoint t, Duration one_way_delay,
+                std::shared_ptr<LossModel> loss);
+
+  /// Schedule a line-rate change at `t` (0 restores the construction-time
+  /// bandwidth). Applied to the impaired direction(s).
+  void set_bandwidth_at(TimePoint t, double bandwidth_bps);
 
   /// Replay a whole trace: one apply_at per interval.
   void replay(const NetworkTrace& trace);
@@ -39,12 +49,13 @@ class NetEm {
   void clear();
 
  private:
-  void install(Duration one_way_delay, double loss_rate);
+  void install(Duration one_way_delay, std::shared_ptr<LossModel> loss);
 
   sim::Simulation& sim_;
   DuplexLink& link_;
   Direction direction_;
   Duration base_reverse_delay_;
+  double base_bandwidth_bps_;
 };
 
 }  // namespace ks::net

@@ -117,6 +117,21 @@ std::string RunReport::to_json() const {
   return w.str();
 }
 
+bool is_wall_clock_metric(const std::string& name) noexcept {
+  return name.rfind("sim_wall", 0) == 0;
+}
+
+std::string RunReport::canonical_json() const {
+  RunReport canon = *this;
+  std::erase_if(canon.metrics, [](const Metric& m) {
+    return is_wall_clock_metric(m.name);
+  });
+  std::erase_if(canon.series, [](const Sampler::Series& s) {
+    return is_wall_clock_metric(s.name);
+  });
+  return canon.to_json();
+}
+
 bool RunReport::write_json(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;

@@ -57,8 +57,18 @@ struct RunReport {
   double metric(const std::string& full_name, double fallback = 0.0) const;
 
   std::string to_json() const;
+
+  /// to_json() minus host-dependent values (wall-clock metrics and their
+  /// series): two runs of the same seed produce byte-identical canonical
+  /// JSON, which is what the determinism and chaos-replay checks compare.
+  std::string canonical_json() const;
+
   bool write_json(const std::string& path) const;
 };
+
+/// True for metrics whose value depends on host wall-clock time rather
+/// than the simulation (excluded from canonical_json()).
+bool is_wall_clock_metric(const std::string& name) noexcept;
 
 /// Snapshot `registry` (collectors are run) plus optional sampler series and
 /// trace into a report. Callers add summary scalars afterwards.

@@ -81,6 +81,30 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   net::NetEm netem(sim, link, net::NetEm::Direction::kForward, kBaseLanDelay);
   netem.apply(kBaseLanDelay + scenario.network_delay, scenario.packet_loss);
 
+  // Timed fault schedule: netem steps, bandwidth changes and broker
+  // outages on top of the static impairment. A kNetem/kGilbertElliott step
+  // replaces the static (D, L) condition from its time onward.
+  for (const auto& f : scenario.faults) {
+    switch (f.kind) {
+      case FaultAction::Kind::kNetem:
+        netem.apply_at(f.at, kBaseLanDelay + f.delay, f.loss);
+        break;
+      case FaultAction::Kind::kGilbertElliott:
+        netem.apply_at(f.at, kBaseLanDelay + f.delay,
+                       std::make_shared<net::GilbertElliottLoss>(f.ge));
+        break;
+      case FaultAction::Kind::kBandwidth:
+        netem.set_bandwidth_at(f.at, f.bandwidth_bps);
+        break;
+      case FaultAction::Kind::kBrokerFail:
+        sim.at(f.at, [&cluster, b = f.broker] { cluster.broker(b).fail(); });
+        break;
+      case FaultAction::Kind::kBrokerResume:
+        sim.at(f.at, [&cluster, b = f.broker] { cluster.broker(b).resume(); });
+        break;
+    }
+  }
+
   tcp::Pair conn(sim, tcp_config(scenario.semantics), link, "prod-conn");
   leader.attach(conn.server);
 
@@ -143,9 +167,28 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   obs::Histogram delivery_latency =
       sim.metrics().histogram("delivery_latency_us");
   std::uint64_t stale = 0;
+  // Per-broker offset discipline: on_append reports the batch base offset
+  // for each record, so within a batch the offset repeats and the next
+  // batch must start exactly at base + batch_record_count (contiguous,
+  // monotone log).
+  struct OffsetWatch {
+    std::int64_t base = -1;
+    std::int64_t count = 1;
+  };
+  std::vector<OffsetWatch> offsets(
+      static_cast<std::size_t>(cluster.num_brokers()));
   for (int b = 0; b < cluster.num_brokers(); ++b) {
     cluster.broker(b).on_append = [&, b](const kafka::Record& r,
-                                         std::int64_t) {
+                                         std::int64_t offset) {
+      ++result.appends_observed;
+      auto& w = offsets[static_cast<std::size_t>(b)];
+      if (offset == w.base) {
+        ++w.count;  // Another record of the same batch.
+      } else {
+        if (offset != w.base + w.count) ++result.offset_gap_violations;
+        w.base = offset;
+        w.count = 1;
+      }
       tracker.on_append(r.key);
       trace.record(sim.now(), r.key, obs::TraceEvent::kAppended, b);
       if (tracker.state_of(r.key) == kafka::MessageState::kDelivered) {
@@ -245,6 +288,10 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   summary["packet_loss"] = scenario.packet_loss;
   summary["batch_size"] = static_cast<double>(scenario.batch_size);
   summary["semantics"] = static_cast<double>(scenario.semantics);
+  summary["fault_actions"] = static_cast<double>(scenario.faults.size());
+  summary["appends_observed"] = static_cast<double>(result.appends_observed);
+  summary["offset_gap_violations"] =
+      static_cast<double>(result.offset_gap_violations);
   return result;
 }
 

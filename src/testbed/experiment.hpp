@@ -56,6 +56,12 @@ struct ExperimentResult {
   double duration_s = 0.0;
   bool completed = false;  ///< Producer finished before the time cap.
 
+  // Chaos-harness invariant inputs (per-partition log discipline).
+  std::uint64_t appends_observed = 0;  ///< Broker on_append callbacks fired.
+  /// Appends whose offset was not exactly previous+1 for that broker's
+  /// partition log — any nonzero value is a log-discipline bug.
+  std::uint64_t offset_gap_violations = 0;
+
   /// Structured run artifact: final metric values across every layer,
   /// sampled time series, histogram summaries and the message trace.
   obs::RunReport report;

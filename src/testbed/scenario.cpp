@@ -1,6 +1,39 @@
 #include "testbed/scenario.hpp"
 
+#include <cstdio>
+
 namespace ks::testbed {
+
+std::string FaultAction::describe() const {
+  char buf[160];
+  switch (kind) {
+    case Kind::kNetem:
+      std::snprintf(buf, sizeof(buf), "t=%.2fs netem D=%.0fms L=%.1f%%",
+                    to_seconds(at), to_millis(delay), loss * 100.0);
+      break;
+    case Kind::kGilbertElliott:
+      std::snprintf(buf, sizeof(buf),
+                    "t=%.2fs gilbert-elliott D=%.0fms p=%.3f r=%.3f "
+                    "Lg=%.1f%% Lb=%.1f%%",
+                    to_seconds(at), to_millis(delay), ge.p_good_to_bad,
+                    ge.p_bad_to_good, ge.loss_good * 100.0,
+                    ge.loss_bad * 100.0);
+      break;
+    case Kind::kBandwidth:
+      std::snprintf(buf, sizeof(buf), "t=%.2fs bandwidth %.1fMbps",
+                    to_seconds(at), bandwidth_bps / 1e6);
+      break;
+    case Kind::kBrokerFail:
+      std::snprintf(buf, sizeof(buf), "t=%.2fs broker%d fail",
+                    to_seconds(at), broker);
+      break;
+    case Kind::kBrokerResume:
+      std::snprintf(buf, sizeof(buf), "t=%.2fs broker%d resume",
+                    to_seconds(at), broker);
+      break;
+  }
+  return buf;
+}
 
 namespace {
 double semantics_code(kafka::DeliverySemantics s) noexcept {

@@ -4,12 +4,38 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
 #include "kafka/producer.hpp"
+#include "net/loss_model.hpp"
 
 namespace ks::testbed {
+
+/// One timed fault-injection action, executed by the experiment runner at
+/// the given simulated time. A schedule of these is the machine-checkable
+/// analogue of the paper's manual NetEm sessions (plus the broker fail-stop
+/// outages of the future-work ablation).
+struct FaultAction {
+  enum class Kind {
+    kNetem,           ///< Constant delay + Bernoulli loss on the egress.
+    kGilbertElliott,  ///< Constant delay + bursty two-state loss.
+    kBandwidth,       ///< Line-rate change; bandwidth_bps = 0 restores.
+    kBrokerFail,      ///< Fail-stop outage of `broker`.
+    kBrokerResume,    ///< End of the outage.
+  };
+
+  TimePoint at = 0;  ///< Absolute simulated time.
+  Kind kind = Kind::kNetem;
+  Duration delay = 0;   ///< Injected one-way delay (kNetem/kGilbertElliott).
+  double loss = 0.0;    ///< Bernoulli loss rate (kNetem).
+  net::GilbertElliottLoss::Params ge{};  ///< kGilbertElliott parameters.
+  double bandwidth_bps = 0.0;            ///< kBandwidth target rate.
+  int broker = 0;                        ///< kBrokerFail/kBrokerResume.
+
+  std::string describe() const;  ///< One-line human-readable summary.
+};
 
 /// How the upstream source behaves.
 enum class SourceMode {
@@ -41,6 +67,11 @@ struct Scenario {
   Duration request_timeout = 0;
   /// Retry budget tau_r; -1 = semantics-preset default.
   int retries_override = -1;
+
+  /// Timed fault schedule executed on top of the static (D, L) impairment:
+  /// netem steps, bandwidth drops and broker outages. Actions are scheduled
+  /// at their absolute times; order within the vector is irrelevant.
+  std::vector<FaultAction> faults;
 
   // --- run control ------------------------------------------------------------
   std::uint64_t num_messages = 20000;  ///< N (paper: 1e6; scaled down).

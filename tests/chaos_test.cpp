@@ -1,0 +1,169 @@
+// Tier-1 chaos harness test: hundreds of randomized fault-schedule
+// scenarios, every one checked against the Fig. 2 / Table I invariant
+// library, with seed-exact reproduction.
+//
+// Repro a failure:   KS_CHAOS_SEED=0x... ctest -R Chaos --output-on-failure
+// Long soak:         KS_CHAOS_ITERS=5000 ctest -R Chaos
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "chaos/harness.hpp"
+#include "testbed/experiment.hpp"
+
+#ifndef KS_CORPUS_DIR
+#define KS_CORPUS_DIR "tests/corpus"
+#endif
+
+namespace ks::chaos {
+namespace {
+
+using Kind = testbed::FaultAction::Kind;
+
+std::string corpus_path() {
+  return std::string(KS_CORPUS_DIR) + "/chaos_seeds.txt";
+}
+
+// The tier-1 sweep: pinned corpus first, then the randomized scenarios.
+// KS_CHAOS_SEED / KS_CHAOS_ITERS override for repro / soak runs.
+TEST(Chaos, RandomizedScenariosHoldInvariants) {
+  Options options;
+  options.corpus = load_seed_corpus(corpus_path());
+  options = options_from_env(options);
+
+  const auto report = run(options);
+  for (const auto& failure : report.failures) {
+    ADD_FAILURE() << failure.summary();
+  }
+  EXPECT_TRUE(report.ok());
+  if (!options.single_seed) {
+    EXPECT_GE(report.scenarios_run, options.iterations);
+    EXPECT_GE(report.corpus_replayed, 4u) << "seed corpus missing? "
+                                          << corpus_path();
+    EXPECT_GT(report.replay_checks, 0u)
+        << "no replay-determinism double-runs happened";
+  }
+}
+
+TEST(Chaos, GeneratorIsDeterministicInTheSeed) {
+  const auto a = generate_scenario(0xDEADBEEFu);
+  const auto b = generate_scenario(0xDEADBEEFu);
+  EXPECT_EQ(a.describe(), b.describe());
+  EXPECT_EQ(a.scenario.seed, b.scenario.seed);
+  EXPECT_EQ(a.scenario.faults.size(), b.scenario.faults.size());
+
+  const auto c = generate_scenario(0xDEADBEF0u);
+  EXPECT_NE(a.describe(), c.describe());
+}
+
+// The scenario space must actually cover what the harness claims: all
+// three semantics presets, the benign-recovery class, and every fault
+// kind (loss bursts, bursty GE loss, bandwidth drops, broker outages).
+TEST(Chaos, GeneratorCoversTheScenarioSpace) {
+  int semantics_seen[3] = {0, 0, 0};
+  int benign = 0;
+  std::set<Kind> kinds;
+  for (std::uint64_t i = 0; i < 128; ++i) {
+    const auto cs = generate_scenario(scenario_seed(0xC0FFEEu, i));
+    ++semantics_seen[static_cast<int>(cs.scenario.semantics)];
+    if (cs.expect_no_loss) ++benign;
+    for (const auto& f : cs.scenario.faults) kinds.insert(f.kind);
+  }
+  EXPECT_GT(semantics_seen[0], 0) << "no at-most-once scenarios";
+  EXPECT_GT(semantics_seen[1], 0) << "no at-least-once scenarios";
+  EXPECT_GT(semantics_seen[2], 0) << "no exactly-once scenarios";
+  EXPECT_GT(benign, 0) << "no benign-recovery (no-loss) scenarios";
+  EXPECT_TRUE(kinds.count(Kind::kNetem));
+  EXPECT_TRUE(kinds.count(Kind::kGilbertElliott));
+  EXPECT_TRUE(kinds.count(Kind::kBandwidth));
+  EXPECT_TRUE(kinds.count(Kind::kBrokerFail));
+  EXPECT_TRUE(kinds.count(Kind::kBrokerResume));
+}
+
+TEST(Chaos, SeedCorpusParses) {
+  const auto seeds = load_seed_corpus(corpus_path());
+  ASSERT_GE(seeds.size(), 4u);
+  EXPECT_EQ(seeds.front(), 0x5EEDFACEu);
+  EXPECT_TRUE(load_seed_corpus("/nonexistent/chaos_seeds.txt").empty());
+}
+
+TEST(Chaos, EnvKnobsOverrideOptions) {
+  ::setenv("KS_CHAOS_SEED", "0x2a", 1);
+  ::setenv("KS_CHAOS_ITERS", "7", 1);
+  const auto options = options_from_env();
+  ::unsetenv("KS_CHAOS_SEED");
+  ::unsetenv("KS_CHAOS_ITERS");
+  ASSERT_TRUE(options.single_seed.has_value());
+  EXPECT_EQ(*options.single_seed, 0x2au);
+  EXPECT_EQ(options.iterations, 7u);
+}
+
+// End-to-end failure path: inject a violation (via the extra-invariant
+// hook), check the harness pins the seed, prints a KS_CHAOS_SEED repro
+// line, and shrinks the fault schedule to a smaller still-violating one.
+TEST(Chaos, InjectedViolationReproducesFromSeedAndShrinks) {
+  // Find a scenario whose only loss source is its fault schedule (clean
+  // static network) and which mixes lossy faults with unrelated ones, so
+  // the shrinker has something to remove.
+  std::uint64_t chosen = 0;
+  for (std::uint64_t seed = 1; seed < 4000 && chosen == 0; ++seed) {
+    const auto cs = generate_scenario(seed);
+    if (cs.expect_no_loss || cs.scenario.packet_loss > 0.0) continue;
+    int lossy = 0;
+    int unrelated = 0;
+    for (const auto& f : cs.scenario.faults) {
+      if (f.kind == Kind::kNetem && f.loss >= 0.2) {
+        ++lossy;
+      } else if (f.kind == Kind::kGilbertElliott) {
+        ++lossy;
+      } else if (f.kind == Kind::kBrokerFail ||
+                 (f.kind == Kind::kBandwidth && f.bandwidth_bps > 0.0) ||
+                 (f.kind == Kind::kNetem && f.loss <= 0.0 && f.delay > 0)) {
+        ++unrelated;
+      }
+    }
+    if (lossy < 1 || unrelated < 1) continue;
+    // The lossy fault must actually fire while traffic flows.
+    const auto result = testbed::run_experiment(cs.scenario);
+    if (result.link_packets_lost > 0) chosen = seed;
+  }
+  ASSERT_NE(chosen, 0u) << "generator produced no suitable scenario";
+
+  Options options;
+  options.single_seed = chosen;
+  options.max_shrink_runs = 24;
+  options.verbose_failures = false;  // summary() is asserted on below
+  options.extra_invariant = [](const ChaosScenario&,
+                               const testbed::ExperimentResult& result,
+                               std::vector<Violation>& out) {
+    if (result.link_packets_lost > 0) {
+      out.push_back({"injected-loss-detector",
+                     "test invariant: any link-level packet loss"});
+    }
+  };
+
+  const auto report = run(options);
+  ASSERT_EQ(report.failures.size(), 1u);
+  const auto& failure = report.failures.front();
+  EXPECT_EQ(failure.chaos_seed, chosen);
+  ASSERT_FALSE(failure.violations.empty());
+  EXPECT_EQ(failure.violations.front().invariant, "injected-loss-detector");
+
+  // One-line seed repro, as printed on real violations.
+  EXPECT_NE(failure.repro.find("KS_CHAOS_SEED=0x"), std::string::npos);
+  EXPECT_NE(failure.repro.find("ctest -R Chaos"), std::string::npos);
+  EXPECT_NE(failure.summary().find(failure.repro), std::string::npos);
+
+  // The schedule shrank, and the shrunk scenario still violates.
+  EXPECT_LT(failure.shrunk_fault_count, failure.original_fault_count);
+  EXPECT_GE(failure.shrunk_fault_count, 1u);
+  const auto shrunk_result =
+      testbed::run_experiment(failure.shrunk.scenario);
+  EXPECT_GT(shrunk_result.link_packets_lost, 0u)
+      << "shrinker produced a non-violating scenario";
+}
+
+}  // namespace
+}  // namespace ks::chaos

@@ -1,0 +1,76 @@
+// Determinism regression: the simulation is a pure function of the
+// scenario seed. Three fixed seeds x all three delivery-semantics
+// presets, each run twice; the exported canonical RunReport JSON (which
+// excludes only host wall-clock metrics) must be byte-identical.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/report.hpp"
+#include "testbed/experiment.hpp"
+
+namespace ks::testbed {
+namespace {
+
+// A deliberately eventful configuration: packet loss, delay, broker
+// service regimes, sampler and trace all on, so determinism is checked
+// across every subsystem that emits into the report.
+Scenario make_scenario(std::uint64_t seed, kafka::DeliverySemantics sem) {
+  Scenario sc;
+  sc.seed = seed;
+  sc.semantics = sem;
+  sc.num_messages = 500;
+  sc.message_size = 300;
+  sc.batch_size = 3;
+  sc.message_timeout = millis(1200);
+  sc.network_delay = millis(20);
+  sc.packet_loss = 0.12;
+  sc.broker_regimes = true;
+  sc.sample_interval = millis(200);
+  sc.trace_sample_every = 10;
+  sc.trace_capacity = 8192;
+  return sc;
+}
+
+TEST(Determinism, SameSeedByteIdenticalCanonicalReport) {
+  const std::uint64_t seeds[] = {7, 0x1234, 987654321};
+  const kafka::DeliverySemantics presets[] = {
+      kafka::DeliverySemantics::kAtMostOnce,
+      kafka::DeliverySemantics::kAtLeastOnce,
+      kafka::DeliverySemantics::kExactlyOnce,
+  };
+  for (const auto seed : seeds) {
+    for (const auto sem : presets) {
+      SCOPED_TRACE(std::string("seed=") + std::to_string(seed) +
+                   " semantics=" + kafka::to_string(sem));
+      const auto first = run_experiment(make_scenario(seed, sem));
+      const auto second = run_experiment(make_scenario(seed, sem));
+      const auto json_a = first.report.canonical_json();
+      const auto json_b = second.report.canonical_json();
+      ASSERT_FALSE(json_a.empty());
+      EXPECT_EQ(json_a, json_b);
+      // The census (and thus P_l/P_d) must agree too, not just the report.
+      EXPECT_EQ(first.census.delivered, second.census.delivered);
+      EXPECT_EQ(first.census.duplicated, second.census.duplicated);
+      EXPECT_EQ(first.census.lost, second.census.lost);
+      EXPECT_EQ(first.events, second.events);
+    }
+  }
+}
+
+TEST(Determinism, CanonicalJsonExcludesOnlyWallClockMetrics) {
+  const auto result =
+      run_experiment(make_scenario(42, kafka::DeliverySemantics::kAtLeastOnce));
+  const auto full = result.report.to_json();
+  const auto canonical = result.report.canonical_json();
+  // Wall-clock metrics exist in the full export but never in the
+  // canonical one (they differ between identical replays by nature).
+  EXPECT_NE(full.find("sim_wall"), std::string::npos);
+  EXPECT_EQ(canonical.find("sim_wall"), std::string::npos);
+  EXPECT_TRUE(obs::is_wall_clock_metric("sim_wall_time_us_total"));
+  EXPECT_TRUE(obs::is_wall_clock_metric("sim_wall_us_per_sim_s"));
+  EXPECT_FALSE(obs::is_wall_clock_metric("producer_records_acked_total"));
+}
+
+}  // namespace
+}  // namespace ks::testbed

@@ -1,0 +1,92 @@
+// Tier-1 trend tests: the paper's headline qualitative curves, checked
+// at reduced scale (the bench/ suite reproduces the full figures; the
+// thresholds here are calibrated to this substrate).
+//
+//  - Fig. 6: at full load, P_l falls monotonically as the polling
+//    interval delta grows, reaching ~zero by delta=90ms.
+//  - Fig. 7: under heavy packet loss (L=13%), batching rescues
+//    at-least-once reliability — B: 1 -> 2 collapses P_l.
+//
+// Runs are deterministic (fixed seed set, same common-random-numbers
+// scheme as bench_runner::run_averaged), so the assertions cannot flake;
+// the margins only guard against behavioral drift of the simulator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "testbed/experiment.hpp"
+
+namespace ks::testbed {
+namespace {
+
+// Average P_l over a fixed seed set shared by every sweep point, which
+// removes broker-regime noise from the cross-point comparison.
+double mean_p_loss(Scenario sc, int repeats) {
+  double sum = 0.0;
+  for (int i = 0; i < repeats; ++i) {
+    sc.seed = 90001 + 7919 * static_cast<std::uint64_t>(i);
+    sum += run_experiment(sc).p_loss;
+  }
+  return sum / repeats;
+}
+
+TEST(Trend, Fig6LossDecreasesMonotonicallyInPollingInterval) {
+  const std::vector<Duration> deltas = {0, millis(5), millis(20), millis(90)};
+  for (const auto semantics : {kafka::DeliverySemantics::kAtMostOnce,
+                               kafka::DeliverySemantics::kAtLeastOnce}) {
+    SCOPED_TRACE(kafka::to_string(semantics));
+    std::vector<double> p_loss;
+    for (const auto delta : deltas) {
+      Scenario sc;
+      sc.message_size = 200;
+      sc.message_timeout = millis(500);
+      sc.poll_interval = delta;
+      sc.source_mode = SourceMode::kOnDemand;
+      sc.num_messages = 12000;
+      sc.semantics = semantics;
+      sc.sample_interval = 0;
+      p_loss.push_back(mean_p_loss(sc, 3));
+    }
+    // Monotone within a small noise tolerance...
+    for (std::size_t i = 1; i < p_loss.size(); ++i) {
+      EXPECT_LE(p_loss[i], p_loss[i - 1] + 0.01)
+          << "P_l rose from delta=" << to_millis(deltas[i - 1]) << "ms ("
+          << p_loss[i - 1] << ") to delta=" << to_millis(deltas[i]) << "ms ("
+          << p_loss[i] << ")";
+    }
+    // ...with the paper's qualitative endpoints: substantial loss at full
+    // load (strongest without acks), near-zero by delta=90ms.
+    const double full_load_floor =
+        semantics == kafka::DeliverySemantics::kAtMostOnce ? 0.08 : 0.02;
+    EXPECT_GT(p_loss.front(), full_load_floor)
+        << "expected visible loss at delta=0";
+    EXPECT_LT(p_loss.back(), 0.005) << "expected ~no loss at delta=90ms";
+    EXPECT_GT(p_loss.front(), p_loss.back() + 0.01);
+  }
+}
+
+TEST(Trend, Fig7BatchingRescuesReliabilityUnderLoss) {
+  auto run_with_batch = [](int batch_size) {
+    Scenario sc;
+    sc.message_size = 100;
+    sc.packet_loss = 0.13;
+    sc.source_interval = micros(4000);
+    sc.message_timeout = millis(2000);
+    sc.batch_size = batch_size;
+    sc.num_messages = 12000;
+    sc.semantics = kafka::DeliverySemantics::kAtLeastOnce;
+    sc.sample_interval = 0;
+    return mean_p_loss(sc, 3);
+  };
+  const double b1 = run_with_batch(1);
+  const double b2 = run_with_batch(2);
+  // Fig. 7 at L=13%: B=1 keeps losing messages (every record pays the
+  // per-request overhead, so the retry budget drains under loss) while
+  // B=2 already recovers most of them.
+  EXPECT_GT(b1, 0.06) << "B=1 under L=13% should show sustained loss";
+  EXPECT_LT(b2, 0.05) << "B=2 under L=13% should recover reliability";
+  EXPECT_GT(b1, b2 + 0.03) << "batching should collapse P_l sharply";
+}
+
+}  // namespace
+}  // namespace ks::testbed
