@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a sanitizer pass over the unit tests.
+# Tier-1 verification plus sanitizer passes over the unit tests.
 #
-#   scripts/check.sh            # tier-1 build + ctest, then asan unit tests
+#   scripts/check.sh            # tier-1 build + ctest, then asan + ubsan
 #   scripts/check.sh --fast     # tier-1 only
 #
 # Tier-1 (the gate every PR must keep green):
@@ -28,14 +28,19 @@ if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi
 
-echo "== asan/ubsan: configure + build unit tests =="
-cmake --preset asan >/dev/null
 TEST_TARGETS="$(sed -n 's/^ks_test(\(.*\))$/\1/p' tests/CMakeLists.txt)"
-# shellcheck disable=SC2086
-cmake --build build-asan -j "${JOBS}" --target ${TEST_TARGETS}
 
-echo "== asan/ubsan: ctest =="
-(cd build-asan && ctest --output-on-failure --timeout "${CTEST_TIMEOUT}" \
-  -j "${JOBS}")
+# Two separate sanitizer builds: asan (heap/stack corruption) and ubsan
+# (with -fno-sanitize-recover=all, so any UB report is a hard failure).
+for SAN in asan ubsan; do
+  echo "== ${SAN}: configure + build unit tests =="
+  cmake --preset "${SAN}" >/dev/null
+  # shellcheck disable=SC2086
+  cmake --build "build-${SAN}" -j "${JOBS}" --target ${TEST_TARGETS}
+
+  echo "== ${SAN}: ctest =="
+  (cd "build-${SAN}" && ctest --output-on-failure \
+    --timeout "${CTEST_TIMEOUT}" -j "${JOBS}")
+done
 
 echo "== all checks passed =="

@@ -36,10 +36,23 @@ std::uint64_t scenario_seed(std::uint64_t master_seed, std::uint64_t index) {
   return mix.next();
 }
 
-ChaosScenario generate_scenario(std::uint64_t chaos_seed) {
+const char* to_string(Profile profile) noexcept {
+  switch (profile) {
+    case Profile::kDefault: return "default";
+    case Profile::kBrokerFaults: return "broker_faults";
+  }
+  return "?";
+}
+
+ChaosScenario generate_scenario(std::uint64_t chaos_seed, Profile profile) {
   ChaosScenario cs;
   cs.chaos_seed = chaos_seed;
-  Rng rng(chaos_seed);
+  // The profile participates in the expansion so the same seed under a
+  // different profile is an unrelated scenario (the repro line names both).
+  Rng rng(profile == Profile::kDefault
+              ? chaos_seed
+              : SplitMix64(chaos_seed ^ 0xB20CE2FA17C0DE5ULL).next());
+  const bool broker_profile = profile == Profile::kBrokerFaults;
   Scenario& sc = cs.scenario;
   sc.seed = rng.next_u64();
 
@@ -69,10 +82,32 @@ ChaosScenario generate_scenario(std::uint64_t chaos_seed) {
   sc.trace_sample_every = std::max<std::uint64_t>(sc.num_messages / 40, 1);
   sc.trace_capacity = 8192;
 
+  // Retry backoff: exercise the jittered-exponential knobs across their
+  // range; 0/0 keeps the semantics-preset defaults (50 ms floor, 1 s cap).
+  if (rng.bernoulli(0.5)) {
+    sc.retry_backoff = millis(rng.uniform_int(2, 80));
+    sc.retry_backoff_max =
+        sc.retry_backoff * static_cast<Duration>(rng.uniform_int(3, 16));
+  }
+
+  // Replication dimensions. The broker-fault profile soaks the replicated
+  // code paths; the default profile keeps a majority of unreplicated
+  // (paper-baseline) runs.
+  if (rng.bernoulli(broker_profile ? 0.90 : 0.35)) {
+    sc.replication_factor = rng.bernoulli(0.7) ? 3 : 2;
+    sc.min_insync_replicas =
+        rng.bernoulli(0.5) ? 1 : std::min(2, sc.replication_factor);
+    sc.unclean_leader_election = rng.bernoulli(0.25);
+  }
+
   // --- benign-recovery class: eventual connectivity => zero loss ------------
-  const bool benign = rng.bernoulli(0.22);
+  const bool benign = rng.bernoulli(broker_profile ? 0.12 : 0.22);
   if (benign) {
-    sc.semantics = rng.bernoulli(0.5)
+    // acks=1 loses leader-acked-but-unreplicated records to a fail-stop
+    // (real Kafka behaviour, demonstrated elsewhere), so the zero-loss
+    // promise pairs at-least-once only with the unreplicated baseline;
+    // replicated benign runs use acks=all.
+    sc.semantics = rng.bernoulli(0.5) && sc.replication_factor == 1
                        ? kafka::DeliverySemantics::kAtLeastOnce
                        : kafka::DeliverySemantics::kExactlyOnce;
     sc.source_mode = SourceMode::kOnDemand;  // The source cannot overrun.
@@ -82,7 +117,30 @@ ChaosScenario generate_scenario(std::uint64_t chaos_seed) {
     sc.request_timeout = 0;             // Preset default (2 s).
     sc.network_delay = 0;               // Faults come only from the schedule
     sc.packet_loss = 0.0;               // and all clear below.
+    // Fast rejections (kNotEnoughReplicas while the ISR recovers) must not
+    // burn the retry budget before the window clears: 50 retries at a
+    // 150 ms floor waits out any schedule this generator emits.
+    sc.retry_backoff = millis(150);
+    sc.retry_backoff_max = seconds(2);
+    // An unclean election may discard acknowledged records, which would
+    // void the zero-loss promise through no fault of the implementation.
+    sc.unclean_leader_election = false;
     cs.expect_no_loss = true;
+  }
+
+  // --- durable-delivery class: acked records survive broker fail-stop -------
+  // The replication headline: acks=all (exactly-once preset), RF=3,
+  // min.insync.replicas=2, clean elections, and — enforced when the fault
+  // schedule is drawn below — at most one broker down at any moment.
+  // Records may still fail or expire; what may never happen is a record
+  // acknowledged to the application vanishing from the committed log.
+  const bool durable = !benign && rng.bernoulli(broker_profile ? 0.40 : 0.15);
+  if (durable) {
+    sc.semantics = kafka::DeliverySemantics::kExactlyOnce;
+    sc.replication_factor = 3;
+    sc.min_insync_replicas = 2;
+    sc.unclean_leader_election = false;
+    cs.expect_no_acked_loss = true;
   }
   cs.expect_no_duplicates =
       sc.semantics != kafka::DeliverySemantics::kAtLeastOnce;
@@ -99,20 +157,29 @@ ChaosScenario generate_scenario(std::uint64_t chaos_seed) {
 
   const int num_faults =
       benign ? static_cast<int>(rng.uniform_int(1, 4))
-             : (rng.bernoulli(0.12) ? 0
-                                    : static_cast<int>(rng.uniform_int(1, 5)));
+             : (!broker_profile && rng.bernoulli(0.12)
+                    ? 0
+                    : static_cast<int>(rng.uniform_int(1, 5)));
   bool broker_failed[3] = {false, false, false};
+  // Durable scenarios promise at most one broker down at any moment, so
+  // their outages are serialized past this watermark.
+  TimePoint outage_free_after = 0;
+  // Fault mix: the broker-fault profile flips the weights so fail-stop
+  // outages dominate (70%) over the default netem-heavy schedule (35%).
+  const double netem_cut = broker_profile ? 0.12 : 0.35;
+  const double ge_cut = broker_profile ? 0.21 : 0.50;
+  const double bw_cut = broker_profile ? 0.30 : 0.65;
   for (int i = 0; i < num_faults; ++i) {
     FaultAction f;
     f.at = uniform_duration(rng, est_run / 20, window_end);
     const double roll = rng.uniform01();
-    if (roll < 0.35) {
+    if (roll < netem_cut) {
       f.kind = FaultAction::Kind::kNetem;
       f.delay = rng.bernoulli(0.6) ? millis(rng.uniform_int(1, 250)) : 0;
       f.loss = rng.bernoulli(0.15) ? rng.uniform(0.6, 0.9)  // Heavy burst.
                                    : rng.uniform(0.0, 0.45);
       sc.faults.push_back(f);
-    } else if (roll < 0.50) {
+    } else if (roll < ge_cut) {
       f.kind = FaultAction::Kind::kGilbertElliott;
       f.delay = millis(rng.uniform_int(0, 100));
       f.ge.p_good_to_bad = rng.uniform(0.005, 0.05);
@@ -120,17 +187,20 @@ ChaosScenario generate_scenario(std::uint64_t chaos_seed) {
       f.ge.loss_good = rng.uniform(0.0, 0.02);
       f.ge.loss_bad = rng.uniform(0.2, 0.8);
       sc.faults.push_back(f);
-    } else if (roll < 0.65) {
+    } else if (roll < bw_cut) {
       f.kind = FaultAction::Kind::kBandwidth;
       f.bandwidth_bps = rng.uniform(0.5e6, 20e6);
       sc.faults.push_back(f);
     } else {
-      // Fail-stop outage with a paired resume. Mostly the leader (broker
-      // 0) — follower outages are latency-invisible with one partition,
-      // but keep them for coverage of the scheduling path.
-      const int broker = rng.bernoulli(0.7)
-                             ? 0
-                             : static_cast<int>(rng.uniform_int(1, 2));
+      // Fail-stop outage with a paired resume. Unreplicated runs mostly hit
+      // the leader (broker 0) — follower outages are latency-invisible with
+      // one partition — while replicated runs spread outages evenly so
+      // elections, ISR churn and follower rejoin all get exercised.
+      const int broker =
+          rng.bernoulli(sc.replication_factor > 1 ? 0.34 : 0.7)
+              ? 0
+              : static_cast<int>(rng.uniform_int(1, 2));
+      if (durable) f.at = std::max(f.at, outage_free_after);
       Duration down_for = uniform_duration(rng, millis(50), millis(800));
       if (benign) down_for = std::min(down_for, clear_time - f.at);
       f.kind = FaultAction::Kind::kBrokerFail;
@@ -140,6 +210,7 @@ ChaosScenario generate_scenario(std::uint64_t chaos_seed) {
       r.kind = FaultAction::Kind::kBrokerResume;
       r.at = f.at + std::max<Duration>(down_for, millis(10));
       sc.faults.push_back(r);
+      outage_free_after = r.at + millis(20);
       broker_failed[broker] = true;
     }
   }
@@ -172,7 +243,7 @@ std::string ChaosScenario::describe() const {
       buf, sizeof(buf),
       "seed=0x%" PRIx64
       " N=%llu M=%lldB %s B=%d delta=%.0fms To=%.0fms %s D=%.0fms "
-      "L=%.2f regimes=%d%s%s faults=%zu",
+      "L=%.2f regimes=%d rf=%d mi=%d%s%s%s%s faults=%zu",
       chaos_seed, static_cast<unsigned long long>(scenario.num_messages),
       static_cast<long long>(scenario.message_size),
       kafka::to_string(scenario.semantics), scenario.batch_size,
@@ -180,9 +251,13 @@ std::string ChaosScenario::describe() const {
       scenario.source_mode == SourceMode::kOnDemand ? "on-demand"
                                                     : "real-time",
       to_millis(scenario.network_delay), scenario.packet_loss,
-      scenario.broker_regimes ? 1 : 0,
+      scenario.broker_regimes ? 1 : 0, scenario.replication_factor,
+      scenario.min_insync_replicas,
+      scenario.unclean_leader_election ? " unclean" : "",
       expect_no_loss ? " [no-loss]" : "",
-      expect_no_duplicates ? " [no-dup]" : "", scenario.faults.size());
+      expect_no_duplicates ? " [no-dup]" : "",
+      expect_no_acked_loss ? " [no-acked-loss]" : "",
+      scenario.faults.size());
   std::string out = buf;
   for (const auto& f : scenario.faults) {
     out += "\n    ";

@@ -19,6 +19,13 @@
 
 namespace ks::chaos {
 
+/// Fault-mix profile for the sweep. kDefault mirrors the paper's network
+/// ablation (mostly netem, some broker outages); kBrokerFaults weights the
+/// schedule towards broker fail-stop outages over replicated partitions —
+/// the soak profile for the replication/failover subsystem
+/// (KS_CHAOS_PROFILE=broker_faults).
+enum class Profile { kDefault, kBrokerFaults };
+
 /// A generated scenario plus the invariant expectations the generator can
 /// promise by construction (checked by the invariant library).
 struct ChaosScenario {
@@ -36,6 +43,12 @@ struct ChaosScenario {
   /// duplicated retry, transition VI).
   bool expect_no_duplicates = false;
 
+  /// Durable-delivery class: acks=all (exactly-once preset), RF=3,
+  /// min.insync.replicas=2, clean elections only, and at most one broker
+  /// down at any moment — the replication headline invariant: an
+  /// acknowledged record is never lost, whatever fail-stops happen.
+  bool expect_no_acked_loss = false;
+
   /// One-line human summary (config + fault schedule).
   std::string describe() const;
 };
@@ -43,7 +56,12 @@ struct ChaosScenario {
 /// The i-th scenario seed of a master-seeded run (SplitMix64 stream).
 std::uint64_t scenario_seed(std::uint64_t master_seed, std::uint64_t index);
 
-/// Deterministically expand one seed into a scenario program.
-ChaosScenario generate_scenario(std::uint64_t chaos_seed);
+/// Deterministically expand one seed into a scenario program. The profile
+/// shifts the fault mix (and is part of the repro: the same seed under a
+/// different profile is a different scenario).
+ChaosScenario generate_scenario(std::uint64_t chaos_seed,
+                                Profile profile = Profile::kDefault);
+
+const char* to_string(Profile profile) noexcept;
 
 }  // namespace ks::chaos

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <string_view>
 
 namespace ks::chaos {
 
@@ -98,11 +99,14 @@ ChaosScenario shrink_scenario(const Options& options, ChaosScenario cs,
   return cs;
 }
 
-std::string repro_command(std::uint64_t chaos_seed) {
-  char buf[96];
+std::string repro_command(std::uint64_t chaos_seed, Profile profile) {
+  char buf[128];
   std::snprintf(buf, sizeof(buf),
-                "KS_CHAOS_SEED=0x%" PRIx64 " ctest -R Chaos "
+                "%sKS_CHAOS_SEED=0x%" PRIx64 " ctest -R Chaos "
                 "--output-on-failure",
+                profile == Profile::kDefault
+                    ? ""
+                    : "KS_CHAOS_PROFILE=broker_faults ",
                 chaos_seed);
   return buf;
 }
@@ -111,7 +115,7 @@ std::string repro_command(std::uint64_t chaos_seed) {
 /// any failure. Returns true when the scenario passed.
 bool run_scenario(const Options& options, std::uint64_t chaos_seed,
                   bool replay_check, Report& report) {
-  const ChaosScenario cs = generate_scenario(chaos_seed);
+  const ChaosScenario cs = generate_scenario(chaos_seed, options.profile);
   auto result = testbed::run_experiment(cs.scenario);
   ++report.scenarios_run;
   auto violations = check_all(options, cs, result);
@@ -135,7 +139,7 @@ bool run_scenario(const Options& options, std::uint64_t chaos_seed,
   failure.chaos_seed = chaos_seed;
   failure.violations = violations;
   failure.original_fault_count = cs.scenario.faults.size();
-  failure.repro = repro_command(chaos_seed);
+  failure.repro = repro_command(chaos_seed, options.profile);
   failure.shrunk = cs;
   failure.shrunk_fault_count = cs.scenario.faults.size();
   // Determinism failures are not schedule-dependent; shrinking them would
@@ -207,6 +211,12 @@ Options options_from_env(Options base) {
   if (const char* iters = std::getenv("KS_CHAOS_ITERS");
       iters != nullptr && *iters != '\0') {
     base.iterations = std::strtoull(iters, nullptr, 0);
+  }
+  if (const char* profile = std::getenv("KS_CHAOS_PROFILE");
+      profile != nullptr && *profile != '\0') {
+    base.profile = std::string_view(profile) == "broker_faults"
+                       ? Profile::kBrokerFaults
+                       : Profile::kDefault;
   }
   return base;
 }

@@ -7,8 +7,9 @@
 //   KS_CHAOS_SEED=0x1234abcd ctest -R Chaos --output-on-failure
 //
 // Environment knobs (read by options_from_env):
-//   KS_CHAOS_SEED   replay exactly one scenario seed (hex or decimal)
-//   KS_CHAOS_ITERS  number of randomized scenarios (long-soak unlock)
+//   KS_CHAOS_SEED     replay exactly one scenario seed (hex or decimal)
+//   KS_CHAOS_ITERS    number of randomized scenarios (long-soak unlock)
+//   KS_CHAOS_PROFILE  fault-mix profile: "default" or "broker_faults"
 #pragma once
 
 #include <cstdint>
@@ -25,6 +26,8 @@ namespace ks::chaos {
 struct Options {
   std::uint64_t master_seed = 0x5EEDFACE;
   std::uint64_t iterations = 200;
+  /// Fault-mix profile every seed is expanded under (part of the repro).
+  Profile profile = Profile::kDefault;
   /// Replay exactly this scenario seed instead of a randomized sweep.
   std::optional<std::uint64_t> single_seed;
   /// Seeds replayed before the randomized sweep (tests/corpus/...).

@@ -165,6 +165,44 @@ void check_offset_contiguity(const testbed::ExperimentResult& result,
   }
 }
 
+void check_replication(const ChaosScenario& cs,
+                       const testbed::ExperimentResult& result,
+                       std::vector<Violation>& out) {
+  if (cs.expect_no_acked_loss && result.acked_lost != 0) {
+    out.push_back(
+        {"no-acked-loss",
+         fmt("%llu acknowledged records missing from the committed log "
+             "despite acks=all, min.insync=2 and clean elections (%llu "
+             "elections)",
+             static_cast<unsigned long long>(result.acked_lost),
+             static_cast<unsigned long long>(result.leader_elections))});
+  }
+  if (cs.scenario.unclean_leader_election) return;
+  // With unclean elections disabled, every leader comes from the ISR and
+  // therefore holds everything ever committed: committed prefixes agree
+  // across replicas and the committed offset never moves backwards.
+  if (result.unclean_elections != 0) {
+    out.push_back({"clean-election-only",
+                   fmt("%llu unclean elections with the knob disabled",
+                       static_cast<unsigned long long>(
+                           result.unclean_elections))});
+  }
+  if (result.replica_prefix_violations != 0) {
+    out.push_back({"replica-prefix-consistency",
+                   fmt("%llu committed entries diverge between replicas "
+                       "under clean elections",
+                       static_cast<unsigned long long>(
+                           result.replica_prefix_violations))});
+  }
+  if (result.committed_regressions != 0) {
+    out.push_back({"hw-monotonicity",
+                   fmt("committed offset regressed %llu times under clean "
+                       "elections",
+                       static_cast<unsigned long long>(
+                           result.committed_regressions))});
+  }
+}
+
 void check_trace_legality(const obs::RunReport& report,
                           std::vector<Violation>& out) {
   // The ring dropped entries => per-key sequences may be truncated and
@@ -199,6 +237,7 @@ std::vector<Violation> check_invariants(
   check_census_conservation(cs, result, out);
   check_expectations(cs, result, out);
   check_offset_contiguity(result, out);
+  check_replication(cs, result, out);
   check_trace_legality(result.report, out);
   return out;
 }

@@ -13,6 +13,13 @@
 //    spare) must deliver every key — Cases 2/3 and unsent must be zero.
 //  - offset-contiguity: partition logs hand out strictly contiguous
 //    offsets (consumer-side offset monotonicity).
+//  - no-acked-loss: in the durable-delivery class (acks=all, RF=3,
+//    min.insync=2, clean elections, one broker down at a time) an
+//    acknowledged record must survive every fail-stop in the schedule.
+//  - replica-prefix-consistency / hw-monotonicity / clean-election-only:
+//    with unclean elections disabled, committed log prefixes agree across
+//    replicas, the committed offset never regresses, and every election
+//    is from the ISR.
 //  - replay-determinism (harness-level): the same seed yields a
 //    byte-identical canonical RunReport JSON.
 #pragma once
@@ -43,6 +50,9 @@ void check_expectations(const ChaosScenario& cs,
                         std::vector<Violation>& out);
 void check_offset_contiguity(const testbed::ExperimentResult& result,
                              std::vector<Violation>& out);
+void check_replication(const ChaosScenario& cs,
+                       const testbed::ExperimentResult& result,
+                       std::vector<Violation>& out);
 void check_trace_legality(const obs::RunReport& report,
                           std::vector<Violation>& out);
 

@@ -1,5 +1,6 @@
 #include "kafka/broker.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <utility>
@@ -7,7 +8,10 @@
 namespace ks::kafka {
 
 Broker::Broker(sim::Simulation& sim, Config config)
-    : sim_(sim), config_(config), modulator_(sim, config.regime) {
+    : sim_(sim),
+      config_(config),
+      modulator_(sim, config.regime),
+      isr_scan_timer_(sim) {
   // A regime flip back to Good should immediately resume request service.
   modulator_.on_change([this](sim::Regime) { pump(); });
 
@@ -21,18 +25,38 @@ Broker::Broker(sim::Simulation& sim, Config config)
       metrics.counter("kafka_broker_bytes_appended_total", labels);
   m_deduplicated_ =
       metrics.counter("kafka_broker_batches_deduplicated_total", labels);
+  m_isr_shrinks_ = metrics.counter("kafka_broker_isr_shrinks_total", labels);
+  m_isr_expands_ = metrics.counter("kafka_broker_isr_expands_total", labels);
+  m_replica_fetches_ =
+      metrics.counter("kafka_broker_replica_fetches_total", labels);
   m_bad_regime_ = metrics.gauge("kafka_broker_bad_regime", labels);
   m_busy_ = metrics.gauge("kafka_broker_busy", labels);
   m_down_ = metrics.gauge("kafka_broker_down", labels);
+  m_replication_lag_ =
+      metrics.gauge("kafka_broker_replication_lag_records", labels);
   metrics_collector_ = metrics.add_collector([this] {
     m_produce_.set(stats_.produce_requests);
     m_fetches_.set(stats_.fetch_requests);
     m_records_appended_.set(stats_.records_appended);
     m_bytes_appended_.set(static_cast<std::uint64_t>(stats_.bytes_appended));
     m_deduplicated_.set(stats_.batches_deduplicated);
+    m_isr_shrinks_.set(stats_.isr_shrinks);
+    m_isr_expands_.set(stats_.isr_expands);
+    m_replica_fetches_.set(stats_.replica_fetches_served);
     m_bad_regime_.set(modulator_.good() ? 0.0 : 1.0);
     m_busy_.set(busy_ ? 1.0 : 0.0);
     m_down_.set(down_ ? 1.0 : 0.0);
+    // Worst replication lag (leader log end minus slowest ISR member)
+    // across the partitions this broker leads.
+    std::int64_t lag = 0;
+    for (const auto& [id, st] : partitions_) {
+      if (!st->leader || !replicated(*st)) continue;
+      const std::int64_t leo = st->log->log_end_offset();
+      for (const auto& [fid, f] : st->followers) {
+        if (f.in_isr) lag = std::max(lag, leo - f.fetched_to);
+      }
+    }
+    m_replication_lag_.set(static_cast<double>(lag));
   });
 }
 
@@ -45,20 +69,30 @@ void Broker::resume() {
   pump();
 }
 
-PartitionLog& Broker::create_partition(std::int32_t partition) {
+Broker::PartitionState& Broker::state_of(std::int32_t partition) {
   auto& slot = partitions_[partition];
-  if (!slot) slot = std::make_unique<PartitionLog>();
+  if (!slot) {
+    slot = std::make_unique<PartitionState>();
+    slot->log = std::make_unique<PartitionLog>();
+    slot->leader = true;
+    slot->leader_id = config_.id;
+    slot->fetch_timer = std::make_unique<sim::Timer>(sim_);
+  }
   return *slot;
+}
+
+PartitionLog& Broker::create_partition(std::int32_t partition) {
+  return *state_of(partition).log;
 }
 
 PartitionLog* Broker::partition(std::int32_t partition) {
   auto it = partitions_.find(partition);
-  return it == partitions_.end() ? nullptr : it->second.get();
+  return it == partitions_.end() ? nullptr : it->second->log.get();
 }
 
 const PartitionLog* Broker::partition(std::int32_t partition) const {
   auto it = partitions_.find(partition);
-  return it == partitions_.end() ? nullptr : it->second.get();
+  return it == partitions_.end() ? nullptr : it->second->log.get();
 }
 
 void Broker::attach(tcp::Endpoint& endpoint) {
@@ -96,85 +130,559 @@ void Broker::process(tcp::Endpoint* endpoint,
   const auto* frame = static_cast<const Frame*>(message.payload.get());
   assert(frame != nullptr);
 
-  if (const auto* req = std::get_if<ProduceRequest>(&frame->body)) {
-    Duration base = config_.request_overhead +
-                    static_cast<Duration>(std::llround(
-                        static_cast<double>(message.size) *
-                        config_.append_per_byte_us));
-    if (req->acks == Acks::kAll) base += config_.replication_extra;
-    const Duration d = service_time(base);
-    // Copy the request shared_ptr into the completion so the records stay
-    // alive through the service delay.
-    auto payload = message.payload;
-    sim_.after(d, [this, endpoint, payload = std::move(payload)] {
-      const auto& request =
-          std::get<ProduceRequest>(static_cast<const Frame*>(payload.get())->body);
-      ++stats_.produce_requests;
-      auto& log = create_partition(request.partition);
-      const auto result =
-          log.append(request.records, sim_.now(), request.producer_id,
-                     request.base_sequence);
-      if (result.deduplicated) {
-        ++stats_.batches_deduplicated;
-      } else {
-        stats_.records_appended += request.records.size();
-        for (const auto& r : request.records) {
-          stats_.bytes_appended += r.wire_size();
-          if (on_append) on_append(r, result.base_offset);
-        }
-      }
-      if (request.acks != Acks::kNone) {
-        ProduceResponse response;
-        response.request_id = request.id;
-        response.partition = request.partition;
-        response.error = result.deduplicated ? ErrorCode::kDuplicateSequence
-                                             : ErrorCode::kNone;
-        response.base_offset = result.base_offset;
-        const Bytes wire = response.wire_size();
-        endpoint->send(
-            tcp::AppMessage{wire, make_frame(std::move(response))});
-      }
-      busy_ = false;
-      pump();
-    });
+  if (std::get_if<ProduceRequest>(&frame->body) != nullptr) {
+    serve_produce(endpoint, message.payload, message.size);
     return;
   }
-
   if (const auto* req = std::get_if<FetchRequest>(&frame->body)) {
-    FetchResponse response;
-    response.request_id = req->id;
-    response.partition = req->partition;
-    if (const auto* log = partition(req->partition)) {
-      Bytes bytes = kFetchResponseOverhead;
-      for (const auto& e : log->read(req->offset,
-                                     static_cast<std::size_t>(req->max_records))) {
-        bytes += kRecordOverhead + e.value_size;
-        if (bytes > config_.fetch_max_bytes && !response.records.empty()) {
-          break;  // fetch.max.bytes: the consumer asks again from here.
-        }
-        response.records.push_back(
-            FetchedRecord{e.offset, e.key, e.value_size, e.append_time});
-      }
-      response.log_end_offset = log->log_end_offset();
-    }
-    Duration base = config_.fetch_overhead +
-                    static_cast<Duration>(std::llround(
-                        static_cast<double>(response.wire_size()) *
-                        config_.fetch_per_byte_us));
-    const Duration d = service_time(base);
-    sim_.after(d, [this, endpoint, response = std::move(response)]() mutable {
-      ++stats_.fetch_requests;
-      const Bytes wire = response.wire_size();
-      endpoint->send(tcp::AppMessage{wire, make_frame(std::move(response))});
-      busy_ = false;
-      pump();
-    });
+    serve_fetch(endpoint, *req);
     return;
   }
 
   // Responses never arrive at a broker; drop unknown frames defensively.
   busy_ = false;
   pump();
+}
+
+int Broker::isr_size(const PartitionState& st) const {
+  int size = 1;  // The leader itself.
+  for (const auto& [id, f] : st.followers) {
+    if (f.in_isr) ++size;
+  }
+  return size;
+}
+
+void Broker::serve_produce(tcp::Endpoint* endpoint,
+                           std::shared_ptr<const void> payload,
+                           Bytes wire_size) {
+  const Duration base = config_.request_overhead +
+                        static_cast<Duration>(std::llround(
+                            static_cast<double>(wire_size) *
+                            config_.append_per_byte_us));
+  const Duration d = service_time(base);
+  // Copy the request shared_ptr into the completion so the records stay
+  // alive through the service delay.
+  sim_.after(d, [this, endpoint, payload = std::move(payload)] {
+    const auto& request =
+        std::get<ProduceRequest>(static_cast<const Frame*>(payload.get())->body);
+    ++stats_.produce_requests;
+    auto& st = state_of(request.partition);
+
+    const auto respond = [&](ErrorCode error, std::int64_t base_offset) {
+      if (request.acks == Acks::kNone) return;
+      ProduceResponse response;
+      response.request_id = request.id;
+      response.partition = request.partition;
+      response.error = error;
+      response.base_offset = base_offset;
+      const Bytes wire = response.wire_size();
+      endpoint->send(tcp::AppMessage{wire, make_frame(std::move(response))});
+    };
+
+    if (replicated(st) && !st.leader) {
+      ++stats_.not_leader_responses;
+      respond(ErrorCode::kNotLeaderForPartition, -1);
+      busy_ = false;
+      pump();
+      return;
+    }
+    if (replicated(st) && request.acks == Acks::kAll &&
+        isr_size(st) < st.min_insync) {
+      // Kafka rejects before appending: the write cannot currently satisfy
+      // min.insync.replicas, so the producer must retry later.
+      ++stats_.not_enough_replicas;
+      respond(ErrorCode::kNotEnoughReplicas, -1);
+      busy_ = false;
+      pump();
+      return;
+    }
+
+    auto& log = *st.log;
+    const auto result =
+        log.append(request.records, sim_.now(), request.producer_id,
+                   request.base_sequence, st.epoch);
+    if (result.error == ErrorCode::kOutOfOrderSequence) {
+      // Sequence gap: nothing was appended; tell the producer to retry the
+      // missing earlier batch first (or bump its epoch if it cannot).
+      ++stats_.out_of_order_rejections;
+      respond(ErrorCode::kOutOfOrderSequence, -1);
+      busy_ = false;
+      pump();
+      return;
+    }
+    if (result.deduplicated) {
+      ++stats_.batches_deduplicated;
+    } else {
+      stats_.records_appended += request.records.size();
+      for (const auto& r : request.records) {
+        stats_.bytes_appended += r.wire_size();
+        if (on_append) on_append(r, result.base_offset);
+      }
+    }
+    if (replicated(st)) {
+      maybe_advance_high_watermark(request.partition, st);
+    }
+
+    if (request.acks == Acks::kAll && replicated(st)) {
+      // acks=all: the response waits for the high watermark to pass the
+      // batch (every ISR member holds it). A deduplicated batch is already
+      // in the log somewhere below the current end; waiting for the end is
+      // a safe (conservative) commit point for it.
+      const std::int64_t upto =
+          result.deduplicated
+              ? log.log_end_offset()
+              : result.base_offset +
+                    static_cast<std::int64_t>(request.records.size());
+      if (log.high_watermark() >= upto) {
+        respond(result.deduplicated ? ErrorCode::kDuplicateSequence
+                                    : ErrorCode::kNone,
+                result.base_offset);
+      } else {
+        PendingAck pending;
+        pending.upto = upto;
+        pending.endpoint = endpoint;
+        pending.response.request_id = request.id;
+        pending.response.partition = request.partition;
+        pending.response.error = result.deduplicated
+                                     ? ErrorCode::kDuplicateSequence
+                                     : ErrorCode::kNone;
+        pending.response.base_offset = result.base_offset;
+        st.pending_acks.push_back(pending);
+      }
+    } else {
+      respond(result.deduplicated ? ErrorCode::kDuplicateSequence
+                                  : ErrorCode::kNone,
+              result.base_offset);
+    }
+    busy_ = false;
+    pump();
+  });
+}
+
+FetchResponse Broker::build_fetch_response(const FetchRequest& request) {
+  FetchResponse response;
+  response.request_id = request.id;
+  response.partition = request.partition;
+
+  auto it = partitions_.find(request.partition);
+  PartitionState* st = it == partitions_.end() ? nullptr : it->second.get();
+  if (st == nullptr || !st->log) {
+    if (request.replica_id >= 0) {
+      response.error = ErrorCode::kNotLeaderForPartition;
+    }
+    return response;  // Unknown partition: empty log for consumers.
+  }
+  auto& log = *st->log;
+  response.log_end_offset = log.log_end_offset();
+  response.high_watermark = log.high_watermark();
+
+  if (replicated(*st) && !st->leader) {
+    response.error = ErrorCode::kNotLeaderForPartition;
+    return response;
+  }
+
+  // Replica fetches read to the log end; consumers only to the committed
+  // high watermark (Kafka consumers never see uncommitted records).
+  const std::int64_t visible_end = request.replica_id >= 0
+                                       ? log.log_end_offset()
+                                       : log.high_watermark();
+  if (request.offset > visible_end) {
+    response.error = ErrorCode::kOffsetOutOfRange;
+    return response;
+  }
+  if (request.replica_id >= 0 && request.offset > 0) {
+    // Divergence check: the follower's last entry must match ours at the
+    // same offset (epoch fence). On mismatch the follower truncates one
+    // entry and retries, walking back to the divergence point.
+    const auto& prev = log.entries()[static_cast<std::size_t>(
+        request.offset - 1)];
+    if (prev.leader_epoch != request.last_epoch ||
+        prev.key != request.last_key) {
+      response.error = ErrorCode::kDivergentLog;
+      return response;
+    }
+  }
+
+  Bytes bytes = kFetchResponseOverhead;
+  for (const auto& e : log.read(request.offset,
+                                static_cast<std::size_t>(request.max_records))) {
+    if (e.offset >= visible_end) break;
+    bytes += kRecordOverhead + e.value_size;
+    if (bytes > config_.fetch_max_bytes && !response.records.empty()) {
+      break;  // fetch.max.bytes: the fetcher asks again from here.
+    }
+    response.records.push_back(FetchedRecord{e.offset, e.key, e.value_size,
+                                             e.append_time, e.leader_epoch,
+                                             e.producer_id, e.sequence});
+  }
+
+  if (request.replica_id >= 0) {
+    ++stats_.replica_fetches_served;
+    auto fit = st->followers.find(request.replica_id);
+    if (fit != st->followers.end()) {
+      auto& f = fit->second;
+      f.fetched_to = request.offset;
+      f.fetched_once = true;
+      if (f.fetched_to >= log.log_end_offset()) {
+        f.caught_up_at = sim_.now();
+        if (!f.in_isr) {
+          // Caught back up to the log end: rejoin the ISR.
+          f.in_isr = true;
+          ++stats_.isr_expands;
+          publish_isr(request.partition, *st, /*shrink=*/false);
+        }
+      }
+      maybe_advance_high_watermark(request.partition, *st);
+      response.high_watermark = log.high_watermark();
+    }
+  }
+  return response;
+}
+
+void Broker::serve_fetch(tcp::Endpoint* endpoint,
+                         const FetchRequest& request) {
+  FetchResponse response = build_fetch_response(request);
+  const Duration base = config_.fetch_overhead +
+                        static_cast<Duration>(std::llround(
+                            static_cast<double>(response.wire_size()) *
+                            config_.fetch_per_byte_us));
+  const Duration d = service_time(base);
+  sim_.after(d, [this, endpoint, response = std::move(response)]() mutable {
+    ++stats_.fetch_requests;
+    const Bytes wire = response.wire_size();
+    endpoint->send(tcp::AppMessage{wire, make_frame(std::move(response))});
+    busy_ = false;
+    pump();
+  });
+}
+
+// ---- replication: leader side ---------------------------------------------
+
+void Broker::maybe_advance_high_watermark(std::int32_t partition,
+                                          PartitionState& st) {
+  if (!st.leader || !replicated(st)) return;
+  std::int64_t min_leo = st.log->log_end_offset();
+  for (const auto& [id, f] : st.followers) {
+    if (f.in_isr) min_leo = std::min(min_leo, f.fetched_to);
+  }
+  const std::int64_t before = st.log->high_watermark();
+  st.log->advance_high_watermark(min_leo);
+  if (st.log->high_watermark() != before) {
+    if (on_high_watermark) {
+      on_high_watermark(partition, st.log->high_watermark());
+    }
+    flush_pending_acks(st);
+  }
+}
+
+void Broker::flush_pending_acks(PartitionState& st) {
+  const std::int64_t hw = st.log->high_watermark();
+  auto ready = [hw](const PendingAck& p) { return p.upto <= hw; };
+  for (auto& p : st.pending_acks) {
+    if (!ready(p)) continue;
+    const Bytes wire = p.response.wire_size();
+    p.endpoint->send(tcp::AppMessage{wire, make_frame(p.response)});
+  }
+  st.pending_acks.erase(
+      std::remove_if(st.pending_acks.begin(), st.pending_acks.end(), ready),
+      st.pending_acks.end());
+}
+
+void Broker::fail_pending_acks(PartitionState& st, ErrorCode error) {
+  for (auto& p : st.pending_acks) {
+    p.response.error = error;
+    p.response.base_offset = -1;
+    const Bytes wire = p.response.wire_size();
+    p.endpoint->send(tcp::AppMessage{wire, make_frame(p.response)});
+  }
+  st.pending_acks.clear();
+}
+
+void Broker::publish_isr(std::int32_t partition, const PartitionState& st,
+                         bool shrink) {
+  if (!on_isr_change) return;
+  std::vector<int> isr{config_.id};
+  for (const auto& [id, f] : st.followers) {
+    if (f.in_isr) isr.push_back(id);
+  }
+  std::sort(isr.begin(), isr.end());
+  on_isr_change(partition, isr, shrink);
+}
+
+void Broker::arm_isr_scan() {
+  if (isr_scan_armed_) return;
+  isr_scan_armed_ = true;
+  isr_scan_timer_.arm(std::max<Duration>(config_.replica_lag_time_max / 2,
+                                         millis(10)),
+                      [this] {
+                        isr_scan_armed_ = false;
+                        scan_isr_lag();
+                      });
+}
+
+void Broker::scan_isr_lag() {
+  if (down_) return;
+  bool leads_replicated = false;
+  for (auto& [partition, st] : partitions_) {
+    if (!st->leader || !replicated(*st)) continue;
+    leads_replicated = true;
+    bool shrunk = false;
+    for (auto& [id, f] : st->followers) {
+      if (!f.in_isr) continue;
+      const bool behind = f.fetched_to < st->log->log_end_offset();
+      if (behind &&
+          sim_.now() - f.caught_up_at >= config_.replica_lag_time_max) {
+        // replica.lag.time.max exceeded: evict from the ISR.
+        f.in_isr = false;
+        ++stats_.isr_shrinks;
+        publish_isr(partition, *st, /*shrink=*/true);
+        shrunk = true;
+      }
+    }
+    if (shrunk) maybe_advance_high_watermark(partition, *st);
+  }
+  if (leads_replicated) arm_isr_scan();
+}
+
+void Broker::become_leader(std::int32_t partition, std::int32_t epoch,
+                           const std::vector<int>& replicas,
+                           const std::vector<int>& isr,
+                           int min_insync_replicas) {
+  auto& st = state_of(partition);
+  st.log->enable_replication();
+  st.leader = true;
+  st.leader_id = config_.id;
+  st.epoch = epoch;
+  st.min_insync = min_insync_replicas;
+  st.replicas = replicas;
+  st.fetch_outstanding = false;
+  st.fetch_timer->cancel();
+  st.followers.clear();
+  for (int r : replicas) {
+    if (r == config_.id) continue;
+    FollowerProgress f;
+    f.caught_up_at = sim_.now();
+    f.in_isr = std::find(isr.begin(), isr.end(), r) != isr.end();
+    st.followers.emplace(r, f);
+  }
+  arm_isr_scan();
+}
+
+void Broker::become_follower(std::int32_t partition, int leader_id,
+                             std::int32_t epoch) {
+  auto& st = state_of(partition);
+  st.log->enable_replication();
+  const bool was_leader = st.leader;
+  st.leader = false;
+  st.leader_id = leader_id;
+  st.epoch = epoch;
+  st.followers.clear();
+  st.fetch_outstanding = false;
+  st.fetch_timer->cancel();
+  if (was_leader) {
+    // Any produce still parked for the high watermark can no longer be
+    // acknowledged by us; tell the producer to go find the new leader.
+    fail_pending_acks(st, ErrorCode::kNotLeaderForPartition);
+  }
+  // Follower reconciliation: drop the uncommitted tail, then re-fetch from
+  // the leader (divergences are resolved by the fingerprint walk-back).
+  const std::int64_t before = st.log->log_end_offset();
+  st.log->truncate_to(st.log->high_watermark());
+  if (st.log->log_end_offset() != before) ++stats_.follower_truncations;
+  if (leader_id >= 0 && leader_id != config_.id && !down_) {
+    schedule_follower_fetch(partition, 0);
+  }
+}
+
+void Broker::controller_remove_from_isr(std::int32_t partition,
+                                        int broker_id) {
+  auto it = partitions_.find(partition);
+  if (it == partitions_.end() || !it->second->leader) return;
+  auto& st = *it->second;
+  auto fit = st.followers.find(broker_id);
+  if (fit == st.followers.end() || !fit->second.in_isr) return;
+  fit->second.in_isr = false;
+  ++stats_.isr_shrinks;
+  publish_isr(partition, st, /*shrink=*/true);
+  maybe_advance_high_watermark(partition, st);
+}
+
+bool Broker::is_leader(std::int32_t partition) const {
+  auto it = partitions_.find(partition);
+  return it != partitions_.end() && it->second->leader;
+}
+
+std::vector<int> Broker::isr_of(std::int32_t partition) const {
+  std::vector<int> isr;
+  auto it = partitions_.find(partition);
+  if (it == partitions_.end() || !it->second->leader) return isr;
+  isr.push_back(config_.id);
+  for (const auto& [id, f] : it->second->followers) {
+    if (f.in_isr) isr.push_back(id);
+  }
+  std::sort(isr.begin(), isr.end());
+  return isr;
+}
+
+// ---- replication: follower side -------------------------------------------
+
+void Broker::set_peer(int broker_id, tcp::Endpoint* endpoint) {
+  peers_[broker_id] = endpoint;
+  endpoint->on_message = [this, broker_id](
+                             std::shared_ptr<const void> payload) {
+    handle_peer_frame(broker_id, std::move(payload));
+  };
+  endpoint->on_connected = [this, broker_id] {
+    peer_reconnect_pending_[broker_id] = false;
+    for (auto& [partition, st] : partitions_) {
+      if (!st->leader && st->leader_id == broker_id) {
+        follower_fetch(partition);
+      }
+    }
+  };
+  endpoint->on_reset = [this, broker_id] { handle_peer_reset(broker_id); };
+}
+
+void Broker::schedule_follower_fetch(std::int32_t partition, Duration delay) {
+  auto it = partitions_.find(partition);
+  if (it == partitions_.end()) return;
+  it->second->fetch_timer->arm(delay,
+                               [this, partition] { follower_fetch(partition); });
+}
+
+void Broker::follower_fetch(std::int32_t partition) {
+  if (down_) return;
+  auto it = partitions_.find(partition);
+  if (it == partitions_.end()) return;
+  auto& st = *it->second;
+  if (st.leader || st.leader_id < 0 || st.leader_id == config_.id) return;
+  if (st.fetch_outstanding) return;
+  auto pit = peers_.find(st.leader_id);
+  if (pit == peers_.end()) return;
+  tcp::Endpoint* peer = pit->second;
+
+  if (!peer->established()) {
+    if (peer->state() == tcp::Endpoint::State::kSynSent) return;  // In flight.
+    auto& pending = peer_reconnect_pending_[st.leader_id];
+    if (pending) return;
+    pending = true;
+    sim_.after(config_.replica_reconnect_backoff,
+               [this, leader = st.leader_id] {
+                 peer_reconnect_pending_[leader] = false;
+                 if (down_) return;
+                 auto p = peers_.find(leader);
+                 if (p == peers_.end() || p->second->established() ||
+                     p->second->state() == tcp::Endpoint::State::kSynSent) {
+                   return;
+                 }
+                 p->second->connect();
+               });
+    return;
+  }
+
+  FetchRequest req;
+  req.id = next_replica_request_id_++;
+  req.partition = partition;
+  req.offset = st.log->log_end_offset();
+  req.max_records = 500;
+  req.replica_id = config_.id;
+  if (req.offset > 0) {
+    const auto& last = st.log->entries().back();
+    req.last_epoch = last.leader_epoch;
+    req.last_key = last.key;
+  }
+  const Bytes wire = req.wire_size();
+  const std::uint64_t request_id = req.id;
+  if (!peer->send(tcp::AppMessage{wire, make_frame(std::move(req))})) {
+    schedule_follower_fetch(partition, config_.replica_fetch_interval);
+    return;
+  }
+  st.fetch_outstanding = true;
+  st.fetch_request_id = request_id;
+  st.fetch_timer->arm(config_.replica_fetch_timeout, [this, partition] {
+    auto it2 = partitions_.find(partition);
+    if (it2 == partitions_.end()) return;
+    it2->second->fetch_outstanding = false;  // Response lost; ask again.
+    follower_fetch(partition);
+  });
+}
+
+void Broker::handle_peer_frame(int peer_id,
+                               std::shared_ptr<const void> payload) {
+  (void)peer_id;
+  const auto* frame = static_cast<const Frame*>(payload.get());
+  if (const auto* resp = std::get_if<FetchResponse>(&frame->body)) {
+    handle_replica_fetch_response(*resp);
+  }
+}
+
+void Broker::handle_replica_fetch_response(const FetchResponse& response) {
+  if (down_) return;
+  auto it = partitions_.find(response.partition);
+  if (it == partitions_.end()) return;
+  auto& st = *it->second;
+  if (st.leader) return;
+  if (!st.fetch_outstanding || response.request_id != st.fetch_request_id) {
+    return;  // Stale response from a previous session.
+  }
+  st.fetch_outstanding = false;
+  st.fetch_timer->cancel();
+
+  switch (response.error) {
+    case ErrorCode::kNotLeaderForPartition:
+      // Our leader view is stale; the controller will re-point us. Poll
+      // again lazily in case it already has.
+      schedule_follower_fetch(response.partition,
+                              config_.replica_fetch_timeout);
+      return;
+    case ErrorCode::kOffsetOutOfRange:
+      // The leader's log is shorter than ours (post-unclean-election):
+      // truncate to its end and continue from there.
+      ++stats_.follower_truncations;
+      st.log->truncate_to(response.log_end_offset);
+      follower_fetch(response.partition);
+      return;
+    case ErrorCode::kDivergentLog:
+      // Walk back one entry per round trip until the fingerprint matches.
+      ++stats_.follower_truncations;
+      st.log->truncate_to(st.log->log_end_offset() - 1);
+      follower_fetch(response.partition);
+      return;
+    default:
+      break;
+  }
+
+  for (const auto& r : response.records) {
+    if (r.offset != st.log->log_end_offset()) continue;  // Stale overlap.
+    st.log->append_replicated(LogEntry{r.offset, r.key, r.value_size,
+                                       r.append_time, r.leader_epoch,
+                                       r.producer_id, r.sequence});
+    ++stats_.replica_records_appended;
+  }
+  st.log->advance_high_watermark(response.high_watermark);
+
+  if (!response.records.empty()) {
+    follower_fetch(response.partition);
+  } else {
+    schedule_follower_fetch(response.partition,
+                            config_.replica_fetch_interval);
+  }
+}
+
+void Broker::handle_peer_reset(int peer_id) {
+  bool follows = false;
+  for (auto& [partition, st] : partitions_) {
+    if (!st->leader && st->leader_id == peer_id) {
+      follows = true;
+      st->fetch_outstanding = false;
+      st->fetch_timer->cancel();
+      if (!down_) {
+        schedule_follower_fetch(partition,
+                                config_.replica_reconnect_backoff);
+      }
+    }
+  }
+  (void)follows;
 }
 
 }  // namespace ks::kafka

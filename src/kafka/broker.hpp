@@ -1,5 +1,5 @@
-// A Kafka broker: owns partition logs it leads, serves produce and fetch
-// requests arriving over TCP connections, and acknowledges according to the
+// A Kafka broker: owns partition logs, serves produce and fetch requests
+// arriving over TCP connections, and acknowledges according to the
 // request's acks level.
 //
 // The broker is modelled as a single-server queue across its connections
@@ -10,6 +10,13 @@
 // While the broker is busy or stalled it does not read from its sockets,
 // so TCP flow control pushes back on producers exactly as in a real
 // deployment.
+//
+// Replication: for replicated partitions the broker is either the leader
+// (tracking per-follower fetch progress, the ISR set with
+// replica.lag.time.max eviction, and the high watermark = min ISR log end)
+// or a follower (running a fetch session against the leader over the
+// inter-broker links). acks=all produce responses are parked until the
+// high watermark passes the batch; min.insync.replicas gates acceptance.
 #pragma once
 
 #include <cstdint>
@@ -42,13 +49,24 @@ class Broker {
     /// Response size cap (fetch.max.bytes); also keeps responses inside
     /// the TCP send buffer.
     Bytes fetch_max_bytes = 48 * 1024;
-    /// Extra latency before acking when acks=all (follower round trip).
-    Duration replication_extra = micros(800);
     /// Service-time multiplier while in the Bad regime.
     double bad_slowdown = 30.0;
     /// GC / log-flush stall regime. Disabled => always Good.
     sim::TwoStateModulator::Config regime{
         .mean_good = millis(900), .mean_bad = millis(450), .enabled = false};
+
+    // ---- replication (effective only for replicated partitions) ----
+    /// A follower that has not been caught up to the log end for this long
+    /// is evicted from the ISR (replica.lag.time.max.ms analog, scaled to
+    /// sim run lengths).
+    Duration replica_lag_time_max = millis(300);
+    /// Follower poll interval when caught up (stands in for fetch long-poll
+    /// wait; kept short so steady-state replication lag is ~one RTT).
+    Duration replica_fetch_interval = micros(500);
+    /// Re-issue a replica fetch whose response never arrived.
+    Duration replica_fetch_timeout = millis(150);
+    /// Pause between follower session reconnect attempts.
+    Duration replica_reconnect_backoff = millis(50);
   };
 
   struct Stats {
@@ -57,6 +75,15 @@ class Broker {
     std::uint64_t records_appended = 0;
     std::uint64_t batches_deduplicated = 0;
     Bytes bytes_appended = 0;
+    // ---- replication ----
+    std::uint64_t replica_fetches_served = 0;   ///< Leader side.
+    std::uint64_t replica_records_appended = 0; ///< Follower side.
+    std::uint64_t not_leader_responses = 0;
+    std::uint64_t not_enough_replicas = 0;
+    std::uint64_t out_of_order_rejections = 0;  ///< Producer sequence gaps.
+    std::uint64_t isr_shrinks = 0;
+    std::uint64_t isr_expands = 0;
+    std::uint64_t follower_truncations = 0;
   };
 
   Broker(sim::Simulation& sim, Config config);
@@ -65,13 +92,17 @@ class Broker {
   void start();
 
   /// Fail-stop outage injection: while down the broker stops reading and
-  /// serving its sockets (clients see stalled requests, TCP backpressure,
-  /// and eventually connection resets). resume() continues service.
+  /// serving its sockets, so clients see stalled requests and TCP
+  /// backpressure (request timeouts drive their failover). resume()
+  /// continues service; partition roles are re-synced by the cluster
+  /// controller.
   void fail();
   void resume();
   bool is_down() const noexcept { return down_; }
 
-  /// Create (or get) the log for a partition this broker leads.
+  /// Create (or get) the log for a partition hosted on this broker. A
+  /// standalone partition (no become_leader/become_follower call) is led by
+  /// this broker, unreplicated — the pre-replication behaviour.
   PartitionLog& create_partition(std::int32_t partition);
   PartitionLog* partition(std::int32_t partition);
   const PartitionLog* partition(std::int32_t partition) const;
@@ -81,33 +112,122 @@ class Broker {
   /// flooding producers.
   void attach(tcp::Endpoint& endpoint);
 
+  // ---- replication wiring (called by the Cluster) -------------------------
+
+  /// Client-side endpoint this broker uses to fetch from peer `broker_id`.
+  void set_peer(int broker_id, tcp::Endpoint* endpoint);
+
+  /// Controller decision: lead `partition` at `epoch` with the given
+  /// replica/ISR sets and the min.insync.replicas gate.
+  void become_leader(std::int32_t partition, std::int32_t epoch,
+                     const std::vector<int>& replicas,
+                     const std::vector<int>& isr, int min_insync_replicas);
+
+  /// Controller decision: follow `leader_id` (or -1 = partition offline).
+  /// Truncates the local log to its high watermark (the Kafka follower
+  /// reconciliation rule) and starts the fetch session.
+  void become_follower(std::int32_t partition, int leader_id,
+                       std::int32_t epoch);
+
+  /// Controller-side ISR shrink on broker fail-stop detection: drop
+  /// `broker_id` from the ISR of a partition this broker leads.
+  void controller_remove_from_isr(std::int32_t partition, int broker_id);
+
+  bool is_leader(std::int32_t partition) const;
+  std::vector<int> isr_of(std::int32_t partition) const;
+
   const Stats& stats() const noexcept { return stats_; }
   const Config& config() const noexcept { return config_; }
   bool in_bad_regime() const noexcept { return !modulator_.good(); }
 
-  /// Observer invoked for every record append: (record, offset). Used by
-  /// the message-state tracker.
+  /// Observer invoked for every leader-side record append: (record,
+  /// offset). Used by the message-state tracker. Replica appends do not
+  /// fire it (they would double-count Fig. 2 append transitions).
   std::function<void(const Record&, std::int64_t)> on_append;
+  /// (partition, isr, shrink) after every leader-side ISR change.
+  std::function<void(std::int32_t, const std::vector<int>&, bool)>
+      on_isr_change;
+  /// (partition, high_watermark) after every leader-side HW advance.
+  std::function<void(std::int32_t, std::int64_t)> on_high_watermark;
 
  private:
+  struct FollowerProgress {
+    std::int64_t fetched_to = 0;   ///< Replicated up to (exclusive).
+    TimePoint caught_up_at = 0;    ///< Last time fetched_to == log end.
+    bool in_isr = true;
+    bool fetched_once = false;
+  };
+
+  struct PendingAck {
+    std::int64_t upto = 0;  ///< Respond once high_watermark >= upto.
+    tcp::Endpoint* endpoint = nullptr;
+    ProduceResponse response;
+  };
+
+  struct PartitionState {
+    std::unique_ptr<PartitionLog> log;
+    bool leader = true;
+    int leader_id = -1;
+    std::int32_t epoch = 0;
+    int min_insync = 1;
+    std::vector<int> replicas;            ///< Empty => unreplicated.
+    std::map<int, FollowerProgress> followers;  ///< Leader side, by id.
+    std::vector<PendingAck> pending_acks;       ///< acks=all awaiting HW.
+    // Follower-side fetch session.
+    bool fetch_outstanding = false;
+    std::uint64_t fetch_request_id = 0;
+    std::unique_ptr<sim::Timer> fetch_timer;
+  };
+
   void pump();
   void process(tcp::Endpoint* endpoint, tcp::Endpoint::ReadMessage message);
+  void serve_produce(tcp::Endpoint* endpoint,
+                     std::shared_ptr<const void> payload, Bytes wire_size);
+  void serve_fetch(tcp::Endpoint* endpoint, const FetchRequest& request);
+  FetchResponse build_fetch_response(const FetchRequest& request);
   Duration service_time(Duration base) const;
+
+  PartitionState& state_of(std::int32_t partition);
+  bool replicated(const PartitionState& st) const noexcept {
+    return st.log && st.log->replicated();
+  }
+  int isr_size(const PartitionState& st) const;
+  void maybe_advance_high_watermark(std::int32_t partition,
+                                    PartitionState& st);
+  void flush_pending_acks(PartitionState& st);
+  void fail_pending_acks(PartitionState& st, ErrorCode error);
+  void publish_isr(std::int32_t partition, const PartitionState& st,
+                   bool shrink);
+  void arm_isr_scan();
+  void scan_isr_lag();
+
+  // Follower fetch session.
+  void follower_fetch(std::int32_t partition);
+  void schedule_follower_fetch(std::int32_t partition, Duration delay);
+  void handle_peer_frame(int peer_id, std::shared_ptr<const void> payload);
+  void handle_replica_fetch_response(const FetchResponse& response);
+  void handle_peer_reset(int peer_id);
 
   sim::Simulation& sim_;
   Config config_;
   sim::TwoStateModulator modulator_;
-  std::map<std::int32_t, std::unique_ptr<PartitionLog>> partitions_;
+  std::map<std::int32_t, std::unique_ptr<PartitionState>> partitions_;
   std::vector<tcp::Endpoint*> connections_;
+  std::map<int, tcp::Endpoint*> peers_;
+  std::map<int, bool> peer_reconnect_pending_;
   std::size_t next_connection_ = 0;
   bool busy_ = false;
   bool down_ = false;
+  std::uint64_t next_replica_request_id_ = 1;
+  sim::Timer isr_scan_timer_;
+  bool isr_scan_armed_ = false;
   Stats stats_;
 
   // ---- observability ----
   obs::Counter m_produce_, m_fetches_, m_records_appended_;
   obs::Counter m_bytes_appended_, m_deduplicated_;
-  obs::Gauge m_bad_regime_, m_busy_, m_down_;
+  obs::Counter m_isr_shrinks_, m_isr_expands_, m_replica_fetches_;
+  obs::Gauge m_bad_regime_, m_busy_, m_down_, m_replication_lag_;
   obs::CollectorHandle metrics_collector_;
 };
 

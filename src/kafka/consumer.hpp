@@ -4,10 +4,17 @@
 // The paper's measurement methodology: after the producer finishes, a
 // consumer drains the whole topic and the unique keys are compared with the
 // source range. drain_until() supports exactly that.
+//
+// Robustness: lost fetch responses are re-issued with capped exponential
+// backoff up to a retry budget (then the consumer stalls rather than
+// spinning); leader failover re-points the fetch session at the new
+// leader, truncating the position to the new leader's high watermark when
+// the old position no longer exists (kOffsetOutOfRange).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/types.hpp"
 #include "kafka/protocol.hpp"
@@ -25,16 +32,32 @@ class Consumer {
     /// Re-issue a fetch whose response never arrived (lost on a flaky
     /// connection or dropped at a full socket).
     Duration fetch_timeout = seconds(2);
+    /// Consecutive lost fetches tolerated before the consumer stalls
+    /// (bounded re-issue; a response or failover resets the budget).
+    int max_fetch_retries = 12;
+    /// Cap on the exponential backoff between fetch re-issues.
+    Duration fetch_retry_backoff_max = seconds(8);
+    Duration reconnect_backoff = millis(100);
   };
 
   struct Stats {
     std::uint64_t fetches = 0;
     std::uint64_t records = 0;
     Bytes bytes = 0;
+    std::uint64_t fetch_retries = 0;      ///< Timed-out fetches re-issued.
+    std::uint64_t offset_truncations = 0; ///< Re-pointed below our position.
+    std::uint64_t failovers = 0;
+    std::uint64_t connection_resets = 0;
   };
 
   Consumer(sim::Simulation& sim, Config config, tcp::Endpoint& conn,
            std::int32_t partition);
+
+  /// Enable leader failover: `endpoints[i]` is this consumer's connection
+  /// to broker i; `leader_of` maps the partition to the current leader
+  /// broker index (-1 while offline). Call before start().
+  void enable_failover(std::vector<tcp::Endpoint*> endpoints,
+                       std::function<int(std::int32_t)> leader_of);
 
   /// Connect and begin the fetch loop from offset 0.
   void start();
@@ -48,27 +71,39 @@ class Consumer {
   std::function<void()> on_drained;
 
   std::int64_t position() const noexcept { return next_offset_; }
+  /// Retry budget exhausted; the fetch loop gave up.
+  bool stalled() const noexcept { return stalled_; }
   const Stats& stats() const noexcept { return stats_; }
 
  private:
   void fetch();
   void handle_frame(std::shared_ptr<const void> payload);
+  void handle_fetch_timeout();
+  void handle_reset(tcp::Endpoint* endpoint);
+  void maybe_failover();
+  void finish_if_drained();
 
   sim::Simulation& sim_;
   Config config_;
-  tcp::Endpoint& conn_;
+  tcp::Endpoint* active_;
   std::int32_t partition_;
+  std::vector<tcp::Endpoint*> endpoints_;  ///< Failover set (may be empty).
+  std::function<int(std::int32_t)> leader_lookup_;
   std::int64_t next_offset_ = 0;
   std::int64_t drain_target_ = -1;
   std::uint64_t next_request_id_ = 1;
   bool fetch_outstanding_ = false;
+  std::uint64_t outstanding_request_id_ = 0;
+  int consecutive_retries_ = 0;
+  bool stalled_ = false;
   bool done_ = false;
+  bool reconnect_pending_ = false;
   sim::Timer poll_timer_;
   sim::Timer fetch_timeout_timer_;
   Stats stats_;
 
   // ---- observability ----
-  obs::Counter m_fetches_, m_records_, m_bytes_;
+  obs::Counter m_fetches_, m_records_, m_bytes_, m_fetch_retries_;
   obs::Gauge m_position_;
   obs::CollectorHandle metrics_collector_;
 };

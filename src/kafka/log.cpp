@@ -1,13 +1,15 @@
 #include "kafka/log.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace ks::kafka {
 
 PartitionLog::AppendResult PartitionLog::append(std::span<const Record> records,
                                                 TimePoint append_time,
                                                 std::uint64_t producer_id,
-                                                std::int64_t base_sequence) {
+                                                std::int64_t base_sequence,
+                                                std::int32_t leader_epoch) {
   AppendResult result;
   if (records.empty()) {
     result.base_offset = log_end_offset();
@@ -24,18 +26,72 @@ PartitionLog::AppendResult PartitionLog::append(std::span<const Record> records,
       result.base_offset = log_end_offset();
       return result;
     }
+    if (state.last_sequence >= 0 &&
+        base_sequence > state.last_sequence + 1) {
+      // Sequence gap: an earlier batch from this producer has not been
+      // appended yet. Accepting the later batch would let the earlier
+      // one's retry be mistaken for a duplicate — an ack without an
+      // append. Reject instead (Kafka's OutOfOrderSequence rule); the
+      // producer retries in order.
+      result.error = ErrorCode::kOutOfOrderSequence;
+      result.base_offset = log_end_offset();
+      return result;
+    }
     state.last_sequence =
         base_sequence + static_cast<std::int64_t>(records.size()) - 1;
   }
 
   result.base_offset = log_end_offset();
   entries_.reserve(entries_.size() + records.size());
+  std::int64_t sequence = base_sequence;
   for (const auto& r : records) {
     entries_.push_back(LogEntry{log_end_offset(), r.key, r.value_size,
-                                append_time});
+                                append_time, leader_epoch, producer_id,
+                                sequence});
+    if (sequence >= 0) ++sequence;
     size_bytes_ += r.wire_size();
   }
   return result;
+}
+
+void PartitionLog::append_replicated(const LogEntry& entry) {
+  assert(entry.offset == log_end_offset());
+  entries_.push_back(entry);
+  entries_.back().offset = log_end_offset() - 1;
+  size_bytes_ += kRecordOverhead + entry.value_size;
+  if (entry.producer_id != 0 && entry.sequence >= 0) {
+    auto& state = producers_[entry.producer_id];
+    state.last_sequence = std::max(state.last_sequence, entry.sequence);
+  }
+}
+
+void PartitionLog::advance_high_watermark(std::int64_t offset) noexcept {
+  high_watermark_ =
+      std::max(high_watermark_, std::min(offset, log_end_offset()));
+}
+
+void PartitionLog::truncate_to(std::int64_t offset) {
+  offset = std::max<std::int64_t>(offset, 0);
+  if (offset >= log_end_offset()) return;
+  ++truncations_;
+  truncated_entries_ += log_end_offset() - offset;
+  entries_.resize(static_cast<std::size_t>(offset));
+  high_watermark_ = std::min(high_watermark_, offset);
+  // Rebuild producer dedup state and byte accounting from what survives.
+  producers_.clear();
+  size_bytes_ = 0;
+  for (const auto& e : entries_) {
+    if (e.producer_id != 0 && e.sequence >= 0) {
+      auto& state = producers_[e.producer_id];
+      state.last_sequence = std::max(state.last_sequence, e.sequence);
+    }
+    size_bytes_ += kRecordOverhead + e.value_size;
+  }
+}
+
+std::int64_t PartitionLog::last_sequence_of(std::uint64_t producer_id) const {
+  auto it = producers_.find(producer_id);
+  return it == producers_.end() ? -1 : it->second.last_sequence;
 }
 
 std::span<const LogEntry> PartitionLog::read(std::int64_t offset,

@@ -1,6 +1,7 @@
 // The partition log: an append-only sequence of records with offsets,
 // including idempotent-producer sequence deduplication (the mechanism
-// behind Kafka's exactly-once producer semantics).
+// behind Kafka's exactly-once producer semantics), a high watermark for
+// replicated partitions, and truncation for follower log reconciliation.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +20,12 @@ struct LogEntry {
   Key key = 0;
   Bytes value_size = 0;
   TimePoint append_time = 0;
+  // Replication metadata: which leader epoch appended the entry (divergence
+  // detection) and the idempotent-producer identity of its batch (so replica
+  // logs can rebuild producer dedup state after an election).
+  std::int32_t leader_epoch = 0;
+  std::uint64_t producer_id = 0;
+  std::int64_t sequence = -1;
 };
 
 class PartitionLog {
@@ -35,7 +42,14 @@ class PartitionLog {
   AppendResult append(std::span<const Record> records,
                       TimePoint append_time,
                       std::uint64_t producer_id = 0,
-                      std::int64_t base_sequence = -1);
+                      std::int64_t base_sequence = -1,
+                      std::int32_t leader_epoch = 0);
+
+  /// Follower-side append of one entry copied from the leader. The entry
+  /// must land exactly at the log end (replication is a prefix copy);
+  /// producer dedup state is updated so the replica can serve idempotent
+  /// producers after an election.
+  void append_replicated(const LogEntry& entry);
 
   /// Records in [offset, offset + max_records).
   std::span<const LogEntry> read(std::int64_t offset,
@@ -44,9 +58,38 @@ class PartitionLog {
   std::int64_t log_end_offset() const noexcept {
     return static_cast<std::int64_t>(entries_.size());
   }
+
+  /// Mark this log as a replicated partition: the high watermark becomes an
+  /// explicit commit point (min ISR log end) instead of tracking the log
+  /// end. Unreplicated logs keep high_watermark() == log_end_offset(), so
+  /// single-broker setups behave exactly as before.
+  void enable_replication() noexcept { replicated_ = true; }
+  bool replicated() const noexcept { return replicated_; }
+
+  /// Committed offset: entries below it are durable under clean failover.
+  std::int64_t high_watermark() const noexcept {
+    return replicated_ ? high_watermark_ : log_end_offset();
+  }
+
+  /// Raise the high watermark (never lowers; clamped to the log end).
+  void advance_high_watermark(std::int64_t offset) noexcept;
+
+  /// Drop every entry at offset >= `offset` (follower reconciliation when
+  /// becoming a follower or on leader divergence). Rebuilds producer dedup
+  /// state from the surviving entries and clamps the high watermark.
+  void truncate_to(std::int64_t offset);
+
+  /// Last sequence appended by `producer_id`, or -1 (for leader-side dedup
+  /// state rebuilt after an election).
+  std::int64_t last_sequence_of(std::uint64_t producer_id) const;
+
   Bytes size_bytes() const noexcept { return size_bytes_; }
   const std::vector<LogEntry>& entries() const noexcept { return entries_; }
   std::uint64_t deduplicated_batches() const noexcept { return deduped_; }
+  std::uint64_t truncations() const noexcept { return truncations_; }
+  std::int64_t truncated_entries() const noexcept {
+    return truncated_entries_;
+  }
 
  private:
   struct ProducerState {
@@ -57,6 +100,10 @@ class PartitionLog {
   Bytes size_bytes_ = 0;
   std::unordered_map<std::uint64_t, ProducerState> producers_;
   std::uint64_t deduped_ = 0;
+  bool replicated_ = false;
+  std::int64_t high_watermark_ = 0;
+  std::uint64_t truncations_ = 0;
+  std::int64_t truncated_entries_ = 0;
 };
 
 }  // namespace ks::kafka

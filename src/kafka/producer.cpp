@@ -7,6 +7,26 @@
 
 namespace ks::kafka {
 
+Duration next_retry_backoff(std::uint64_t& state, Duration base,
+                            Duration prev, Duration cap) {
+  // Decorrelated jitter: sleep = min(cap, uniform(base, prev * 3)). Grows
+  // exponentially in expectation while spreading synchronized retriers.
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  const Duration lo = base;
+  const Duration hi = std::max(base, (prev > 0 ? prev : base) * 3);
+  const Duration span = hi - lo;
+  Duration backoff = lo;
+  if (span > 0) {
+    backoff += static_cast<Duration>(
+        z % (static_cast<std::uint64_t>(span) + 1));
+  }
+  return std::min(backoff, std::max(base, cap));
+}
+
 const char* to_string(DeliverySemantics s) noexcept {
   switch (s) {
     case DeliverySemantics::kAtMostOnce: return "at-most-once";
@@ -65,9 +85,11 @@ Producer::Producer(sim::Simulation& sim, ProducerConfig config,
                    tcp::Endpoint& conn, Source& source, std::int32_t partition)
     : sim_(sim),
       config_(config),
-      conn_(conn),
+      active_(&conn),
       source_(source),
       partition_(partition),
+      jitter_state_(0x0DDB1A5E5BAD5EEDULL ^ config.producer_id),
+      effective_producer_id_(config.producer_id),
       poll_timer_(sim),
       linger_timer_(sim),
       timeout_scan_timer_(sim),
@@ -93,6 +115,9 @@ Producer::Producer(sim::Simulation& sim, ProducerConfig config,
   m_dropped_queue_full_ =
       metrics.counter("kafka_producer_records_dropped_queue_full_total",
                       labels);
+  m_not_leader_ =
+      metrics.counter("kafka_producer_not_leader_errors_total", labels);
+  m_failovers_ = metrics.counter("kafka_producer_failovers_total", labels);
   m_accumulator_ =
       metrics.gauge("kafka_producer_accumulator_records", labels);
   m_in_flight_ = metrics.gauge("kafka_producer_in_flight_batches", labels);
@@ -110,20 +135,35 @@ Producer::Producer(sim::Simulation& sim, ProducerConfig config,
     m_records_failed_.set(stats_.records_failed);
     m_resets_.set(stats_.connection_resets);
     m_dropped_queue_full_.set(stats_.dropped_queue_full);
+    m_not_leader_.set(stats_.not_leader_errors);
+    m_failovers_.set(stats_.failovers);
     m_accumulator_.set(static_cast<double>(queue_.size()));
     m_in_flight_.set(static_cast<double>(in_flight_count_));
     m_unresolved_.set(static_cast<double>(unresolved_));
   });
 }
 
+void Producer::enable_failover(std::vector<tcp::Endpoint*> endpoints,
+                               std::function<int(std::int32_t)> leader_of) {
+  endpoints_ = std::move(endpoints);
+  leader_lookup_ = std::move(leader_of);
+}
+
 void Producer::start() {
-  conn_.on_connected = [this] { try_send(); };
-  conn_.on_writable = [this] { try_send(); };
-  conn_.on_message = [this](std::shared_ptr<const void> payload) {
-    handle_frame(std::move(payload));
+  const auto install = [this](tcp::Endpoint* ep) {
+    ep->on_connected = [this] { try_send(); };
+    ep->on_writable = [this] { try_send(); };
+    ep->on_message = [this](std::shared_ptr<const void> payload) {
+      handle_frame(std::move(payload));
+    };
+    ep->on_reset = [this, ep] { handle_reset(ep); };
   };
-  conn_.on_reset = [this] { handle_reset(); };
-  conn_.connect();
+  if (endpoints_.empty()) {
+    install(active_);
+  } else {
+    for (auto* ep : endpoints_) install(ep);
+  }
+  active_->connect();
 
   if (config_.acks != Acks::kNone) arm_timeout_scan();
   arm_expiry_scan();
@@ -217,7 +257,9 @@ bool Producer::send_batch(std::uint64_t batch_id) {
   req.attempt = batch.attempt + 1;
   const Bytes wire = req.wire_size();
   auto frame = make_frame(std::move(req));
-  if (!conn_.send(tcp::AppMessage{wire, frame})) return false;  // Socket full.
+  if (!active_->send(tcp::AppMessage{wire, frame})) {
+    return false;  // Socket full.
+  }
 
   const auto& sent = std::get<ProduceRequest>(frame->body);
   batch.request = sent;  // Keep the bumped attempt counts.
@@ -237,7 +279,7 @@ bool Producer::send_batch(std::uint64_t batch_id) {
 }
 
 void Producer::try_send() {
-  if (!conn_.established()) return;
+  if (!active_->established()) return;
 
   // 1. Batches whose retry backoff elapsed go out first (they carry the
   //    oldest records and their idempotent sequence numbers).
@@ -302,7 +344,7 @@ void Producer::try_send() {
       batch.request.records.push_back(queue_[i]);
     }
     if (config_.enable_idempotence) {
-      batch.request.producer_id = config_.producer_id;
+      batch.request.producer_id = effective_producer_id_;
       batch.request.base_sequence = next_sequence_;
     }
     const std::uint64_t batch_id = next_batch_id_;
@@ -346,8 +388,48 @@ void Producer::handle_response(const ProduceResponse& response) {
   ++stats_.responses;
   auto rit = request_to_batch_.find(response.request_id);
   if (rit == request_to_batch_.end()) return;  // Batch already resolved.
-  resolve_batch(rit->second);
+  switch (response.error) {
+    case ErrorCode::kNone:
+    case ErrorCode::kDuplicateSequence:  // Idempotent dedup == success.
+      resolve_batch(rit->second);
+      break;
+    case ErrorCode::kNotLeaderForPartition:
+      // Stale metadata: find the new leader, then retry the batch there
+      // (sequence numbers are preserved, so this is duplicate-safe).
+      ++stats_.not_leader_errors;
+      maybe_failover();
+      retry_or_fail(rit->second);
+      break;
+    case ErrorCode::kNotEnoughReplicas:
+      ++stats_.not_enough_replicas_errors;
+      retry_or_fail(rit->second);
+      break;
+    case ErrorCode::kOutOfOrderSequence:
+      handle_out_of_order(rit->second);
+      break;
+    default:  // Other retriable errors.
+      retry_or_fail(rit->second);
+      break;
+  }
   try_send();
+}
+
+void Producer::maybe_failover() {
+  if (!leader_lookup_) return;
+  ++stats_.metadata_refreshes;
+  const int leader = leader_lookup_(partition_);
+  if (leader < 0 ||
+      leader >= static_cast<int>(endpoints_.size())) {
+    return;  // Partition offline: keep retrying where we are.
+  }
+  tcp::Endpoint* target = endpoints_[static_cast<std::size_t>(leader)];
+  if (target == active_) return;
+  ++stats_.failovers;
+  active_ = target;
+  if (!active_->established() &&
+      active_->state() != tcp::Endpoint::State::kSynSent) {
+    active_->connect();
+  }
 }
 
 void Producer::resolve_batch(std::uint64_t batch_id) {
@@ -381,12 +463,20 @@ void Producer::scan_request_timeouts() {
     ++stats_.request_timeouts;
     retry_or_fail(batch_id);
   }
+  // Requests timing out is how a producer notices a silently dead leader
+  // (the socket may stay "established" under TCP backpressure forever).
+  if (!timed_out.empty()) {
+    maybe_failover();
+    try_send();
+  }
 }
 
 void Producer::retry_or_fail(std::uint64_t batch_id) {
   auto it = batches_.find(batch_id);
   if (it == batches_.end()) return;
   BatchState& batch = it->second;
+  if (batch.awaiting_retry) return;  // Already queued (e.g. error response
+                                     // racing the timeout scan).
 
   const bool attempts_left = batch.attempt <= config_.retries;
   const bool within_timeout =
@@ -409,9 +499,13 @@ void Producer::retry_or_fail(std::uint64_t batch_id) {
 
   ++stats_.requests_retried;
   batch.awaiting_retry = true;
-  // Linearly growing backoff (capped) keeps retry storms in check.
+  // Capped exponential backoff with decorrelated jitter: spreads the
+  // retries of concurrent batches so a recovering broker is not hit by a
+  // synchronized storm.
   const Duration backoff =
-      config_.retry_backoff * std::min(batch.attempt, 10);
+      next_retry_backoff(jitter_state_, config_.retry_backoff,
+                         batch.prev_backoff, config_.retry_backoff_max);
+  batch.prev_backoff = backoff;
   batch.ready_at = sim_.now() + backoff;
   // Keep the retry queue ordered by batch id (== idempotent sequence
   // order). Timeout scans and connection resets discover batches in hash
@@ -424,7 +518,56 @@ void Producer::retry_or_fail(std::uint64_t batch_id) {
   retry_timer_.arm(backoff, [this] { try_send(); });
 }
 
-void Producer::handle_reset() {
+void Producer::handle_out_of_order(std::uint64_t batch_id) {
+  ++stats_.out_of_order_errors;
+  auto it = batches_.find(batch_id);
+  if (it == batches_.end()) return;
+  // Transient gap: an earlier batch is still unresolved and will fill the
+  // gap once its (in-order) retry lands — back off and retry this one.
+  const std::int64_t base = it->second.request.base_sequence;
+  for (const auto& [id, b] : batches_) {
+    if (b.request.base_sequence >= 0 && b.request.base_sequence < base) {
+      retry_or_fail(batch_id);
+      return;
+    }
+  }
+  // Hard gap: this is the oldest unresolved batch, yet the leader expects
+  // an earlier sequence — batches in between were acked and then lost (an
+  // unclean election regressed the log), or failed out of the retry budget.
+  // A real idempotent producer bumps its epoch and restarts sequencing;
+  // model that: new producer identity, every unresolved batch re-sequenced
+  // from 0 in order and queued for re-send.
+  ++stats_.sequence_epoch_bumps;
+  effective_producer_id_ += std::uint64_t{1} << 32;
+  std::vector<std::pair<std::int64_t, std::uint64_t>> order;
+  order.reserve(batches_.size());
+  for (const auto& [id, b] : batches_) {
+    order.emplace_back(b.request.base_sequence, id);
+  }
+  std::sort(order.begin(), order.end());
+  std::int64_t seq = 0;
+  for (const auto& [old_base, id] : order) {
+    BatchState& b = batches_.at(id);
+    b.request.producer_id = effective_producer_id_;
+    b.request.base_sequence = seq;
+    seq += static_cast<std::int64_t>(b.request.records.size());
+    if (!b.awaiting_retry) {
+      // In-flight attempts carry the old identity; queue a fresh attempt
+      // under the new sequencing (not counted against the retry budget).
+      b.awaiting_retry = true;
+      --in_flight_count_;
+      b.ready_at = sim_.now();
+      retry_order_.insert(
+          std::lower_bound(retry_order_.begin(), retry_order_.end(), id),
+          id);
+    }
+  }
+  next_sequence_ = seq;
+  try_send();
+}
+
+void Producer::handle_reset(tcp::Endpoint* endpoint) {
+  if (endpoint != active_) return;  // Stale connection from before failover.
   ++stats_.connection_resets;
   // acks=0: whatever sat in the socket is gone and we never know (the
   // at-most-once hazard). acks>=1: every in-flight batch gets retried.
@@ -434,11 +577,19 @@ void Producer::handle_reset() {
   }
   for (auto batch_id : in_flight) retry_or_fail(batch_id);
 
+  // A reset is also a failover signal: the leader may have moved while we
+  // were blocked on the dead connection.
+  maybe_failover();
+
   if (!reconnect_pending_ && !finished_) {
     reconnect_pending_ = true;
     sim_.after(config_.reconnect_backoff, [this] {
       reconnect_pending_ = false;
-      if (!finished_) conn_.connect();
+      if (finished_ || active_->established() ||
+          active_->state() == tcp::Endpoint::State::kSynSent) {
+        return;
+      }
+      active_->connect();
     });
   }
 }

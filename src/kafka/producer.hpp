@@ -22,6 +22,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -43,11 +44,21 @@ enum class AdmissionPolicy {
 
 const char* to_string(DeliverySemantics s) noexcept;
 
+/// Decorrelated-jitter retry backoff (capped exponential): returns a value
+/// in [base, min(cap, max(base, prev * 3))], advancing `state` (a SplitMix64
+/// stream, so the sequence is deterministic per producer). prev == 0 means
+/// first retry.
+Duration next_retry_backoff(std::uint64_t& state, Duration base,
+                            Duration prev, Duration cap);
+
 struct ProducerConfig {
   DeliverySemantics semantics = DeliverySemantics::kAtLeastOnce;
   Acks acks = Acks::kLeader;
   int retries = 5;                        ///< tau_r in the paper.
+  /// Retry backoff: capped exponential with decorrelated jitter —
+  /// retry_backoff is the floor, retry_backoff_max the cap.
   Duration retry_backoff = millis(50);
+  Duration retry_backoff_max = millis(1000);
   Duration message_timeout = millis(1500);  ///< T_o.
   Duration request_timeout = seconds(5);
   int max_in_flight = 5;
@@ -86,6 +97,14 @@ struct ProducerStats {
   std::uint64_t requests_retried = 0;
   std::uint64_t responses = 0;
   std::uint64_t connection_resets = 0;
+  std::uint64_t not_leader_errors = 0;  ///< kNotLeaderForPartition responses.
+  std::uint64_t not_enough_replicas_errors = 0;
+  std::uint64_t out_of_order_errors = 0;  ///< Sequence-gap rejections.
+  /// Hard sequence gaps (acked batches lost to an unclean election) healed
+  /// by bumping the idempotent producer id and re-sequencing from 0.
+  std::uint64_t sequence_epoch_bumps = 0;
+  std::uint64_t failovers = 0;          ///< Switched to a new leader.
+  std::uint64_t metadata_refreshes = 0;
   LatencyHistogram queue_sojourn;      ///< Accumulator wait of sent records.
   LatencyHistogram ack_latency;        ///< Enqueue -> ack (acks>=1).
 };
@@ -97,6 +116,16 @@ class Producer {
 
   Producer(const Producer&) = delete;
   Producer& operator=(const Producer&) = delete;
+
+  /// Enable leader failover (replicated clusters). `endpoints[i]` is this
+  /// producer's connection to broker i; `leader_of` maps the partition to
+  /// the current leader broker index (-1 while offline). On
+  /// kNotLeaderForPartition responses, request timeouts and connection
+  /// resets the producer refreshes metadata and reconnects to the new
+  /// leader; retried batches keep their idempotent sequence numbers, so
+  /// failover is duplicate-safe under exactly-once. Call before start().
+  void enable_failover(std::vector<tcp::Endpoint*> endpoints,
+                       std::function<int(std::int32_t)> leader_of);
 
   /// Connect and begin polling the source.
   void start();
@@ -139,6 +168,7 @@ class Producer {
     int attempt = 0;          ///< Attempts sent so far.
     bool awaiting_retry = false;  ///< Queued for re-send (backoff).
     TimePoint ready_at = 0;       ///< Earliest re-send time.
+    Duration prev_backoff = 0;    ///< Decorrelated-jitter state.
   };
 
   void schedule_poll(Duration delay);
@@ -158,7 +188,12 @@ class Producer {
   void resolve_batch(std::uint64_t batch_id);
   bool send_batch(std::uint64_t batch_id);
   void expire_queue_front();
-  void handle_reset();
+  void handle_reset(tcp::Endpoint* endpoint);
+  /// React to a sequence-gap rejection: retry in order if an earlier batch
+  /// is still pending, otherwise bump the idempotent epoch and re-sequence.
+  void handle_out_of_order(std::uint64_t batch_id);
+  /// Refresh metadata and, when the leader moved, switch connections.
+  void maybe_failover();
   void maybe_finish();
   void resolve_records(std::uint64_t count) noexcept;
   std::size_t batches_in_flight() const noexcept {
@@ -170,9 +205,15 @@ class Producer {
 
   sim::Simulation& sim_;
   ProducerConfig config_;
-  tcp::Endpoint& conn_;
+  tcp::Endpoint* active_;  ///< Current broker connection.
   Source& source_;
   std::int32_t partition_;
+  std::vector<tcp::Endpoint*> endpoints_;  ///< Failover set (may be empty).
+  std::function<int(std::int32_t)> leader_lookup_;
+  std::uint64_t jitter_state_;  ///< Decorrelated-jitter SplitMix64 stream.
+  /// Idempotent producer identity; bumped when a hard sequence gap forces a
+  /// re-sequencing (the InitProducerId-after-fatal analog).
+  std::uint64_t effective_producer_id_;
 
   std::deque<Record> queue_;            ///< The record accumulator.
   /// Unacknowledged batches by batch id (in flight or awaiting retry).
@@ -202,6 +243,7 @@ class Producer {
   obs::Counter m_pulled_, m_expired_, m_requests_sent_, m_requests_retried_;
   obs::Counter m_request_timeouts_, m_records_acked_, m_records_failed_;
   obs::Counter m_resets_, m_dropped_queue_full_;
+  obs::Counter m_not_leader_, m_failovers_;
   obs::Gauge m_accumulator_, m_in_flight_, m_unresolved_;
   obs::Histogram m_queue_sojourn_, m_ack_latency_;
   obs::CollectorHandle metrics_collector_;

@@ -27,8 +27,12 @@ enum class Acks : int { kNone = 0, kLeader = 1, kAll = -1 };
 
 enum class ErrorCode : int {
   kNone = 0,
-  kDuplicateSequence,   ///< Idempotent dedup hit; treated as success.
-  kOutOfOrderSequence,  ///< Sequence gap (retriable).
+  kDuplicateSequence,      ///< Idempotent dedup hit; treated as success.
+  kOutOfOrderSequence,     ///< Sequence gap (retriable).
+  kNotLeaderForPartition,  ///< Stale metadata: refresh and fail over.
+  kNotEnoughReplicas,      ///< |ISR| < min.insync.replicas (retriable).
+  kOffsetOutOfRange,       ///< Fetch offset beyond the serving log.
+  kDivergentLog,           ///< Replica fetch fingerprint mismatch: truncate.
 };
 
 struct ProduceRequest {
@@ -62,6 +66,15 @@ struct FetchRequest {
   std::int32_t partition = 0;
   std::int64_t offset = 0;
   int max_records = 500;
+  /// Replica fetches (inter-broker replication) carry the follower's broker
+  /// id; consumer fetches use -1. Replica fetches are served up to the
+  /// leader's log end, consumer fetches only up to the high watermark.
+  int replica_id = -1;
+  /// Fingerprint of the follower's last log entry (offset-1), used by the
+  /// leader to detect divergence after an unclean election: the epoch and
+  /// key must match the leader's entry at that offset.
+  std::int32_t last_epoch = -1;
+  Key last_key = 0;
 
   Bytes wire_size() const noexcept { return kFetchRequestSize; }
 };
@@ -71,13 +84,21 @@ struct FetchedRecord {
   Key key = 0;
   Bytes value_size = 0;
   TimePoint append_time = 0;
+  // Replication metadata: the leader epoch that appended the entry plus the
+  // idempotent-producer identity, so a follower's replica log can rebuild
+  // producer state (sequence dedup survives leader failover).
+  std::int32_t leader_epoch = 0;
+  std::uint64_t producer_id = 0;
+  std::int64_t sequence = -1;
 };
 
 struct FetchResponse {
   std::uint64_t request_id = 0;
   std::int32_t partition = 0;
+  ErrorCode error = ErrorCode::kNone;
   std::vector<FetchedRecord> records;
   std::int64_t log_end_offset = 0;
+  std::int64_t high_watermark = 0;
 
   Bytes wire_size() const noexcept {
     Bytes total = kFetchResponseOverhead;

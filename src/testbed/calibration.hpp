@@ -54,7 +54,21 @@ inline constexpr double kBrokerAppendPerByteUs = 0.1;
 inline constexpr double kBrokerBadSlowdown = 40.0;
 inline constexpr Duration kBrokerMeanGood = millis(900);
 inline constexpr Duration kBrokerMeanBad = millis(600);
-inline constexpr Duration kReplicationExtra = micros(800);
+
+// --- replication ------------------------------------------------------------
+// Real follower fetch sessions replace the former fixed acks=all service
+// surcharge: the acks=all cost is now the actual commit wait (leader ->
+// follower fetch round trip over the inter-broker links below).
+/// replica.lag.time.max analog: ISR eviction threshold, scaled to sim runs.
+inline constexpr Duration kReplicaLagTimeMax = millis(300);
+/// Follower poll interval when caught up (long-poll stand-in).
+inline constexpr Duration kReplicaFetchInterval = micros(500);
+/// Controller fail-stop detection latency (ZooKeeper session timeout
+/// analog, scaled).
+inline constexpr Duration kLeaderDetectDelay = millis(100);
+/// Inter-broker one-way delay: brokers share a host/bridge in the paper's
+/// testbed, so this stays at LAN grade and is never impaired by NetEm.
+inline constexpr Duration kInterBrokerDelay = micros(200);
 
 // --- network ----------------------------------------------------------------
 inline constexpr double kLinkBandwidthBps = 100e6;   ///< 100 Mbit/s bridge.

@@ -1,8 +1,10 @@
 #include "testbed/experiment.hpp"
 
 #include <algorithm>
-
 #include <functional>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "net/netem.hpp"
@@ -23,6 +25,8 @@ kafka::ProducerConfig producer_config(const Scenario& s) {
   c.message_timeout = s.message_timeout;
   if (s.request_timeout > 0) c.request_timeout = s.request_timeout;
   if (s.retries_override >= 0) c.retries = s.retries_override;
+  if (s.retry_backoff > 0) c.retry_backoff = s.retry_backoff;
+  if (s.retry_backoff_max > 0) c.retry_backoff_max = s.retry_backoff_max;
   c.serialize_base = kSerializeBase;
   c.serialize_per_byte_us = kSerializePerByteUs;
   // Preserve the paper's queue:run ratio (librdkafka's 100k cap vs 1e6
@@ -54,59 +58,97 @@ ExperimentResult run_experiment(const Scenario& scenario) {
 
   sim::Simulation sim(scenario.seed);
 
-  // Cluster: three brokers, one-partition topic led by broker 0.
+  // Cluster: three brokers, one-partition topic led by broker 0. With
+  // replication_factor > 1 the cluster also builds the inter-broker fetch
+  // fabric and plays the controller.
   kafka::Cluster::Config cluster_config;
   cluster_config.num_brokers = 3;
   cluster_config.broker.request_overhead = kBrokerRequestOverhead;
   cluster_config.broker.append_per_byte_us = kBrokerAppendPerByteUs;
   cluster_config.broker.bad_slowdown = kBrokerBadSlowdown;
-  cluster_config.broker.replication_extra = kReplicationExtra;
   cluster_config.broker.regime.enabled = scenario.broker_regimes;
   cluster_config.broker.regime.mean_good = kBrokerMeanGood;
   cluster_config.broker.regime.mean_bad = kBrokerMeanBad;
+  cluster_config.broker.replica_lag_time_max = kReplicaLagTimeMax;
+  cluster_config.broker.replica_fetch_interval = kReplicaFetchInterval;
+  cluster_config.replication_factor = scenario.replication_factor;
+  cluster_config.min_insync_replicas = scenario.min_insync_replicas;
+  cluster_config.unclean_leader_election = scenario.unclean_leader_election;
+  cluster_config.leader_detect_delay = kLeaderDetectDelay;
+  cluster_config.interbroker_delay = kInterBrokerDelay;
+  cluster_config.interbroker_link.bandwidth_bps = kLinkBandwidthBps;
+  cluster_config.interbroker_link.queue_capacity = kLinkQueueCapacity;
   kafka::Cluster cluster(sim, cluster_config);
   cluster.create_topic("stream", 1);
   auto& leader = cluster.leader_of("stream", 0);
   const std::int32_t partition = cluster.partition_id("stream", 0);
+  const bool replicated = scenario.replication_factor > 1;
 
-  // Producer <-> leader link with NetEm impairments on the egress.
+  // Producer <-> broker links with NetEm impairments on the egress. The
+  // unreplicated baseline wires broker 0 only (byte-identical to the
+  // pre-replication testbed); replicated runs add one impaired connection
+  // per broker so the producer can fail over.
   net::Link::Config link_config;
   link_config.bandwidth_bps = kLinkBandwidthBps;
   link_config.queue_capacity = kLinkQueueCapacity;
-  net::DuplexLink link(sim, link_config,
-                       std::make_shared<net::ConstantDelay>(kBaseLanDelay),
-                       std::make_shared<net::NoLoss>(),
-                       std::make_shared<net::ConstantDelay>(kBaseLanDelay),
-                       std::make_shared<net::NoLoss>(), "prod-broker0");
-  net::NetEm netem(sim, link, net::NetEm::Direction::kForward, kBaseLanDelay);
-  netem.apply(kBaseLanDelay + scenario.network_delay, scenario.packet_loss);
+  const int num_conns = replicated ? cluster.num_brokers() : 1;
+  std::vector<std::unique_ptr<net::DuplexLink>> links;
+  std::vector<std::unique_ptr<net::NetEm>> netems;
+  for (int i = 0; i < num_conns; ++i) {
+    links.push_back(std::make_unique<net::DuplexLink>(
+        sim, link_config,
+        std::make_shared<net::ConstantDelay>(kBaseLanDelay),
+        std::make_shared<net::NoLoss>(),
+        std::make_shared<net::ConstantDelay>(kBaseLanDelay),
+        std::make_shared<net::NoLoss>(),
+        "prod-broker" + std::to_string(i)));
+    netems.push_back(std::make_unique<net::NetEm>(
+        sim, *links.back(), net::NetEm::Direction::kForward, kBaseLanDelay));
+    netems.back()->apply(kBaseLanDelay + scenario.network_delay,
+                         scenario.packet_loss);
+  }
+  net::DuplexLink& link = *links.front();
 
   // Timed fault schedule: netem steps, bandwidth changes and broker
   // outages on top of the static impairment. A kNetem/kGilbertElliott step
-  // replaces the static (D, L) condition from its time onward.
+  // replaces the static (D, L) condition from its time onward. Network
+  // impairments hit the producer's egress (every broker connection — the
+  // fault is at the producer side, as in the paper); broker outages go
+  // through the cluster so the controller reacts.
   for (const auto& f : scenario.faults) {
     switch (f.kind) {
       case FaultAction::Kind::kNetem:
-        netem.apply_at(f.at, kBaseLanDelay + f.delay, f.loss);
+        for (auto& n : netems) {
+          n->apply_at(f.at, kBaseLanDelay + f.delay, f.loss);
+        }
         break;
       case FaultAction::Kind::kGilbertElliott:
-        netem.apply_at(f.at, kBaseLanDelay + f.delay,
-                       std::make_shared<net::GilbertElliottLoss>(f.ge));
+        for (auto& n : netems) {
+          n->apply_at(f.at, kBaseLanDelay + f.delay,
+                      std::make_shared<net::GilbertElliottLoss>(f.ge));
+        }
         break;
       case FaultAction::Kind::kBandwidth:
-        netem.set_bandwidth_at(f.at, f.bandwidth_bps);
+        for (auto& n : netems) n->set_bandwidth_at(f.at, f.bandwidth_bps);
         break;
       case FaultAction::Kind::kBrokerFail:
-        sim.at(f.at, [&cluster, b = f.broker] { cluster.broker(b).fail(); });
+        sim.at(f.at, [&cluster, b = f.broker] { cluster.fail_broker(b); });
         break;
       case FaultAction::Kind::kBrokerResume:
-        sim.at(f.at, [&cluster, b = f.broker] { cluster.broker(b).resume(); });
+        sim.at(f.at, [&cluster, b = f.broker] { cluster.resume_broker(b); });
         break;
     }
   }
 
-  tcp::Pair conn(sim, tcp_config(scenario.semantics), link, "prod-conn");
-  leader.attach(conn.server);
+  std::vector<std::unique_ptr<tcp::Pair>> conns;
+  for (int i = 0; i < num_conns; ++i) {
+    conns.push_back(std::make_unique<tcp::Pair>(
+        sim, tcp_config(scenario.semantics), *links[static_cast<std::size_t>(i)],
+        i == 0 ? std::string("prod-conn")
+               : "prod-conn" + std::to_string(i)));
+    cluster.broker(i).attach(conns.back()->server);
+  }
+  tcp::Pair& conn = *conns.front();
 
   // Source: full load tracks serialization speed; otherwise the given rate.
   kafka::Source::Config source_config;
@@ -134,6 +176,14 @@ ExperimentResult run_experiment(const Scenario& scenario) {
 
   kafka::Producer producer(sim, producer_config(scenario), conn.client,
                            source, partition);
+  if (replicated) {
+    std::vector<tcp::Endpoint*> endpoints;
+    for (auto& c : conns) endpoints.push_back(&c->client);
+    producer.enable_failover(std::move(endpoints),
+                             [&cluster](std::int32_t p) {
+                               return cluster.current_leader(p);
+                             });
+  }
 
   // Message-lifecycle trace (Fig. 2 transitions with cause + timestamp) for
   // a sampled subset of keys, bounded by a ring.
@@ -148,6 +198,9 @@ ExperimentResult run_experiment(const Scenario& scenario) {
 
   // Message-state tracking (Fig. 2 / Table I) and delivery-latency capture.
   kafka::MessageStateTracker tracker(scenario.num_messages);
+  // Acked-key bitmap: what the application believes was delivered. Compared
+  // against the committed census at the end — the no-acked-loss invariant.
+  std::vector<std::uint8_t> acked(scenario.num_messages, 0);
   producer.on_send_attempt = [&](const kafka::Record& r, int attempt) {
     tracker.on_send_attempt(r.key, attempt);
     trace.record(sim.now(), r.key,
@@ -162,6 +215,7 @@ ExperimentResult run_experiment(const Scenario& scenario) {
     trace.record(sim.now(), r.key, obs::TraceEvent::kFailed, r.attempts);
   };
   producer.on_record_acked = [&](const kafka::Record& r) {
+    if (r.key < acked.size()) acked[r.key] = 1;
     trace.record(sim.now(), r.key, obs::TraceEvent::kAcked, r.attempts);
   };
   obs::Histogram delivery_latency =
@@ -170,22 +224,33 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   // Per-broker offset discipline: on_append reports the batch base offset
   // for each record, so within a batch the offset repeats and the next
   // batch must start exactly at base + batch_record_count (contiguous,
-  // monotone log).
+  // monotone log). Leader changes legitimately move the append point (a
+  // new leader starts from its replicated log end; a re-elected one from
+  // its truncated end), so elections reset the watch.
   struct OffsetWatch {
     std::int64_t base = -1;
     std::int64_t count = 1;
   };
   std::vector<OffsetWatch> offsets(
       static_cast<std::size_t>(cluster.num_brokers()));
+  std::uint64_t elections_seen = 0;
   for (int b = 0; b < cluster.num_brokers(); ++b) {
     cluster.broker(b).on_append = [&, b](const kafka::Record& r,
                                          std::int64_t offset) {
       ++result.appends_observed;
+      if (cluster.stats().elections != elections_seen) {
+        elections_seen = cluster.stats().elections;
+        for (auto& watch : offsets) watch = OffsetWatch{};
+      }
       auto& w = offsets[static_cast<std::size_t>(b)];
+      const bool fresh_after_election =
+          replicated && w.base == -1 && offset > 0;
       if (offset == w.base) {
         ++w.count;  // Another record of the same batch.
       } else {
-        if (offset != w.base + w.count) ++result.offset_gap_violations;
+        if (!fresh_after_election && offset != w.base + w.count) {
+          ++result.offset_gap_violations;
+        }
         w.base = offset;
         w.count = 1;
       }
@@ -214,7 +279,8 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   source.start();
   producer.start();
 
-  // Run to completion (with a hard cap), then drain in-flight traffic.
+  // Run to completion (with a hard cap), then drain in-flight traffic
+  // (including follower catch-up and pending elections).
   while (!producer.finished() && sim.now() < kMaxSimTime) {
     sim.run(sim.now() + seconds(1));
   }
@@ -222,11 +288,33 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   const TimePoint finish_time = sim.now();
   sim.run(finish_time + kDrainGrace);
 
-  // Census: the paper's key comparison.
+  // Census: the paper's key comparison (committed records only).
   result.census = cluster.census("stream", scenario.num_messages);
   result.p_loss = result.census.p_loss();
   result.p_duplicate = result.census.p_duplicate();
   result.cases = tracker.census();
+
+  // Acked-record loss: keys the producer reported as delivered that no
+  // committed log holds.
+  {
+    const auto counts =
+        cluster.committed_key_counts("stream", scenario.num_messages);
+    for (std::uint64_t k = 0; k < scenario.num_messages; ++k) {
+      if (!acked[k]) continue;
+      ++result.acked_records;
+      if (counts[k] == 0) ++result.acked_lost;
+    }
+  }
+  result.leader_elections = cluster.stats().elections;
+  result.unclean_elections = cluster.stats().unclean_elections;
+  result.committed_regressions = cluster.stats().committed_regressions;
+  result.isr_shrinks = cluster.stats().isr_shrinks;
+  result.isr_expands = cluster.stats().isr_expands;
+  result.replica_prefix_violations = cluster.replica_prefix_violations();
+  for (int b = 0; b < cluster.num_brokers(); ++b) {
+    result.follower_truncations +=
+        cluster.broker(b).stats().follower_truncations;
+  }
 
   // KPI inputs.
   result.service_rate_mu =
@@ -254,7 +342,13 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   result.connection_resets = ps.connection_resets;
   result.requests_retried = ps.requests_retried;
   result.request_timeouts = ps.request_timeouts;
+  result.producer_failovers = ps.failovers;
+  result.producer_not_leader_errors = ps.not_leader_errors;
   result.batches_deduplicated = leader.stats().batches_deduplicated;
+  for (int b = 1; b < cluster.num_brokers(); ++b) {
+    result.batches_deduplicated +=
+        cluster.broker(b).stats().batches_deduplicated;
+  }
   result.tcp_segments_sent = conn.client.stats().segments_sent;
   result.tcp_retransmissions = conn.client.stats().retransmissions;
   result.tcp_rto_events = conn.client.stats().rto_events;
@@ -292,6 +386,26 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   summary["appends_observed"] = static_cast<double>(result.appends_observed);
   summary["offset_gap_violations"] =
       static_cast<double>(result.offset_gap_violations);
+  summary["replication_factor"] =
+      static_cast<double>(scenario.replication_factor);
+  summary["min_insync_replicas"] =
+      static_cast<double>(scenario.min_insync_replicas);
+  summary["unclean_leader_election"] =
+      scenario.unclean_leader_election ? 1.0 : 0.0;
+  summary["acked_records"] = static_cast<double>(result.acked_records);
+  summary["acked_lost"] = static_cast<double>(result.acked_lost);
+  summary["leader_elections"] =
+      static_cast<double>(result.leader_elections);
+  summary["unclean_elections"] =
+      static_cast<double>(result.unclean_elections);
+  summary["committed_regressions"] =
+      static_cast<double>(result.committed_regressions);
+  summary["isr_shrinks"] = static_cast<double>(result.isr_shrinks);
+  summary["isr_expands"] = static_cast<double>(result.isr_expands);
+  summary["replica_prefix_violations"] =
+      static_cast<double>(result.replica_prefix_violations);
+  summary["producer_failovers"] =
+      static_cast<double>(result.producer_failovers);
   return result;
 }
 

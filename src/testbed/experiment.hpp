@@ -62,6 +62,22 @@ struct ExperimentResult {
   /// partition log — any nonzero value is a log-discipline bug.
   std::uint64_t offset_gap_violations = 0;
 
+  // Replication & failover (all zero at replication_factor == 1).
+  std::uint64_t acked_records = 0;   ///< Distinct keys acked to the app.
+  /// Acked keys absent from the committed log at the end of the run — the
+  /// acked-data-loss hazard. Must be zero under acks=all + min.insync>=2 +
+  /// clean elections, whatever single-broker fail-stops happen.
+  std::uint64_t acked_lost = 0;
+  std::uint64_t leader_elections = 0;
+  std::uint64_t unclean_elections = 0;
+  std::uint64_t committed_regressions = 0;  ///< Committed offset went back.
+  std::uint64_t isr_shrinks = 0;
+  std::uint64_t isr_expands = 0;
+  std::uint64_t replica_prefix_violations = 0;
+  std::uint64_t follower_truncations = 0;
+  std::uint64_t producer_failovers = 0;
+  std::uint64_t producer_not_leader_errors = 0;
+
   /// Structured run artifact: final metric values across every layer,
   /// sampled time series, histogram summaries and the message trace.
   obs::RunReport report;

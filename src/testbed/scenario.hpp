@@ -67,6 +67,19 @@ struct Scenario {
   Duration request_timeout = 0;
   /// Retry budget tau_r; -1 = semantics-preset default.
   int retries_override = -1;
+  /// Producer retry backoff (floor of the jittered exponential); 0 = preset
+  /// default.
+  Duration retry_backoff = 0;
+  /// Cap on the jittered exponential retry backoff; 0 = preset default.
+  Duration retry_backoff_max = 0;
+
+  // --- replication (broker-fault ablation) ------------------------------------
+  /// Replicas per partition (clamped to the broker count). 1 = the paper's
+  /// unreplicated baseline; >1 enables follower fetch, ISR tracking and
+  /// leader failover.
+  int replication_factor = 1;
+  int min_insync_replicas = 1;             ///< acks=all durability gate.
+  bool unclean_leader_election = false;    ///< Availability over safety.
 
   /// Timed fault schedule executed on top of the static (D, L) impairment:
   /// netem steps, bandwidth drops and broker outages. Actions are scheduled

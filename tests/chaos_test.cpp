@@ -6,9 +6,13 @@
 // Long soak:         KS_CHAOS_ITERS=5000 ctest -R Chaos
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <limits>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "chaos/harness.hpp"
 #include "testbed/experiment.hpp"
@@ -64,22 +68,95 @@ TEST(Chaos, GeneratorIsDeterministicInTheSeed) {
 TEST(Chaos, GeneratorCoversTheScenarioSpace) {
   int semantics_seen[3] = {0, 0, 0};
   int benign = 0;
+  int replicated = 0;
+  int durable = 0;
+  int unclean = 0;
+  int custom_backoff = 0;
   std::set<Kind> kinds;
   for (std::uint64_t i = 0; i < 128; ++i) {
     const auto cs = generate_scenario(scenario_seed(0xC0FFEEu, i));
     ++semantics_seen[static_cast<int>(cs.scenario.semantics)];
     if (cs.expect_no_loss) ++benign;
+    if (cs.scenario.replication_factor > 1) ++replicated;
+    if (cs.expect_no_acked_loss) ++durable;
+    if (cs.scenario.unclean_leader_election) ++unclean;
+    if (cs.scenario.retry_backoff > 0) ++custom_backoff;
     for (const auto& f : cs.scenario.faults) kinds.insert(f.kind);
   }
   EXPECT_GT(semantics_seen[0], 0) << "no at-most-once scenarios";
   EXPECT_GT(semantics_seen[1], 0) << "no at-least-once scenarios";
   EXPECT_GT(semantics_seen[2], 0) << "no exactly-once scenarios";
   EXPECT_GT(benign, 0) << "no benign-recovery (no-loss) scenarios";
+  EXPECT_GT(replicated, 0) << "no replicated scenarios";
+  EXPECT_GT(durable, 0) << "no durable-delivery (no-acked-loss) scenarios";
+  EXPECT_GT(unclean, 0) << "no unclean-election scenarios";
+  EXPECT_GT(custom_backoff, 0) << "retry-backoff knobs never drawn";
   EXPECT_TRUE(kinds.count(Kind::kNetem));
   EXPECT_TRUE(kinds.count(Kind::kGilbertElliott));
   EXPECT_TRUE(kinds.count(Kind::kBandwidth));
   EXPECT_TRUE(kinds.count(Kind::kBrokerFail));
   EXPECT_TRUE(kinds.count(Kind::kBrokerResume));
+}
+
+// The broker-fault soak profile must actually shift the mix: every seed
+// expands differently from its default-profile expansion, broker outages
+// dominate the schedules, and most scenarios are replicated.
+TEST(Chaos, BrokerFaultProfileWeightsOutages) {
+  int broker_fault_runs = 0;
+  int replicated = 0;
+  int distinct = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const auto seed = scenario_seed(0xC0FFEEu, i);
+    const auto cs = generate_scenario(seed, Profile::kBrokerFaults);
+    if (cs.describe() != generate_scenario(seed).describe()) ++distinct;
+    if (cs.scenario.replication_factor > 1) ++replicated;
+    for (const auto& f : cs.scenario.faults) {
+      if (f.kind == Kind::kBrokerFail) {
+        ++broker_fault_runs;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(distinct, 64);
+  EXPECT_GT(replicated, 40);
+  EXPECT_GT(broker_fault_runs, 32);
+}
+
+// The durable-delivery class promises at most one broker down at any
+// moment; its generated schedules must honour that by construction.
+TEST(Chaos, DurableScenariosSerializeBrokerOutages) {
+  int checked = 0;
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    const auto cs = generate_scenario(scenario_seed(0xFACADEu, i),
+                                      Profile::kBrokerFaults);
+    if (!cs.expect_no_acked_loss) continue;
+    EXPECT_EQ(cs.scenario.replication_factor, 3);
+    EXPECT_EQ(cs.scenario.min_insync_replicas, 2);
+    EXPECT_FALSE(cs.scenario.unclean_leader_election);
+    EXPECT_EQ(cs.scenario.semantics, kafka::DeliverySemantics::kExactlyOnce);
+    // Reconstruct the outage intervals; they must not overlap.
+    std::vector<std::pair<TimePoint, TimePoint>> outages;
+    for (const auto& f : cs.scenario.faults) {
+      if (f.kind == Kind::kBrokerFail) {
+        outages.emplace_back(f.at, std::numeric_limits<TimePoint>::max());
+      } else if (f.kind == Kind::kBrokerResume) {
+        for (auto& [from, to] : outages) {
+          if (to == std::numeric_limits<TimePoint>::max() &&
+              f.at >= from) {
+            to = f.at;
+            break;
+          }
+        }
+      }
+    }
+    std::sort(outages.begin(), outages.end());
+    for (std::size_t j = 1; j < outages.size(); ++j) {
+      EXPECT_GT(outages[j].first, outages[j - 1].second)
+          << cs.describe();
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 10) << "profile produced too few durable scenarios";
 }
 
 TEST(Chaos, SeedCorpusParses) {
@@ -92,12 +169,16 @@ TEST(Chaos, SeedCorpusParses) {
 TEST(Chaos, EnvKnobsOverrideOptions) {
   ::setenv("KS_CHAOS_SEED", "0x2a", 1);
   ::setenv("KS_CHAOS_ITERS", "7", 1);
+  ::setenv("KS_CHAOS_PROFILE", "broker_faults", 1);
   const auto options = options_from_env();
   ::unsetenv("KS_CHAOS_SEED");
   ::unsetenv("KS_CHAOS_ITERS");
+  ::unsetenv("KS_CHAOS_PROFILE");
   ASSERT_TRUE(options.single_seed.has_value());
   EXPECT_EQ(*options.single_seed, 0x2au);
   EXPECT_EQ(options.iterations, 7u);
+  EXPECT_EQ(options.profile, Profile::kBrokerFaults);
+  EXPECT_EQ(options_from_env().profile, Profile::kDefault);
 }
 
 // End-to-end failure path: inject a violation (via the extra-invariant

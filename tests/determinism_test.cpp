@@ -58,6 +58,37 @@ TEST(Determinism, SameSeedByteIdenticalCanonicalReport) {
   }
 }
 
+// Replication, elections and producer failover run on extra RNG-forked
+// links and timer-driven fetch sessions; a replicated run with a leader
+// fail-stop mid-stream must replay bit for bit too.
+TEST(Determinism, ReplicatedFailoverRunIsByteIdentical) {
+  Scenario sc = make_scenario(0x1234, kafka::DeliverySemantics::kExactlyOnce);
+  sc.replication_factor = 3;
+  sc.min_insync_replicas = 2;
+  sc.request_timeout = millis(300);
+  sc.retries_override = 50;
+  sc.message_timeout = seconds(120);
+  FaultAction fail;
+  fail.kind = FaultAction::Kind::kBrokerFail;
+  fail.broker = 0;
+  fail.at = millis(80);
+  sc.faults.push_back(fail);
+  FaultAction resume = fail;
+  resume.kind = FaultAction::Kind::kBrokerResume;
+  resume.at = millis(700);
+  sc.faults.push_back(resume);
+
+  const auto first = run_experiment(sc);
+  const auto second = run_experiment(sc);
+  ASSERT_GE(first.leader_elections, 1u);
+  EXPECT_EQ(first.acked_lost, 0u);
+  EXPECT_EQ(first.report.canonical_json(), second.report.canonical_json());
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_EQ(first.census.delivered, second.census.delivered);
+  EXPECT_EQ(first.leader_elections, second.leader_elections);
+  EXPECT_EQ(first.producer_failovers, second.producer_failovers);
+}
+
 TEST(Determinism, CanonicalJsonExcludesOnlyWallClockMetrics) {
   const auto result =
       run_experiment(make_scenario(42, kafka::DeliverySemantics::kAtLeastOnce));

@@ -1,0 +1,447 @@
+// Replication, ISR tracking and leader failover: the broker-fault ablation
+// the paper leaves to future work. These tests exercise the full stack —
+// follower fetch sessions over simulated inter-broker links, high-watermark
+// commit, min.insync gating, clean and unclean elections, producer and
+// consumer failover — and pin the safety teeth both ways: acks=all +
+// min.insync>=2 + clean elections never lose acked data under single-broker
+// fail-stop, while acks=1 and unclean elections demonstrably do.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kafka/broker.hpp"
+#include "kafka/cluster.hpp"
+#include "kafka/consumer.hpp"
+#include "kafka/producer.hpp"
+#include "kafka/source.hpp"
+#include "net/link.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/endpoint.hpp"
+
+namespace ks::kafka {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Retry backoff: capped exponential with decorrelated jitter.
+
+TEST(RetryBackoff, StaysWithinBoundsGrowsAndIsDeterministic) {
+  const Duration base = millis(50);
+  const Duration cap = seconds(2);
+  std::uint64_t state = 42;
+  Duration prev = 0;
+  Duration largest = 0;
+  for (int i = 0; i < 64; ++i) {
+    const Duration b = next_retry_backoff(state, base, prev, cap);
+    EXPECT_GE(b, base);
+    EXPECT_LE(b, cap);
+    // Decorrelated jitter: never more than 3x the previous wait.
+    if (prev > 0) {
+      EXPECT_LE(b, std::max(base, prev * 3));
+    }
+    prev = b;
+    largest = std::max(largest, b);
+  }
+  // The exponential part must actually grow toward the cap.
+  EXPECT_GT(largest, base * 4);
+
+  // Same seed => same sequence (sim determinism depends on it).
+  std::uint64_t s1 = 7, s2 = 7;
+  Duration p1 = 0, p2 = 0;
+  for (int i = 0; i < 16; ++i) {
+    p1 = next_retry_backoff(s1, base, p1, cap);
+    p2 = next_retry_backoff(s2, base, p2, cap);
+    EXPECT_EQ(p1, p2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster rig: replicated cluster + per-broker producer links (+ optional
+// consumer links), all over lossless LAN-grade connections so every effect
+// in these tests comes from broker faults, not the network.
+
+struct ClusterRigConfig {
+  std::uint64_t seed = 1;
+  std::uint64_t messages = 1500;
+  Bytes message_size = 100;
+  int replication_factor = 3;
+  int min_insync = 2;
+  bool unclean = false;
+  Duration leader_detect_delay = millis(100);
+  ProducerConfig producer = ProducerConfig::exactly_once();
+  Broker::Config broker{};
+  bool with_consumer = false;
+  Consumer::Config consumer{};
+};
+
+struct ClusterRig {
+  explicit ClusterRig(ClusterRigConfig config)
+      : cfg(std::move(config)), sim(cfg.seed), cluster(sim, cluster_config()) {
+    cluster.create_topic("t", 1);
+    partition = cluster.partition_id("t", 0);
+    const int n = cluster.num_brokers();
+    for (int i = 0; i < n; ++i) {
+      add_connection("prod", i);
+      cluster.broker(i).attach(conns.back()->server);
+    }
+    Source::Config sc;
+    sc.total_messages = cfg.messages;
+    sc.message_size = cfg.message_size;
+    sc.emit_interval = 0;
+    source = std::make_unique<Source>(sim, sc);
+    producer = std::make_unique<Producer>(sim, cfg.producer, conns[0]->client,
+                                          *source, partition);
+    std::vector<tcp::Endpoint*> eps;
+    for (int i = 0; i < n; ++i) eps.push_back(&conns[static_cast<std::size_t>(i)]->client);
+    producer->enable_failover(eps, [this](std::int32_t p) {
+      return cluster.current_leader(p);
+    });
+    acked.assign(cfg.messages, 0);
+    producer->on_record_acked = [this](const Record& r) {
+      if (r.key < acked.size()) acked[r.key] = 1;
+    };
+    if (cfg.with_consumer) {
+      std::vector<tcp::Endpoint*> ceps;
+      for (int i = 0; i < n; ++i) {
+        add_connection("cons", i);
+        cluster.broker(i).attach(conns.back()->server);
+        ceps.push_back(&conns.back()->client);
+      }
+      consumer = std::make_unique<Consumer>(sim, cfg.consumer, *ceps[0],
+                                            partition);
+      consumer->enable_failover(std::move(ceps), [this](std::int32_t p) {
+        return cluster.current_leader(p);
+      });
+    }
+  }
+
+  Cluster::Config cluster_config() const {
+    Cluster::Config c;
+    c.num_brokers = 3;
+    c.broker = cfg.broker;
+    c.replication_factor = cfg.replication_factor;
+    c.min_insync_replicas = cfg.min_insync;
+    c.unclean_leader_election = cfg.unclean;
+    c.leader_detect_delay = cfg.leader_detect_delay;
+    return c;
+  }
+
+  void add_connection(const std::string& role, int broker) {
+    links.push_back(std::make_unique<net::DuplexLink>(
+        sim, net::Link::Config{.bandwidth_bps = 100e6},
+        std::make_shared<net::ConstantDelay>(micros(300)),
+        std::make_shared<net::NoLoss>(),
+        std::make_shared<net::ConstantDelay>(micros(300)),
+        std::make_shared<net::NoLoss>(), role + std::to_string(broker)));
+    conns.push_back(std::make_unique<tcp::Pair>(
+        sim, tcp::Config{}, *links.back(),
+        role + "-conn" + std::to_string(broker)));
+  }
+
+  void run(Duration cap = seconds(120)) {
+    cluster.start();
+    source->start();
+    producer->start();
+    if (consumer) consumer->start();
+    while (!producer->finished() && sim.now() < cap) {
+      sim.run(sim.now() + millis(100));
+    }
+    sim.run(sim.now() + seconds(10));  // Drain elections + follower catch-up.
+  }
+
+  std::uint64_t acked_count() const {
+    std::uint64_t n = 0;
+    for (auto a : acked) n += a;
+    return n;
+  }
+
+  /// Acked keys absent from every committed log.
+  std::uint64_t acked_lost() const {
+    const auto counts = cluster.committed_key_counts("t", cfg.messages);
+    std::uint64_t lost = 0;
+    for (std::uint64_t k = 0; k < cfg.messages; ++k) {
+      if (acked[k] && counts[k] == 0) ++lost;
+    }
+    return lost;
+  }
+
+  ClusterRigConfig cfg;
+  sim::Simulation sim;
+  Cluster cluster;
+  std::int32_t partition = 0;
+  std::vector<std::unique_ptr<net::DuplexLink>> links;
+  std::vector<std::unique_ptr<tcp::Pair>> conns;
+  std::unique_ptr<Source> source;
+  std::unique_ptr<Producer> producer;
+  std::unique_ptr<Consumer> consumer;
+  std::vector<std::uint8_t> acked;
+};
+
+// ---------------------------------------------------------------------------
+
+TEST(Replication, FollowersReplicateAndHighWatermarkAdvances) {
+  ClusterRigConfig cfg;
+  cfg.messages = 800;
+  cfg.producer = ProducerConfig::exactly_once();
+  ClusterRig rig(cfg);
+  rig.run();
+
+  ASSERT_TRUE(rig.producer->finished());
+  EXPECT_EQ(rig.cluster.stats().elections, 0u);
+
+  // Every replica holds the full log and the commit point reached the end.
+  const auto* leader_log = rig.cluster.broker(0).partition(rig.partition);
+  ASSERT_NE(leader_log, nullptr);
+  const std::int64_t leo = leader_log->log_end_offset();
+  EXPECT_EQ(leo, static_cast<std::int64_t>(cfg.messages));
+  EXPECT_EQ(leader_log->high_watermark(), leo);
+  for (int b = 1; b < rig.cluster.num_brokers(); ++b) {
+    const auto* log = rig.cluster.broker(b).partition(rig.partition);
+    ASSERT_NE(log, nullptr);
+    EXPECT_EQ(log->log_end_offset(), leo) << "broker " << b;
+    EXPECT_GT(rig.cluster.broker(b).stats().replica_records_appended, 0u);
+  }
+  EXPECT_EQ(rig.cluster.replica_prefix_violations(), 0u);
+
+  // Census agrees: everything delivered exactly once, nothing acked lost.
+  const auto census = rig.cluster.census("t", cfg.messages);
+  EXPECT_EQ(census.delivered, cfg.messages);
+  EXPECT_EQ(census.lost, 0u);
+  EXPECT_EQ(rig.acked_lost(), 0u);
+  EXPECT_EQ(rig.acked_count(), cfg.messages);
+}
+
+TEST(Replication, IsrEvictionOnFailureAndRejoinAfterCatchUp) {
+  ClusterRigConfig cfg;
+  cfg.messages = 2500;
+  ClusterRig rig(cfg);
+  // Fail a follower mid-run, bring it back later: it must be evicted from
+  // the ISR (so the high watermark keeps advancing on the survivors) and
+  // re-admitted once its fetch session catches back up.
+  rig.sim.at(millis(60), [&] { rig.cluster.fail_broker(2); });
+  rig.sim.at(millis(400), [&] { rig.cluster.resume_broker(2); });
+  rig.run();
+
+  ASSERT_TRUE(rig.producer->finished());
+  EXPECT_EQ(rig.cluster.stats().elections, 0u);  // Leader never failed.
+  EXPECT_GE(rig.cluster.stats().isr_shrinks, 1u);
+  EXPECT_GE(rig.cluster.stats().isr_expands, 1u);
+  EXPECT_EQ(rig.cluster.broker(0).isr_of(rig.partition).size(), 3u);
+  EXPECT_EQ(rig.acked_lost(), 0u);
+  EXPECT_EQ(rig.cluster.replica_prefix_violations(), 0u);
+  // The rejoined follower holds the full log again.
+  EXPECT_EQ(rig.cluster.broker(2).partition(rig.partition)->log_end_offset(),
+            rig.cluster.broker(0).partition(rig.partition)->log_end_offset());
+}
+
+TEST(Replication, MinInsyncGateRejectsProduceWhenIsrTooSmall) {
+  ClusterRigConfig cfg;
+  cfg.messages = 2000;
+  cfg.min_insync = 3;  // Every replica must be in sync.
+  cfg.producer = ProducerConfig::exactly_once();
+  cfg.producer.message_timeout = seconds(2);
+  cfg.producer.retries = 3;
+  ClusterRig rig(cfg);
+  rig.sim.at(millis(50), [&] { rig.cluster.fail_broker(2); });  // For good.
+  rig.run();
+
+  // Once the ISR shrank below min.insync the leader rejects instead of
+  // appending; the producer sees the error and eventually gives up.
+  EXPECT_GT(rig.cluster.broker(0).stats().not_enough_replicas, 0u);
+  EXPECT_GT(rig.producer->stats().not_enough_replicas_errors, 0u);
+  EXPECT_GT(rig.producer->stats().records_failed, 0u);
+  // Durability contract intact: whatever WAS acked is committed.
+  EXPECT_EQ(rig.acked_lost(), 0u);
+}
+
+TEST(Replication, CleanElectionAfterLeaderFailStopLosesNoAckedData) {
+  ClusterRigConfig cfg;
+  cfg.messages = 2500;
+  cfg.min_insync = 2;
+  cfg.producer = ProducerConfig::exactly_once();
+  cfg.producer.request_timeout = millis(300);
+  cfg.producer.message_timeout = seconds(30);
+  cfg.producer.retries = 50;
+  ClusterRig rig(cfg);
+  rig.sim.at(millis(80), [&] { rig.cluster.fail_broker(0); });
+  rig.run();
+
+  ASSERT_TRUE(rig.producer->finished());
+  EXPECT_GE(rig.cluster.stats().elections, 1u);
+  EXPECT_EQ(rig.cluster.stats().unclean_elections, 0u);
+  EXPECT_GE(rig.producer->stats().failovers, 1u);
+  // The headline invariant: acks=all + min.insync=2 + clean election =>
+  // no acked record is lost to a single broker fail-stop.
+  EXPECT_EQ(rig.acked_lost(), 0u);
+  EXPECT_EQ(rig.cluster.stats().committed_regressions, 0u);
+  EXPECT_EQ(rig.cluster.replica_prefix_violations(), 0u);
+  // And the run made real progress through the new leader.
+  EXPECT_GT(rig.acked_count(), cfg.messages / 2);
+}
+
+TEST(Replication, Acks1LeaderFailStopLosesAckedRecords) {
+  ClusterRigConfig cfg;
+  cfg.messages = 2500;
+  cfg.min_insync = 1;
+  cfg.producer = ProducerConfig::at_least_once();  // acks=1.
+  cfg.producer.request_timeout = millis(300);
+  cfg.producer.message_timeout = seconds(30);
+  cfg.producer.retries = 50;
+  // Widen the ack-to-replication window: followers fetch lazily, so the
+  // leader acks well ahead of its followers...
+  cfg.broker.replica_fetch_interval = millis(80);
+  cfg.broker.replica_lag_time_max = seconds(60);  // ...without ISR eviction.
+  ClusterRig rig(cfg);
+  rig.sim.at(millis(150), [&] { rig.cluster.fail_broker(0); });
+  rig.run();
+
+  ASSERT_TRUE(rig.producer->finished());
+  EXPECT_GE(rig.cluster.stats().elections, 1u);
+  EXPECT_EQ(rig.cluster.stats().unclean_elections, 0u);
+  // The teeth, other direction: acks=1 acknowledges before replication, so
+  // a leader fail-stop strands acked records in the dead leader's log.
+  EXPECT_GT(rig.acked_lost(), 0u);
+}
+
+TEST(Replication, UncleanElectionRegressesCommitsAndTruncatesConsumer) {
+  ClusterRigConfig cfg;
+  cfg.messages = 3000;
+  cfg.min_insync = 1;  // Keep acking while the ISR shrinks to the leader.
+  cfg.unclean = true;
+  cfg.producer = ProducerConfig::exactly_once();
+  cfg.producer.request_timeout = millis(300);
+  cfg.producer.message_timeout = seconds(30);
+  cfg.producer.retries = 50;
+  cfg.with_consumer = true;
+  cfg.consumer.fetch_timeout = millis(200);
+  cfg.consumer.max_fetch_retries = 100;
+  ClusterRig rig(cfg);
+  // Kill both followers early: the ISR collapses to the leader, which keeps
+  // committing alone (min.insync=1). Then the leader dies and a stale
+  // follower comes back: no ISR survivor exists, so the unclean election
+  // installs it — and everything the lone leader committed is gone.
+  rig.sim.at(millis(60), [&] { rig.cluster.fail_broker(1); });
+  rig.sim.at(millis(60), [&] { rig.cluster.fail_broker(2); });
+  rig.sim.at(millis(500), [&] { rig.cluster.fail_broker(0); });
+  rig.sim.at(millis(520), [&] { rig.cluster.resume_broker(1); });
+  rig.run();
+
+  EXPECT_GE(rig.cluster.stats().elections, 1u);
+  EXPECT_GE(rig.cluster.stats().unclean_elections, 1u);
+  EXPECT_GE(rig.cluster.stats().committed_regressions, 1u);
+  // Acked (and committed!) records are lost — the unclean hazard.
+  EXPECT_GT(rig.acked_lost(), 0u);
+  // The consumer that was reading past the stale leader's log end had to
+  // truncate its position back to the new high watermark.
+  ASSERT_NE(rig.consumer, nullptr);
+  EXPECT_GE(rig.consumer->stats().failovers, 1u);
+  EXPECT_GE(rig.consumer->stats().offset_truncations, 1u);
+  EXPECT_FALSE(rig.consumer->stalled());
+}
+
+// ---------------------------------------------------------------------------
+// Census correctness: only committed (below-high-watermark) records count.
+
+TEST(Replication, CensusCountsOnlyCommittedRecords) {
+  sim::Simulation sim(1);
+  Cluster::Config cc;
+  cc.num_brokers = 3;
+  cc.replication_factor = 2;
+  Cluster cluster(sim, cc);
+  cluster.create_topic("t", 1);
+  const std::int32_t p = cluster.partition_id("t", 0);
+
+  // Detach the follower so the high watermark stops advancing.
+  cluster.fail_broker(1);
+  sim.run(sim.now() + millis(500));
+
+  auto* log = cluster.broker(0).partition(p);
+  ASSERT_NE(log, nullptr);
+  ASSERT_TRUE(log->replicated());
+  std::vector<Record> batch;
+  for (Key k = 0; k < 10; ++k) {
+    batch.push_back(Record{.key = k, .value_size = 10, .created_at = 0});
+  }
+  log->append(batch, sim.now());
+  ASSERT_EQ(log->log_end_offset(), 10);
+
+  // Nothing committed yet: every key is "lost" to a reader.
+  auto census = cluster.census("t", 10);
+  EXPECT_EQ(census.delivered, 0u);
+  EXPECT_EQ(census.lost, 10u);
+  EXPECT_EQ(census.appended_records, 0u);
+
+  // Commit half: exactly those keys become visible.
+  log->advance_high_watermark(5);
+  census = cluster.census("t", 10);
+  EXPECT_EQ(census.delivered, 5u);
+  EXPECT_EQ(census.lost, 5u);
+  EXPECT_EQ(census.appended_records, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Consumer bounded fetch re-issue: backoff between retries, stall (not
+// spin) once the budget is exhausted against a dead broker.
+
+TEST(ConsumerRetries, BoundedReissueThenStallAgainstDeadBroker) {
+  sim::Simulation sim(3);
+  Broker broker(sim, Broker::Config{});
+  broker.create_partition(0);
+  net::DuplexLink link(sim, {.bandwidth_bps = 100e6},
+                       std::make_shared<net::ConstantDelay>(millis(1)),
+                       std::make_shared<net::NoLoss>(),
+                       std::make_shared<net::ConstantDelay>(millis(1)),
+                       std::make_shared<net::NoLoss>(), "cons");
+  tcp::Pair conn(sim, tcp::Config{}, link, "cons");
+  broker.attach(conn.server);
+
+  Consumer::Config cc;
+  cc.fetch_timeout = millis(100);
+  cc.max_fetch_retries = 3;
+  cc.fetch_retry_backoff_max = millis(400);
+  Consumer consumer(sim, cc, conn.client, 0);
+  consumer.start();
+  sim.at(millis(5), [&] { broker.fail(); });  // Serves nothing, ever.
+  sim.run(seconds(30));
+
+  EXPECT_TRUE(consumer.stalled());
+  // Exactly budget+1 timeouts fired (the last one trips the stall)...
+  EXPECT_EQ(consumer.stats().fetch_retries, 4u);
+  // ...and with backoff the attempts stretched well past 4 * fetch_timeout.
+  EXPECT_GE(sim.now(), millis(30));
+}
+
+TEST(ConsumerRetries, RetryBudgetResetsOnProgress) {
+  sim::Simulation sim(4);
+  Broker broker(sim, Broker::Config{});
+  auto& log = broker.create_partition(0);
+  net::DuplexLink link(sim, {.bandwidth_bps = 100e6},
+                       std::make_shared<net::ConstantDelay>(millis(1)),
+                       std::make_shared<net::NoLoss>(),
+                       std::make_shared<net::ConstantDelay>(millis(1)),
+                       std::make_shared<net::NoLoss>(), "cons2");
+  tcp::Pair conn(sim, tcp::Config{}, link, "cons2");
+  broker.attach(conn.server);
+  std::vector<Record> batch{Record{.key = 1, .value_size = 10}};
+  log.append(batch, 0);
+
+  Consumer::Config cc;
+  cc.fetch_timeout = millis(100);
+  cc.max_fetch_retries = 3;
+  Consumer consumer(sim, cc, conn.client, 0);
+  consumer.start();
+  // Outage shorter than the budget: retries, then resumes when the broker
+  // returns — the budget resets on the first served response.
+  sim.at(millis(5), [&] { broker.fail(); });
+  sim.at(millis(250), [&] { broker.resume(); });
+  sim.run(seconds(10));
+
+  EXPECT_FALSE(consumer.stalled());
+  EXPECT_GE(consumer.stats().fetch_retries, 1u);
+  EXPECT_EQ(consumer.stats().records, 1u);
+  EXPECT_EQ(consumer.position(), 1);
+}
+
+}  // namespace
+}  // namespace ks::kafka
