@@ -4,8 +4,12 @@
 // figure benches depend on for their run budgets.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
 #include "ann/network.hpp"
 #include "common/rng.hpp"
+#include "obs/span.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulation.hpp"
 #include "testbed/experiment.hpp"
@@ -94,6 +98,32 @@ BENCHMARK(BM_PipelineMetricsOverhead)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+void BM_PipelineSpanOverhead(benchmark::State& state) {
+  // Causal span tracing toggled on the same pipeline: arg 0 disables the
+  // tracer (call sites reduce to one branch), arg 1 records every key's
+  // full span tree. The delta bounds the tracing cost at full sampling;
+  // the disabled path is additionally asserted in main() (<=1%).
+  const bool spans = state.range(0) != 0;
+  for (auto _ : state) {
+    testbed::Scenario sc;
+    sc.num_messages = 2000;
+    sc.broker_regimes = false;
+    sc.seed = 42;
+    sc.sample_interval = 0;
+    sc.trace_sample_every = ~0ULL;  // Isolate spans from the flat trace.
+    sc.spans_enabled = spans;
+    sc.span_sample_every = spans ? 1 : 0;
+    sc.span_capacity = 1 << 16;
+    const auto r = testbed::run_experiment(sc);
+    benchmark::DoNotOptimize(r.report.spans.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_PipelineSpanOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_AnnForward(benchmark::State& state) {
   Rng rng(3);
   auto net = ann::Network::paper_architecture(5, 2, rng);
@@ -123,6 +153,72 @@ void BM_AnnTrainBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_AnnTrainBatch)->Unit(benchmark::kMillisecond);
 
+// Self-check run before the benchmarks: a disabled SpanTracer must cost
+// one predictable branch per call site, bounded at <=1% of the hot produce
+// loop's per-record budget. Exits nonzero on regression so any bench run
+// (local or CI) catches it without timing-comparison flakiness: the bound
+// is (measured disabled begin/end pair) x (call sites per record) against
+// the measured per-record pipeline time.
+bool disabled_span_path_within_budget() {
+  using clock = std::chrono::steady_clock;
+  const auto seconds_between = [](clock::time_point a, clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+
+  // Cost of one begin/end pair against a disabled tracer.
+  obs::SpanTracer tracer;  // sample_every = 0 => disabled.
+  constexpr int kPairs = 1 << 21;
+  const auto t0 = clock::now();
+  for (int i = 0; i < kPairs; ++i) {
+    auto id = tracer.begin(i, obs::SpanKind::kProduceAttempt,
+                           obs::kTrackProducer, 0,
+                           static_cast<std::uint64_t>(i));
+    benchmark::DoNotOptimize(id);
+    tracer.end(i, id);
+  }
+  const auto t1 = clock::now();
+  const double pair_s = seconds_between(t0, t1) / kPairs;
+
+  // Per-record wall time of the hot produce loop with spans off.
+  testbed::Scenario sc;
+  sc.num_messages = 4000;
+  sc.broker_regimes = false;
+  sc.seed = 42;
+  sc.sample_interval = 0;
+  sc.trace_sample_every = ~0ULL;
+  sc.spans_enabled = false;
+  sc.consumer_drain = false;
+  const auto t2 = clock::now();
+  const auto result = testbed::run_experiment(sc);
+  const auto t3 = clock::now();
+  benchmark::DoNotOptimize(result.census.delivered);
+  const double record_s =
+      seconds_between(t2, t3) / static_cast<double>(sc.num_messages);
+
+  // Producer batch+attempt, TCP flight, broker append+commit-wait, fetch
+  // path: a record crosses no more than ~8 tracer call sites.
+  constexpr double kCallSitesPerRecord = 8.0;
+  const double ratio = pair_s * kCallSitesPerRecord / record_s;
+  std::printf("span self-check: disabled begin/end pair %.1fns, hot loop "
+              "%.0fns/record, overhead %.3f%% (budget 1%%)\n",
+              pair_s * 1e9, record_s * 1e9, ratio * 100.0);
+  if (ratio > 0.01) {
+    std::fprintf(stderr,
+                 "FAIL: disabled span path costs %.3f%% of the hot produce "
+                 "loop (budget 1%%)\n",
+                 ratio * 100.0);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (!disabled_span_path_within_budget()) return 1;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

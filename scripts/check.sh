@@ -19,6 +19,21 @@ cmake --build build -j "${JOBS}"
 # nonzero ctest exit (failures and timeouts alike) to the caller/CI.
 CTEST_TIMEOUT="${KS_CTEST_TIMEOUT:-300}"
 
+# Failing chaos scenarios drop their RunReport + Perfetto trace here (the
+# failure output prints the exact paths and the ks_explain invocation).
+export KS_CHAOS_ARTIFACT_DIR="${KS_CHAOS_ARTIFACT_DIR:-${PWD}/build/chaos-artifacts}"
+
+report_chaos_artifacts() {
+  # Only on failure: passing runs still exercise the injected-violation
+  # harness test, whose artifacts are expected and not worth shouting about.
+  if [ "$1" -ne 0 ] &&
+      compgen -G "${KS_CHAOS_ARTIFACT_DIR}/*" >/dev/null 2>&1; then
+    echo "== chaos failure artifacts (report + perfetto trace) =="
+    ls -l "${KS_CHAOS_ARTIFACT_DIR}"
+  fi
+}
+trap 'report_chaos_artifacts $?' EXIT
+
 echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure --timeout "${CTEST_TIMEOUT}" \
   -j "${JOBS}")

@@ -3,8 +3,11 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string_view>
+
+#include "obs/explain.hpp"
 
 namespace ks::chaos {
 
@@ -111,6 +114,32 @@ std::string repro_command(std::uint64_t chaos_seed, Profile profile) {
   return buf;
 }
 
+std::string explain_command(std::uint64_t chaos_seed, Profile profile) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "build/src/tools/ks_explain --seed 0x%" PRIx64 "%s",
+                chaos_seed,
+                profile == Profile::kDefault ? ""
+                                             : " --profile broker_faults");
+  return buf;
+}
+
+/// Write the failing run's report + Perfetto trace into
+/// KS_CHAOS_ARTIFACT_DIR (when set); returns the report path, or empty.
+std::string write_failure_artifacts(std::uint64_t chaos_seed,
+                                    const obs::RunReport& report) {
+  const char* dir = std::getenv("KS_CHAOS_ARTIFACT_DIR");
+  if (dir == nullptr || *dir == '\0') return {};
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  char name[64];
+  std::snprintf(name, sizeof(name), "chaos_0x%" PRIx64, chaos_seed);
+  const std::string base = std::string(dir) + "/" + name;
+  if (!report.write_json(base + "_report.json")) return {};
+  report.write_perfetto(base + ".perfetto.json");
+  return base + "_report.json";
+}
+
 /// Run one scenario (plus the optional determinism double-run) and record
 /// any failure. Returns true when the scenario passed.
 bool run_scenario(const Options& options, std::uint64_t chaos_seed,
@@ -140,6 +169,13 @@ bool run_scenario(const Options& options, std::uint64_t chaos_seed,
   failure.violations = violations;
   failure.original_fault_count = cs.scenario.faults.size();
   failure.repro = repro_command(chaos_seed, options.profile);
+  failure.explain = explain_command(chaos_seed, options.profile);
+  if (const auto key = obs::pick_explain_key(result.report)) {
+    failure.narrative_key = *key;
+    failure.narrative = obs::explain_key(result.report, *key);
+  }
+  failure.artifact_path =
+      write_failure_artifacts(chaos_seed, result.report);
   failure.shrunk = cs;
   failure.shrunk_fault_count = cs.scenario.faults.size();
   // Determinism failures are not schedule-dependent; shrinking them would
@@ -168,6 +204,10 @@ std::string Failure::summary() const {
     out += "  [" + v.invariant + "] " + v.detail + "\n";
   }
   out += "  repro: " + repro;
+  out += "\n  explain: " + explain;
+  if (!artifact_path.empty()) {
+    out += "\n  artifacts: " + artifact_path;
+  }
   char counts[96];
   std::snprintf(counts, sizeof(counts),
                 "\n  schedule shrunk from %zu to %zu fault actions:",
@@ -175,6 +215,18 @@ std::string Failure::summary() const {
   out += counts;
   out += "\n  ";
   out += shrunk.describe();
+  if (!narrative.empty()) {
+    // Indent the narrative (its first line is its own header) under the
+    // failure block.
+    std::size_t pos = 0;
+    while (pos < narrative.size()) {
+      const std::size_t nl = narrative.find('\n', pos);
+      const std::size_t end = nl == std::string::npos ? narrative.size() : nl;
+      out += "\n  " + narrative.substr(pos, end - pos);
+      if (nl == std::string::npos) break;
+      pos = nl + 1;
+    }
+  }
   return out;
 }
 

@@ -54,9 +54,16 @@ struct Failure {
   ChaosScenario shrunk;               ///< Minimized still-violating scenario.
   std::size_t original_fault_count = 0;
   std::size_t shrunk_fault_count = 0;
-  std::string repro;  ///< One-line reproduction command.
+  std::string repro;    ///< One-line reproduction command.
+  std::string explain;  ///< ks_explain invocation for this seed.
+  /// Causal narrative for the key picked from the failing run's report
+  /// (anomalous keys first); empty when the report has nothing to tell.
+  std::uint64_t narrative_key = 0;
+  std::string narrative;
+  std::string artifact_path;  ///< Report written to KS_CHAOS_ARTIFACT_DIR.
 
-  /// Multi-line report: violations, repro command, shrunk schedule.
+  /// Multi-line report: violations, repro + explain commands, the causal
+  /// narrative and the shrunk schedule.
   std::string summary() const;
 };
 

@@ -31,6 +31,8 @@ struct KeyWalk {
   int acks = 0;
   int expiries = 0;
   int fails = 0;
+  int fetched = 0;
+  int delivered = 0;
   bool illegal = false;
   std::string why;
 
@@ -93,6 +95,17 @@ struct KeyWalk {
       if (sends == 0) flag("failure with no send attempt");
       if (acks > 0) flag("failure after ack");
       if (fails > 1) flag("record failed twice");
+    } else if (e.event == "fetched") {
+      ++fetched;
+      // A consumer can only read a record some leader once appended.
+      if (appends == 0) flag("fetched with no append");
+    } else if (e.event == "delivered") {
+      ++delivered;
+      if (fetched == 0) flag("delivered with no fetch");
+      if (delivered > 1) flag("first-delivery recorded twice");
+    } else if (e.event == "dup_detected") {
+      if (delivered == 0) flag("duplicate detected before first delivery");
+      if (fetched < 2) flag("duplicate detected with fewer than two fetches");
     }
   }
 };

@@ -29,7 +29,11 @@ Broker::Broker(sim::Simulation& sim, Config config)
   m_isr_expands_ = metrics.counter("kafka_broker_isr_expands_total", labels);
   m_replica_fetches_ =
       metrics.counter("kafka_broker_replica_fetches_total", labels);
+  m_truncated_records_ =
+      metrics.counter("kafka_broker_truncated_records_total", labels);
   m_bad_regime_ = metrics.gauge("kafka_broker_bad_regime", labels);
+  m_parked_acks_ = metrics.gauge("kafka_broker_parked_acks", labels);
+  m_hw_lag_ = metrics.histogram("kafka_broker_hw_lag_us", labels);
   m_busy_ = metrics.gauge("kafka_broker_busy", labels);
   m_down_ = metrics.gauge("kafka_broker_down", labels);
   m_replication_lag_ =
@@ -43,13 +47,17 @@ Broker::Broker(sim::Simulation& sim, Config config)
     m_isr_shrinks_.set(stats_.isr_shrinks);
     m_isr_expands_.set(stats_.isr_expands);
     m_replica_fetches_.set(stats_.replica_fetches_served);
+    m_truncated_records_.set(stats_.truncated_records);
     m_bad_regime_.set(modulator_.good() ? 0.0 : 1.0);
     m_busy_.set(busy_ ? 1.0 : 0.0);
     m_down_.set(down_ ? 1.0 : 0.0);
     // Worst replication lag (leader log end minus slowest ISR member)
-    // across the partitions this broker leads.
+    // across the partitions this broker leads, plus acks=all responses
+    // parked awaiting the high watermark.
     std::int64_t lag = 0;
+    std::size_t parked = 0;
     for (const auto& [id, st] : partitions_) {
+      parked += st->pending_acks.size();
       if (!st->leader || !replicated(*st)) continue;
       const std::int64_t leo = st->log->log_end_offset();
       for (const auto& [fid, f] : st->followers) {
@@ -57,6 +65,7 @@ Broker::Broker(sim::Simulation& sim, Config config)
       }
     }
     m_replication_lag_.set(static_cast<double>(lag));
+    m_parked_acks_.set(static_cast<double>(parked));
   });
 }
 
@@ -160,9 +169,22 @@ void Broker::serve_produce(tcp::Endpoint* endpoint,
                             static_cast<double>(wire_size) *
                             config_.append_per_byte_us));
   const Duration d = service_time(base);
+  // broker.append covers the whole service (parse + append + HW check),
+  // parented on the producer attempt's span carried in the request.
+  obs::SpanId append_span = 0;
+  {
+    const auto& req =
+        std::get<ProduceRequest>(static_cast<const Frame*>(payload.get())->body);
+    if (req.trace_span != 0) {
+      append_span = sim_.tracer().begin(
+          sim_.now(), obs::SpanKind::kBrokerAppend,
+          obs::broker_track(config_.id), req.trace_span, obs::kNoKey,
+          static_cast<std::int64_t>(req.records.size()));
+    }
+  }
   // Copy the request shared_ptr into the completion so the records stay
   // alive through the service delay.
-  sim_.after(d, [this, endpoint, payload = std::move(payload)] {
+  sim_.after(d, [this, endpoint, append_span, payload = std::move(payload)] {
     const auto& request =
         std::get<ProduceRequest>(static_cast<const Frame*>(payload.get())->body);
     ++stats_.produce_requests;
@@ -182,6 +204,9 @@ void Broker::serve_produce(tcp::Endpoint* endpoint,
     if (replicated(st) && !st.leader) {
       ++stats_.not_leader_responses;
       respond(ErrorCode::kNotLeaderForPartition, -1);
+      sim_.tracer().end(
+          sim_.now(), append_span,
+          -static_cast<std::int64_t>(ErrorCode::kNotLeaderForPartition));
       busy_ = false;
       pump();
       return;
@@ -192,6 +217,9 @@ void Broker::serve_produce(tcp::Endpoint* endpoint,
       // min.insync.replicas, so the producer must retry later.
       ++stats_.not_enough_replicas;
       respond(ErrorCode::kNotEnoughReplicas, -1);
+      sim_.tracer().end(
+          sim_.now(), append_span,
+          -static_cast<std::int64_t>(ErrorCode::kNotEnoughReplicas));
       busy_ = false;
       pump();
       return;
@@ -206,6 +234,9 @@ void Broker::serve_produce(tcp::Endpoint* endpoint,
       // missing earlier batch first (or bump its epoch if it cannot).
       ++stats_.out_of_order_rejections;
       respond(ErrorCode::kOutOfOrderSequence, -1);
+      sim_.tracer().end(
+          sim_.now(), append_span,
+          -static_cast<std::int64_t>(ErrorCode::kOutOfOrderSequence));
       busy_ = false;
       pump();
       return;
@@ -247,6 +278,14 @@ void Broker::serve_produce(tcp::Endpoint* endpoint,
                                      ? ErrorCode::kDuplicateSequence
                                      : ErrorCode::kNone;
         pending.response.base_offset = result.base_offset;
+        if (append_span != 0) {
+          // commit_wait must begin while the append span is still open so
+          // it inherits the traced key.
+          pending.span = sim_.tracer().begin(
+              sim_.now(), obs::SpanKind::kCommitWait,
+              obs::broker_track(config_.id), append_span, obs::kNoKey, upto);
+          pending.parked_at = sim_.now();
+        }
         st.pending_acks.push_back(pending);
       }
     } else {
@@ -254,12 +293,14 @@ void Broker::serve_produce(tcp::Endpoint* endpoint,
                                   : ErrorCode::kNone,
               result.base_offset);
     }
+    sim_.tracer().end(sim_.now(), append_span, result.base_offset);
     busy_ = false;
     pump();
   });
 }
 
-FetchResponse Broker::build_fetch_response(const FetchRequest& request) {
+FetchResponse Broker::build_fetch_response(const FetchRequest& request,
+                                           Bytes max_bytes) {
   FetchResponse response;
   response.request_id = request.id;
   response.partition = request.partition;
@@ -308,7 +349,7 @@ FetchResponse Broker::build_fetch_response(const FetchRequest& request) {
                                 static_cast<std::size_t>(request.max_records))) {
     if (e.offset >= visible_end) break;
     bytes += kRecordOverhead + e.value_size;
-    if (bytes > config_.fetch_max_bytes && !response.records.empty()) {
+    if (bytes > max_bytes && !response.records.empty()) {
       break;  // fetch.max.bytes: the fetcher asks again from here.
     }
     response.records.push_back(FetchedRecord{e.offset, e.key, e.value_size,
@@ -329,7 +370,8 @@ FetchResponse Broker::build_fetch_response(const FetchRequest& request) {
           // Caught back up to the log end: rejoin the ISR.
           f.in_isr = true;
           ++stats_.isr_expands;
-          publish_isr(request.partition, *st, /*shrink=*/false);
+          publish_isr(request.partition, *st, /*shrink=*/false,
+                      request.replica_id);
         }
       }
       maybe_advance_high_watermark(request.partition, *st);
@@ -341,14 +383,30 @@ FetchResponse Broker::build_fetch_response(const FetchRequest& request) {
 
 void Broker::serve_fetch(tcp::Endpoint* endpoint,
                          const FetchRequest& request) {
-  FetchResponse response = build_fetch_response(request);
+  obs::SpanId fetch_span = 0;
+  if (request.trace_span != 0) {
+    fetch_span = sim_.tracer().begin(
+        sim_.now(), obs::SpanKind::kBrokerFetch, obs::broker_track(config_.id),
+        request.trace_span, obs::kNoKey, request.offset);
+  }
+  // Cap the response to what the socket can actually take: an all-or-nothing
+  // send of a response larger than the free send-buffer space would be
+  // rejected and silently lost, leaving the fetcher to time out forever.
+  // A real broker's socket write blocks/partials instead; clamping the batch
+  // models that (the fetcher simply asks again from where the response ends).
+  const Bytes budget =
+      std::min<Bytes>(config_.fetch_max_bytes, endpoint->send_buffer_free());
+  FetchResponse response = build_fetch_response(request, budget);
   const Duration base = config_.fetch_overhead +
                         static_cast<Duration>(std::llround(
                             static_cast<double>(response.wire_size()) *
                             config_.fetch_per_byte_us));
   const Duration d = service_time(base);
-  sim_.after(d, [this, endpoint, response = std::move(response)]() mutable {
+  sim_.after(d, [this, endpoint, fetch_span,
+                 response = std::move(response)]() mutable {
     ++stats_.fetch_requests;
+    sim_.tracer().end(sim_.now(), fetch_span,
+                      static_cast<std::int64_t>(response.records.size()));
     const Bytes wire = response.wire_size();
     endpoint->send(tcp::AppMessage{wire, make_frame(std::move(response))});
     busy_ = false;
@@ -367,10 +425,15 @@ void Broker::maybe_advance_high_watermark(std::int32_t partition,
   }
   const std::int64_t before = st.log->high_watermark();
   st.log->advance_high_watermark(min_leo);
-  if (st.log->high_watermark() != before) {
-    if (on_high_watermark) {
-      on_high_watermark(partition, st.log->high_watermark());
+  const std::int64_t hw = st.log->high_watermark();
+  if (hw != before) {
+    // Commit latency of the newly committed frontier record: append -> HW.
+    const auto& entries = st.log->entries();
+    if (hw > 0 && static_cast<std::size_t>(hw) <= entries.size()) {
+      m_hw_lag_.observe(
+          sim_.now() - entries[static_cast<std::size_t>(hw - 1)].append_time);
     }
+    if (on_high_watermark) on_high_watermark(partition, hw);
     flush_pending_acks(st);
   }
 }
@@ -380,6 +443,7 @@ void Broker::flush_pending_acks(PartitionState& st) {
   auto ready = [hw](const PendingAck& p) { return p.upto <= hw; };
   for (auto& p : st.pending_acks) {
     if (!ready(p)) continue;
+    sim_.tracer().end(sim_.now(), p.span, hw);
     const Bytes wire = p.response.wire_size();
     p.endpoint->send(tcp::AppMessage{wire, make_frame(p.response)});
   }
@@ -392,6 +456,7 @@ void Broker::fail_pending_acks(PartitionState& st, ErrorCode error) {
   for (auto& p : st.pending_acks) {
     p.response.error = error;
     p.response.base_offset = -1;
+    sim_.tracer().end(sim_.now(), p.span, -static_cast<std::int64_t>(error));
     const Bytes wire = p.response.wire_size();
     p.endpoint->send(tcp::AppMessage{wire, make_frame(p.response)});
   }
@@ -399,14 +464,18 @@ void Broker::fail_pending_acks(PartitionState& st, ErrorCode error) {
 }
 
 void Broker::publish_isr(std::int32_t partition, const PartitionState& st,
-                         bool shrink) {
-  if (!on_isr_change) return;
+                         bool shrink, int subject_broker) {
   std::vector<int> isr{config_.id};
   for (const auto& [id, f] : st.followers) {
     if (f.in_isr) isr.push_back(id);
   }
   std::sort(isr.begin(), isr.end());
-  on_isr_change(partition, isr, shrink);
+  sim_.timeline().record(
+      sim_.now(),
+      shrink ? obs::ClusterEventKind::kIsrShrink
+             : obs::ClusterEventKind::kIsrExpand,
+      subject_broker, partition, static_cast<std::int64_t>(isr.size()));
+  if (on_isr_change) on_isr_change(partition, isr, shrink);
 }
 
 void Broker::arm_isr_scan() {
@@ -435,7 +504,7 @@ void Broker::scan_isr_lag() {
         // replica.lag.time.max exceeded: evict from the ISR.
         f.in_isr = false;
         ++stats_.isr_shrinks;
-        publish_isr(partition, *st, /*shrink=*/true);
+        publish_isr(partition, *st, /*shrink=*/true, id);
         shrunk = true;
       }
     }
@@ -488,7 +557,15 @@ void Broker::become_follower(std::int32_t partition, int leader_id,
   // the leader (divergences are resolved by the fingerprint walk-back).
   const std::int64_t before = st.log->log_end_offset();
   st.log->truncate_to(st.log->high_watermark());
-  if (st.log->log_end_offset() != before) ++stats_.follower_truncations;
+  if (st.log->log_end_offset() != before) {
+    ++stats_.follower_truncations;
+    stats_.truncated_records +=
+        static_cast<std::uint64_t>(before - st.log->log_end_offset());
+    sim_.timeline().record(sim_.now(), obs::ClusterEventKind::kTruncation,
+                           config_.id, partition,
+                           before - st.log->log_end_offset(),
+                           st.log->log_end_offset());
+  }
   if (leader_id >= 0 && leader_id != config_.id && !down_) {
     schedule_follower_fetch(partition, 0);
   }
@@ -503,7 +580,7 @@ void Broker::controller_remove_from_isr(std::int32_t partition,
   if (fit == st.followers.end() || !fit->second.in_isr) return;
   fit->second.in_isr = false;
   ++stats_.isr_shrinks;
-  publish_isr(partition, st, /*shrink=*/true);
+  publish_isr(partition, st, /*shrink=*/true, broker_id);
   maybe_advance_high_watermark(partition, st);
 }
 
@@ -635,29 +712,47 @@ void Broker::handle_replica_fetch_response(const FetchResponse& response) {
       schedule_follower_fetch(response.partition,
                               config_.replica_fetch_timeout);
       return;
-    case ErrorCode::kOffsetOutOfRange:
+    case ErrorCode::kOffsetOutOfRange: {
       // The leader's log is shorter than ours (post-unclean-election):
       // truncate to its end and continue from there.
       ++stats_.follower_truncations;
+      const std::int64_t before = st.log->log_end_offset();
       st.log->truncate_to(response.log_end_offset);
+      stats_.truncated_records +=
+          static_cast<std::uint64_t>(before - st.log->log_end_offset());
+      sim_.timeline().record(sim_.now(), obs::ClusterEventKind::kTruncation,
+                             config_.id, response.partition,
+                             before - st.log->log_end_offset(),
+                             st.log->log_end_offset());
       follower_fetch(response.partition);
       return;
+    }
     case ErrorCode::kDivergentLog:
       // Walk back one entry per round trip until the fingerprint matches.
       ++stats_.follower_truncations;
+      ++stats_.truncated_records;
       st.log->truncate_to(st.log->log_end_offset() - 1);
+      sim_.timeline().record(sim_.now(), obs::ClusterEventKind::kTruncation,
+                             config_.id, response.partition, 1,
+                             st.log->log_end_offset());
       follower_fetch(response.partition);
       return;
     default:
       break;
   }
 
+  auto& tracer = sim_.tracer();
   for (const auto& r : response.records) {
     if (r.offset != st.log->log_end_offset()) continue;  // Stale overlap.
     st.log->append_replicated(LogEntry{r.offset, r.key, r.value_size,
                                        r.append_time, r.leader_epoch,
                                        r.producer_id, r.sequence});
     ++stats_.replica_records_appended;
+    // Instant span marking the record's replication onto this follower.
+    tracer.end(sim_.now(),
+               tracer.begin(sim_.now(), obs::SpanKind::kReplicaAppend,
+                            obs::broker_track(config_.id), 0, r.key,
+                            r.offset));
   }
   st.log->advance_high_watermark(response.high_watermark);
 

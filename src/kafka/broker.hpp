@@ -29,6 +29,7 @@
 #include "kafka/log.hpp"
 #include "kafka/protocol.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/modulator.hpp"
 #include "sim/simulation.hpp"
 #include "tcp/endpoint.hpp"
@@ -84,6 +85,7 @@ class Broker {
     std::uint64_t isr_shrinks = 0;
     std::uint64_t isr_expands = 0;
     std::uint64_t follower_truncations = 0;
+    std::uint64_t truncated_records = 0;  ///< Entries dropped by truncations.
   };
 
   Broker(sim::Simulation& sim, Config config);
@@ -162,6 +164,8 @@ class Broker {
     std::int64_t upto = 0;  ///< Respond once high_watermark >= upto.
     tcp::Endpoint* endpoint = nullptr;
     ProduceResponse response;
+    obs::SpanId span = 0;      ///< broker.commit_wait (0 = untraced).
+    TimePoint parked_at = 0;
   };
 
   struct PartitionState {
@@ -184,7 +188,8 @@ class Broker {
   void serve_produce(tcp::Endpoint* endpoint,
                      std::shared_ptr<const void> payload, Bytes wire_size);
   void serve_fetch(tcp::Endpoint* endpoint, const FetchRequest& request);
-  FetchResponse build_fetch_response(const FetchRequest& request);
+  FetchResponse build_fetch_response(const FetchRequest& request,
+                                     Bytes max_bytes);
   Duration service_time(Duration base) const;
 
   PartitionState& state_of(std::int32_t partition);
@@ -197,7 +202,7 @@ class Broker {
   void flush_pending_acks(PartitionState& st);
   void fail_pending_acks(PartitionState& st, ErrorCode error);
   void publish_isr(std::int32_t partition, const PartitionState& st,
-                   bool shrink);
+                   bool shrink, int subject_broker);
   void arm_isr_scan();
   void scan_isr_lag();
 
@@ -227,7 +232,10 @@ class Broker {
   obs::Counter m_produce_, m_fetches_, m_records_appended_;
   obs::Counter m_bytes_appended_, m_deduplicated_;
   obs::Counter m_isr_shrinks_, m_isr_expands_, m_replica_fetches_;
+  obs::Counter m_truncated_records_;
   obs::Gauge m_bad_regime_, m_busy_, m_down_, m_replication_lag_;
+  obs::Gauge m_parked_acks_;
+  obs::Histogram m_hw_lag_;
   obs::CollectorHandle metrics_collector_;
 };
 

@@ -30,12 +30,22 @@ Cluster::Cluster(sim::Simulation& sim, Config config)
       metrics.counter("kafka_cluster_committed_regressions_total", {});
   m_isr_shrinks_ = metrics.counter("kafka_cluster_isr_shrinks_total", {});
   m_isr_expands_ = metrics.counter("kafka_cluster_isr_expands_total", {});
+  m_elections_clean_label_ = metrics.counter(
+      "kafka_cluster_leader_elections_total", {{"clean", "true"}});
+  m_elections_unclean_label_ = metrics.counter(
+      "kafka_cluster_leader_elections_total", {{"clean", "false"}});
   metrics_collector_ = metrics.add_collector([this] {
     m_elections_.set(stats_.elections);
     m_unclean_elections_.set(stats_.unclean_elections);
     m_regressions_.set(stats_.committed_regressions);
     m_isr_shrinks_.set(stats_.isr_shrinks);
     m_isr_expands_.set(stats_.isr_expands);
+    m_elections_clean_label_.set(stats_.elections - stats_.unclean_elections);
+    m_elections_unclean_label_.set(stats_.unclean_elections);
+    for (auto& [pid, gauge] : m_partition_isr_size_) {
+      const auto& ref = ref_of(pid);
+      gauge.set(ref.offline ? 0.0 : static_cast<double>(ref.isr.size()));
+    }
   });
 
   if (config_.replication_factor > 1) {
@@ -124,6 +134,12 @@ void Cluster::create_topic(const std::string& name, int partitions) {
           ref.id);
     }
     partition_index_[ref.id] = {name, p};
+    if (rf > 1) {
+      m_partition_isr_size_.emplace(
+          ref.id,
+          sim_.metrics().gauge("kafka_partition_isr_size",
+                               {{"partition", std::to_string(ref.id)}}));
+    }
     refs.push_back(ref);
   }
 }
@@ -178,6 +194,8 @@ std::int32_t Cluster::epoch_of(std::int32_t partition) const {
 void Cluster::fail_broker(int index) {
   brokers_.at(static_cast<std::size_t>(index))->fail();
   alive_[static_cast<std::size_t>(index)] = false;
+  sim_.timeline().record(sim_.now(), obs::ClusterEventKind::kBrokerFail,
+                         index);
   if (config_.replication_factor <= 1) return;
   // The controller notices via session expiry, not instantly. A broker
   // that resumes inside the window keeps its roles (no election).
@@ -188,12 +206,16 @@ void Cluster::fail_broker(int index) {
 void Cluster::resume_broker(int index) {
   brokers_.at(static_cast<std::size_t>(index))->resume();
   alive_[static_cast<std::size_t>(index)] = true;
+  sim_.timeline().record(sim_.now(), obs::ClusterEventKind::kBrokerResume,
+                         index);
   if (config_.replication_factor <= 1) return;
   handle_broker_recovery(index);
 }
 
 void Cluster::handle_broker_failure(int index) {
   if (alive_[static_cast<std::size_t>(index)]) return;  // Came back in time.
+  sim_.timeline().record(sim_.now(), obs::ClusterEventKind::kFailureDetected,
+                         index);
   for (auto& [name, refs] : topics_) {
     for (auto& ref : refs) {
       if (ref.replicas.empty() || ref.offline) continue;
@@ -204,6 +226,9 @@ void Cluster::handle_broker_failure(int index) {
       if (ref.leader == index) {
         if (!elect(ref, index)) {
           ref.offline = true;  // Leader log kept for post-mortem census.
+          sim_.timeline().record(sim_.now(),
+                                 obs::ClusterEventKind::kPartitionOffline,
+                                 index, ref.id);
         }
       } else if (alive_[static_cast<std::size_t>(ref.leader)]) {
         brokers_[static_cast<std::size_t>(ref.leader)]
@@ -272,6 +297,9 @@ bool Cluster::elect(PartitionRef& ref, int failed) {
   ref.offline = false;
   ref.isr = unclean ? std::vector<int>{new_leader} : live_isr;
   std::sort(ref.isr.begin(), ref.isr.end());
+  sim_.timeline().record(sim_.now(), obs::ClusterEventKind::kLeaderElected,
+                         new_leader, ref.id, ref.leader_epoch,
+                         unclean ? 0 : 1);
 
   // Detect acked-data loss: the new leader must hold at least everything
   // that was ever committed. A clean election always satisfies this; an
@@ -280,7 +308,12 @@ bool Cluster::elect(PartitionRef& ref, int failed) {
       brokers_[static_cast<std::size_t>(new_leader)]->partition(ref.id);
   const std::int64_t leo = log ? log->log_end_offset() : 0;
   auto& committed = last_committed_[ref.id];
-  if (leo < committed) ++stats_.committed_regressions;
+  if (leo < committed) {
+    ++stats_.committed_regressions;
+    sim_.timeline().record(sim_.now(),
+                           obs::ClusterEventKind::kCommittedRegression,
+                           new_leader, ref.id, committed - leo, leo);
+  }
   committed = log ? log->high_watermark() : 0;
 
   brokers_[static_cast<std::size_t>(new_leader)]->become_leader(

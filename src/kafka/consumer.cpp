@@ -56,6 +56,8 @@ void Consumer::handle_reset(tcp::Endpoint* endpoint) {
   if (endpoint != active_) return;  // Stale connection from before failover.
   ++stats_.connection_resets;
   fetch_outstanding_ = false;
+  sim_.tracer().end(sim_.now(), fetch_span_, -1);
+  fetch_span_ = 0;
   fetch_timeout_timer_.cancel();
   maybe_failover();
   if (!reconnect_pending_ && !done_) {
@@ -78,9 +80,14 @@ void Consumer::maybe_failover() {
   tcp::Endpoint* target = endpoints_[static_cast<std::size_t>(leader)];
   if (target == active_) return;
   ++stats_.failovers;
+  sim_.timeline().record(sim_.now(),
+                         obs::ClusterEventKind::kConsumerFailover, leader,
+                         partition_, next_offset_);
   consecutive_retries_ = 0;  // Progress: new leader to talk to.
   active_ = target;
   fetch_outstanding_ = false;
+  sim_.tracer().end(sim_.now(), fetch_span_, -1);
+  fetch_span_ = 0;
   fetch_timeout_timer_.cancel();
   if (!active_->established() &&
       active_->state() != tcp::Endpoint::State::kSynSent) {
@@ -110,12 +117,19 @@ void Consumer::fetch() {
   req.partition = partition_;
   req.offset = next_offset_;
   req.max_records = config_.max_records_per_fetch;
+  const obs::SpanId span =
+      sim_.tracer().begin(sim_.now(), obs::SpanKind::kConsumerFetch,
+                          obs::kTrackConsumer, 0, obs::kNoKey, next_offset_);
+  req.trace_span = span;
   const Bytes wire = req.wire_size();
   const std::uint64_t request_id = req.id;
-  if (!active_->send(tcp::AppMessage{wire, make_frame(std::move(req))})) {
+  if (!active_->send(tcp::AppMessage{wire, make_frame(std::move(req)),
+                                     span})) {
+    sim_.tracer().cancel(span);
     poll_timer_.arm(config_.poll_backoff, [this] { fetch(); });
     return;
   }
+  fetch_span_ = span;
   fetch_outstanding_ = true;
   outstanding_request_id_ = request_id;
   ++stats_.fetches;
@@ -125,11 +139,15 @@ void Consumer::fetch() {
 
 void Consumer::handle_fetch_timeout() {
   fetch_outstanding_ = false;  // Response lost; ask again (with backoff).
+  sim_.tracer().end(sim_.now(), fetch_span_, -1);
+  fetch_span_ = 0;
   ++stats_.fetch_retries;
   ++consecutive_retries_;
   maybe_failover();  // A dead leader never answers; check for a new one.
   if (consecutive_retries_ > config_.max_fetch_retries) {
     stalled_ = true;  // Bounded re-issue: stop spinning on a dead cluster.
+    sim_.timeline().record(sim_.now(), obs::ClusterEventKind::kConsumerStall,
+                           -1, partition_, next_offset_);
     return;
   }
   Duration backoff = config_.poll_backoff;
@@ -151,6 +169,9 @@ void Consumer::handle_frame(std::shared_ptr<const void> payload) {
   fetch_outstanding_ = false;
   fetch_timeout_timer_.cancel();
   consecutive_retries_ = 0;
+  sim_.tracer().end(sim_.now(), fetch_span_,
+                    static_cast<std::int64_t>(resp->records.size()));
+  fetch_span_ = 0;
 
   switch (resp->error) {
     case ErrorCode::kNotLeaderForPartition:
@@ -164,6 +185,9 @@ void Consumer::handle_frame(std::shared_ptr<const void> payload) {
       // lost to every reader, not just us).
       ++stats_.offset_truncations;
       next_offset_ = std::min(next_offset_, resp->high_watermark);
+      sim_.timeline().record(sim_.now(),
+                             obs::ClusterEventKind::kConsumerTruncation, -1,
+                             partition_, next_offset_);
       finish_if_drained();
       if (!done_) poll_timer_.arm(config_.poll_backoff, [this] { fetch(); });
       return;

@@ -19,6 +19,7 @@
 #include "common/types.hpp"
 #include "kafka/protocol.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/simulation.hpp"
 #include "tcp/endpoint.hpp"
 
@@ -94,6 +95,7 @@ class Consumer {
   std::uint64_t next_request_id_ = 1;
   bool fetch_outstanding_ = false;
   std::uint64_t outstanding_request_id_ = 0;
+  obs::SpanId fetch_span_ = 0;  ///< Open consumer.fetch span.
   int consecutive_retries_ = 0;
   bool stalled_ = false;
   bool done_ = false;

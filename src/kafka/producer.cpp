@@ -251,15 +251,39 @@ bool Producer::send_batch(std::uint64_t batch_id) {
   assert(it != batches_.end());
   BatchState& batch = it->second;
 
+  // Root span on first attempt (sampled by the first record's key); every
+  // attempt gets a child span the broker and TCP flight hang off.
+  auto& tracer = sim_.tracer();
+  const bool fresh_span = batch.span == 0;
+  if (fresh_span && !batch.request.records.empty()) {
+    batch.span = tracer.begin(sim_.now(), obs::SpanKind::kProduceBatch,
+                              obs::kTrackProducer, 0,
+                              batch.request.records.front().key,
+                              static_cast<std::int64_t>(batch_id));
+  }
+  const obs::SpanId attempt_span =
+      tracer.begin(sim_.now(), obs::SpanKind::kProduceAttempt,
+                   obs::kTrackProducer, batch.span, obs::kNoKey,
+                   batch.attempt + 1);
+
   ProduceRequest req = batch.request;
   req.id = next_request_id_;
+  req.trace_span = attempt_span;
   for (auto& r : req.records) ++r.attempts;
   req.attempt = batch.attempt + 1;
   const Bytes wire = req.wire_size();
   auto frame = make_frame(std::move(req));
-  if (!active_->send(tcp::AppMessage{wire, frame})) {
-    return false;  // Socket full.
+  if (!active_->send(tcp::AppMessage{wire, frame, attempt_span})) {
+    // Socket full: the attempt never happened.
+    tracer.cancel(attempt_span);
+    if (fresh_span) {
+      tracer.cancel(batch.span);
+      batch.span = 0;
+    }
+    return false;
   }
+  tracer.end(sim_.now(), batch.attempt_span);  // Superseded attempt, if any.
+  batch.attempt_span = attempt_span;
 
   const auto& sent = std::get<ProduceRequest>(frame->body);
   batch.request = sent;  // Keep the bumped attempt counts.
@@ -371,6 +395,8 @@ void Producer::try_send() {
       stats_.records_written += n;
       resolve_records(n);
       auto done = batches_.find(batch_id);
+      sim_.tracer().end(sim_.now(), done->second.attempt_span);
+      sim_.tracer().end(sim_.now(), done->second.span);
       for (auto id : done->second.attempt_ids) request_to_batch_.erase(id);
       batches_.erase(done);
     }
@@ -425,6 +451,9 @@ void Producer::maybe_failover() {
   tcp::Endpoint* target = endpoints_[static_cast<std::size_t>(leader)];
   if (target == active_) return;
   ++stats_.failovers;
+  sim_.timeline().record(sim_.now(),
+                         obs::ClusterEventKind::kProducerFailover, leader,
+                         partition_);
   active_ = target;
   if (!active_->established() &&
       active_->state() != tcp::Endpoint::State::kSynSent) {
@@ -445,6 +474,8 @@ void Producer::resolve_batch(std::uint64_t batch_id) {
   }
   const auto n = request.records.size();
   if (!it->second.awaiting_retry) --in_flight_count_;
+  sim_.tracer().end(sim_.now(), it->second.attempt_span);
+  sim_.tracer().end(sim_.now(), it->second.span);
   for (auto id : it->second.attempt_ids) request_to_batch_.erase(id);
   batches_.erase(it);
   // A stale entry may linger in retry_order_; try_send() skips it.
@@ -483,6 +514,8 @@ void Producer::retry_or_fail(std::uint64_t batch_id) {
       !batch.request.records.empty() &&
       !record_expired(batch.request.records.front());
   if (!batch.awaiting_retry) --in_flight_count_;
+  sim_.tracer().end(sim_.now(), batch.attempt_span);
+  batch.attempt_span = 0;
 
   if (!attempts_left || !within_timeout) {
     for (const auto& r : batch.request.records) {
@@ -490,6 +523,7 @@ void Producer::retry_or_fail(std::uint64_t batch_id) {
       if (on_record_failed) on_record_failed(r);
     }
     const auto n = batch.request.records.size();
+    sim_.tracer().end(sim_.now(), batch.span);
     for (auto id : batch.attempt_ids) request_to_batch_.erase(id);
     batches_.erase(it);
     resolve_records(n);
@@ -539,6 +573,9 @@ void Producer::handle_out_of_order(std::uint64_t batch_id) {
   // from 0 in order and queued for re-send.
   ++stats_.sequence_epoch_bumps;
   effective_producer_id_ += std::uint64_t{1} << 32;
+  sim_.timeline().record(
+      sim_.now(), obs::ClusterEventKind::kSequenceEpochBump, -1, partition_,
+      static_cast<std::int64_t>(stats_.sequence_epoch_bumps));
   std::vector<std::pair<std::int64_t, std::uint64_t>> order;
   order.reserve(batches_.size());
   for (const auto& [id, b] : batches_) {
@@ -556,6 +593,8 @@ void Producer::handle_out_of_order(std::uint64_t batch_id) {
       // under the new sequencing (not counted against the retry budget).
       b.awaiting_retry = true;
       --in_flight_count_;
+      sim_.tracer().end(sim_.now(), b.attempt_span);
+      b.attempt_span = 0;
       b.ready_at = sim_.now();
       retry_order_.insert(
           std::lower_bound(retry_order_.begin(), retry_order_.end(), id),

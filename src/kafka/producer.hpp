@@ -169,6 +169,8 @@ class Producer {
     bool awaiting_retry = false;  ///< Queued for re-send (backoff).
     TimePoint ready_at = 0;       ///< Earliest re-send time.
     Duration prev_backoff = 0;    ///< Decorrelated-jitter state.
+    obs::SpanId span = 0;         ///< produce.batch root span.
+    obs::SpanId attempt_span = 0; ///< Open span of the in-flight attempt.
   };
 
   void schedule_poll(Duration delay);

@@ -44,6 +44,9 @@ struct ProduceRequest {
   // Idempotent-producer fields (enable.idempotence / exactly-once).
   std::uint64_t producer_id = 0;    ///< 0 = idempotence disabled.
   std::int64_t base_sequence = -1;
+  /// Producer-side span of this attempt; the broker parents its append
+  /// span on it. Observability metadata only — not counted in wire_size.
+  std::uint64_t trace_span = 0;
 
   Bytes wire_size() const noexcept {
     Bytes total = kProduceRequestOverhead;
@@ -75,6 +78,8 @@ struct FetchRequest {
   /// key must match the leader's entry at that offset.
   std::int32_t last_epoch = -1;
   Key last_key = 0;
+  /// Consumer-side fetch span; the broker parents its service span on it.
+  std::uint64_t trace_span = 0;
 
   Bytes wire_size() const noexcept { return kFetchRequestSize; }
 };

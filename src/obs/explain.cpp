@@ -1,0 +1,223 @@
+#include "obs/explain.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace ks::obs {
+namespace {
+
+bool contains(const std::vector<std::uint64_t>& v, std::uint64_t key) {
+  return std::find(v.begin(), v.end(), key) != v.end();
+}
+
+std::string fmt(const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+/// Narrative phrasing of one per-key lifecycle event.
+std::string describe_trace_entry(const RunReport::TraceEntry& e) {
+  if (e.event == "emitted") return "emitted by the source";
+  if (e.event == "overrun") return "evicted from the source ring (overrun)";
+  if (e.event == "send_attempt") {
+    return fmt("produce attempt %d sent", e.detail);
+  }
+  if (e.event == "retry") return fmt("retried (attempt %d)", e.detail);
+  if (e.event == "appended") {
+    return fmt("appended on broker %d", e.detail);
+  }
+  if (e.event == "acked") return "acked to the producer";
+  if (e.event == "expired") return "expired in the accumulator (T_o)";
+  if (e.event == "failed") return "failed: retries/timeout exhausted";
+  if (e.event == "fetched") {
+    return fmt("fetched by the consumer (offset %d)", e.detail);
+  }
+  if (e.event == "delivered") return "delivered to the consumer application";
+  if (e.event == "dup_detected") {
+    return fmt("DUPLICATE delivery detected (offset %d)", e.detail);
+  }
+  return e.event;
+}
+
+}  // namespace
+
+std::string describe_timeline_entry(const RunReport::TimelineEntry& e) {
+  if (e.kind == "broker_fail") {
+    return fmt("broker %d fail-stop", e.broker);
+  }
+  if (e.kind == "broker_resume") {
+    return fmt("broker %d resumed (log intact)", e.broker);
+  }
+  if (e.kind == "failure_detected") {
+    return fmt("controller detected broker %d failure", e.broker);
+  }
+  if (e.kind == "leader_elected") {
+    return fmt("%s election: broker %d leads partition %d (epoch %lld)",
+               e.b != 0 ? "clean" : "UNCLEAN", e.broker, e.partition,
+               static_cast<long long>(e.a));
+  }
+  if (e.kind == "partition_offline") {
+    return fmt("partition %d OFFLINE: no eligible leader", e.partition);
+  }
+  if (e.kind == "isr_shrink") {
+    return fmt("broker %d dropped from ISR of partition %d (ISR size %lld)",
+               e.broker, e.partition, static_cast<long long>(e.a));
+  }
+  if (e.kind == "isr_expand") {
+    return fmt("broker %d rejoined ISR of partition %d (ISR size %lld)",
+               e.broker, e.partition, static_cast<long long>(e.a));
+  }
+  if (e.kind == "truncation") {
+    return fmt("broker %d truncated %lld records (log end now %lld)",
+               e.broker, static_cast<long long>(e.a),
+               static_cast<long long>(e.b));
+  }
+  if (e.kind == "committed_regression") {
+    return fmt(
+        "COMMITTED REGRESSION: new leader's log end %lld below committed "
+        "HW %lld",
+        static_cast<long long>(e.a), static_cast<long long>(e.b));
+  }
+  if (e.kind == "producer_failover") {
+    return fmt("producer failed over to broker %d", e.broker);
+  }
+  if (e.kind == "sequence_epoch_bump") {
+    return "producer bumped its idempotence epoch (sequence gap heal)";
+  }
+  if (e.kind == "connection_reset") {
+    return "connection reset: " + e.note;
+  }
+  if (e.kind == "consumer_failover") {
+    return fmt("consumer failed over to broker %d", e.broker);
+  }
+  if (e.kind == "consumer_truncation") {
+    return fmt("consumer offset beyond leader HW; rewound to %lld",
+               static_cast<long long>(e.a));
+  }
+  if (e.kind == "consumer_stall") {
+    return "consumer stalled: fetch-retry budget exhausted";
+  }
+  if (e.kind == "fault_injected") {
+    return "fault injected: " + e.note;
+  }
+  std::string out = e.kind;
+  if (!e.note.empty()) out += ": " + e.note;
+  return out;
+}
+
+std::optional<std::uint64_t> pick_explain_key(const RunReport& report) {
+  if (!report.acked_lost_keys.empty()) return report.acked_lost_keys.front();
+  if (!report.lost_keys.empty()) return report.lost_keys.front();
+  for (const auto& e : report.trace) {
+    if (e.event == "failed" || e.event == "expired") return e.key;
+  }
+  if (!report.trace.empty()) return report.trace.front().key;
+  return std::nullopt;
+}
+
+std::string explain_key(const RunReport& report, std::uint64_t key) {
+  struct Line {
+    TimePoint t;
+    std::string text;
+  };
+  std::vector<Line> lines;
+
+  bool acked = false;
+  bool appended = false;
+  bool delivered = false;
+  int duplicates = 0;
+  bool expired = false;
+  bool failed = false;
+  TimePoint first_t = std::numeric_limits<TimePoint>::max();
+  for (const auto& e : report.trace) {
+    if (e.key != key) continue;
+    first_t = std::min(first_t, e.t);
+    if (e.event == "acked") acked = true;
+    if (e.event == "appended") appended = true;
+    if (e.event == "delivered") delivered = true;
+    if (e.event == "dup_detected") ++duplicates;
+    if (e.event == "expired") expired = true;
+    if (e.event == "failed") failed = true;
+    lines.push_back({e.t, describe_trace_entry(e)});
+  }
+
+  // Spans add durations and offsets the flat trace does not carry.
+  for (const auto& s : report.spans) {
+    if (s.key != key) continue;
+    first_t = std::min(first_t, s.begin);
+    std::string text = fmt("span %s: %.3fms", s.kind.c_str(),
+                           to_millis(s.end - s.begin));
+    if (s.kind == "broker.append" || s.kind == "replica.append") {
+      text += fmt(" (broker %d, base offset %lld)", s.track - 10,
+                  static_cast<long long>(s.detail));
+    } else if (s.detail != 0) {
+      text += fmt(" (detail %lld)", static_cast<long long>(s.detail));
+    }
+    lines.push_back({s.begin, std::move(text)});
+  }
+
+  // Cluster events from the key's first appearance onward explain why the
+  // record's fate changed; earlier ones are history it never saw.
+  const TimePoint horizon =
+      first_t == std::numeric_limits<TimePoint>::max() ? 0 : first_t;
+  for (const auto& e : report.timeline) {
+    if (e.t < horizon) continue;
+    lines.push_back({e.t, "[cluster] " + describe_timeline_entry(e)});
+  }
+
+  std::stable_sort(lines.begin(), lines.end(),
+                   [](const Line& a, const Line& b) { return a.t < b.t; });
+
+  std::string out = fmt("narrative for key %llu:\n",
+                        static_cast<unsigned long long>(key));
+  if (lines.empty()) {
+    out += "  (no recorded events; key not sampled? trace sample_every=" +
+           std::to_string(report.trace_sample_every) + ")\n";
+  }
+  constexpr std::size_t kMaxLines = 200;
+  for (std::size_t i = 0; i < lines.size() && i < kMaxLines; ++i) {
+    out += "  t=" + format_time(lines[i].t) + "  " + lines[i].text + "\n";
+  }
+  if (lines.size() > kMaxLines) {
+    out += fmt("  ... (+%zu more lines)\n", lines.size() - kMaxLines);
+  }
+
+  out += "verdict: ";
+  if (contains(report.acked_lost_keys, key)) {
+    out +=
+        "ACKED BUT LOST - the producer received a positive ack, but the "
+        "record is absent from the committed log at end of run";
+  } else if (contains(report.lost_keys, key)) {
+    if (expired) {
+      out += "LOST - expired before a successful send";
+    } else if (failed) {
+      out += "LOST - send failed after exhausting retries";
+    } else {
+      out += "LOST - never committed to the log";
+    }
+  } else if (delivered && duplicates > 0) {
+    out += fmt("DELIVERED with %d duplicate deliveries", duplicates);
+  } else if (delivered) {
+    out += "DELIVERED end-to-end";
+  } else if (acked) {
+    out += "ACKED (consumer-side fate not recorded)";
+  } else if (appended) {
+    out += "APPENDED but never acked";
+  } else if (failed || expired) {
+    out += "FAILED before reaching a broker";
+  } else {
+    out += "no terminal event recorded";
+  }
+  out += ".\n";
+  return out;
+}
+
+}  // namespace ks::obs

@@ -1,0 +1,46 @@
+// Minimal JSON reader — the counterpart of JsonWriter, just enough to load
+// run artifacts back (ks_explain on a saved report) and to validate the
+// Perfetto export in tests. Recursive descent over the full JSON grammar;
+// numbers become doubles, objects keep insertion order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ks::obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const noexcept { return type == Type::kObject; }
+  bool is_array() const noexcept { return type == Type::kArray; }
+  bool is_string() const noexcept { return type == Type::kString; }
+  bool is_number() const noexcept { return type == Type::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const noexcept;
+
+  /// Convenience accessors with fallbacks, for terse artifact loading.
+  double num_or(std::string_view key, double fallback = 0.0) const noexcept;
+  std::int64_t int_or(std::string_view key,
+                      std::int64_t fallback = 0) const noexcept;
+  std::string str_or(std::string_view key, std::string fallback = {}) const;
+};
+
+/// Parse `text` as one JSON document (trailing whitespace allowed).
+/// Returns nullopt on any syntax error.
+std::optional<JsonValue> parse_json(std::string_view text);
+
+}  // namespace ks::obs

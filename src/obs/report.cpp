@@ -1,5 +1,6 @@
 #include "obs/report.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "obs/json.hpp"
@@ -113,6 +114,78 @@ std::string RunReport::to_json() const {
   w.end_array();
   w.end_object();
 
+  w.key("spans");
+  w.begin_object();
+  w.key("sample_every");
+  w.value(span_sample_every);
+  w.key("dropped");
+  w.value(spans_dropped);
+  w.key("events");
+  w.begin_array();
+  for (const auto& s : spans) {
+    w.begin_object();
+    w.key("id");
+    w.value(s.id);
+    w.key("parent");
+    w.value(s.parent);
+    w.key("key");
+    w.value(s.key);
+    w.key("kind");
+    w.value(s.kind);
+    w.key("track");
+    w.value(s.track);
+    w.key("detail");
+    w.value(s.detail);
+    w.key("begin_us");
+    w.value(static_cast<std::int64_t>(s.begin));
+    w.key("end_us");
+    w.value(static_cast<std::int64_t>(s.end));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("timeline");
+  w.begin_object();
+  w.key("dropped");
+  w.value(timeline_dropped);
+  w.key("events");
+  w.begin_array();
+  for (const auto& e : timeline) {
+    w.begin_object();
+    w.key("t_us");
+    w.value(static_cast<std::int64_t>(e.t));
+    w.key("kind");
+    w.value(e.kind);
+    w.key("broker");
+    w.value(e.broker);
+    w.key("partition");
+    w.value(e.partition);
+    w.key("a");
+    w.value(e.a);
+    w.key("b");
+    w.value(e.b);
+    if (!e.note.empty()) {
+      w.key("note");
+      w.value(e.note);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("anomalies");
+  w.begin_object();
+  w.key("acked_lost_keys");
+  w.begin_array();
+  for (const auto k : acked_lost_keys) w.value(k);
+  w.end_array();
+  w.key("lost_keys");
+  w.begin_array();
+  for (const auto k : lost_keys) w.value(k);
+  w.end_array();
+  w.end_object();
+
   w.end_object();
   return w.str();
 }
@@ -141,8 +214,138 @@ bool RunReport::write_json(const std::string& path) const {
   return ok;
 }
 
+namespace {
+
+/// Human names for the Perfetto tracks (tids) in span.hpp.
+std::string track_name(std::int32_t track) {
+  switch (track) {
+    case kTrackControl: return "cluster control plane";
+    case kTrackProducer: return "producer";
+    case kTrackConsumer: return "consumer";
+    case kTrackNet: return "network";
+    default: break;
+  }
+  if (track >= 10) return "broker " + std::to_string(track - 10);
+  return "track " + std::to_string(track);
+}
+
+}  // namespace
+
+std::string RunReport::perfetto_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Thread-name metadata so the UI labels each lane.
+  std::vector<std::int32_t> tracks;
+  for (const auto& s : spans) tracks.push_back(s.track);
+  tracks.push_back(kTrackControl);
+  std::sort(tracks.begin(), tracks.end());
+  tracks.erase(std::unique(tracks.begin(), tracks.end()), tracks.end());
+  for (const auto track : tracks) {
+    w.begin_object();
+    w.key("ph");
+    w.value("M");
+    w.key("name");
+    w.value("thread_name");
+    w.key("pid");
+    w.value(1);
+    w.key("tid");
+    w.value(track);
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.value(track_name(track));
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const auto& s : spans) {
+    w.begin_object();
+    w.key("name");
+    w.value(s.kind);
+    w.key("cat");
+    w.value("span");
+    w.key("ph");
+    w.value("X");
+    w.key("ts");
+    w.value(static_cast<std::int64_t>(s.begin));
+    w.key("dur");
+    w.value(static_cast<std::int64_t>(s.end - s.begin));
+    w.key("pid");
+    w.value(1);
+    w.key("tid");
+    w.value(s.track);
+    w.key("args");
+    w.begin_object();
+    w.key("id");
+    w.value(s.id);
+    w.key("parent");
+    w.value(s.parent);
+    if (s.key != kNoKey) {
+      w.key("key");
+      w.value(s.key);
+    }
+    w.key("detail");
+    w.value(s.detail);
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const auto& e : timeline) {
+    w.begin_object();
+    w.key("name");
+    w.value(e.kind);
+    w.key("cat");
+    w.value("cluster");
+    w.key("ph");
+    w.value("i");
+    w.key("s");
+    w.value("g");  // Global instant: draws a full-height marker.
+    w.key("ts");
+    w.value(static_cast<std::int64_t>(e.t));
+    w.key("pid");
+    w.value(1);
+    w.key("tid");
+    w.value(kTrackControl);
+    w.key("args");
+    w.begin_object();
+    w.key("broker");
+    w.value(e.broker);
+    w.key("partition");
+    w.value(e.partition);
+    w.key("a");
+    w.value(e.a);
+    w.key("b");
+    w.value(e.b);
+    if (!e.note.empty()) {
+      w.key("note");
+      w.value(e.note);
+    }
+    w.end_object();
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool RunReport::write_perfetto(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = perfetto_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
 RunReport build_run_report(MetricsRegistry& registry, const Sampler* sampler,
-                           const MessageTrace* trace) {
+                           const MessageTrace* trace, const SpanTracer* tracer,
+                           const ClusterTimeline* timeline) {
   registry.collect();
   RunReport report;
   registry.visit([&](const MetricsRegistry::MetricInfo& m) {
@@ -164,6 +367,22 @@ RunReport build_run_report(MetricsRegistry& registry, const Sampler* sampler,
     for (const auto& e : trace->entries()) {
       report.trace.push_back(
           RunReport::TraceEntry{e.t, e.key, to_string(e.event), e.detail});
+    }
+  }
+  if (tracer != nullptr) {
+    report.span_sample_every = tracer->sample_every();
+    report.spans_dropped = tracer->dropped();
+    for (const auto& s : tracer->spans()) {
+      report.spans.push_back(RunReport::SpanEntry{
+          s.id, s.parent, s.key, to_string(s.kind), s.track, s.detail,
+          s.begin, s.end});
+    }
+  }
+  if (timeline != nullptr) {
+    report.timeline_dropped = timeline->dropped();
+    for (const auto& e : timeline->events()) {
+      report.timeline.push_back(RunReport::TimelineEntry{
+          e.t, to_string(e.kind), e.broker, e.partition, e.a, e.b, e.note});
     }
   }
   return report;

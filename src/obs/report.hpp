@@ -10,6 +10,8 @@
 #include "common/types.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
+#include "obs/span.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 
 namespace ks::obs {
@@ -42,6 +44,30 @@ struct RunReport {
     std::int32_t detail = 0;
   };
 
+  /// One completed causal span (see obs/span.hpp); `kind` is the exported
+  /// name string so reports stay readable without the enum.
+  struct SpanEntry {
+    std::uint64_t id = 0;
+    std::uint64_t parent = 0;
+    std::uint64_t key = 0;  ///< kNoKey for spans not tied to a message.
+    std::string kind;
+    std::int32_t track = 0;
+    std::int64_t detail = 0;
+    TimePoint begin = 0;
+    TimePoint end = 0;
+  };
+
+  /// One control-plane event (see obs/timeline.hpp).
+  struct TimelineEntry {
+    TimePoint t = 0;
+    std::string kind;
+    std::int32_t broker = -1;
+    std::int32_t partition = -1;
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+    std::string note;
+  };
+
   /// Run-level scalars (p_loss, duration_s, ...), keyed by name; insertion
   /// order is irrelevant, a map keeps the JSON deterministic.
   std::map<std::string, double> summary;
@@ -51,6 +77,15 @@ struct RunReport {
   std::vector<TraceEntry> trace;
   std::uint64_t trace_dropped = 0;
   std::uint64_t trace_sample_every = 0;
+  std::vector<SpanEntry> spans;
+  std::uint64_t spans_dropped = 0;
+  std::uint64_t span_sample_every = 0;
+  std::vector<TimelineEntry> timeline;
+  std::uint64_t timeline_dropped = 0;
+  /// Keys the run ended badly for (capped samples, trace-sampled keys
+  /// first so ks_explain has material): acked-then-missing, and missing.
+  std::vector<std::uint64_t> acked_lost_keys;
+  std::vector<std::uint64_t> lost_keys;
 
   /// Final value of a metric by full name (`name{labels}` or bare name);
   /// `fallback` when absent.
@@ -64,17 +99,28 @@ struct RunReport {
   std::string canonical_json() const;
 
   bool write_json(const std::string& path) const;
+
+  /// Chrome/Perfetto trace-event JSON ("X" complete events for spans on
+  /// per-actor tracks, "i" instant events for the cluster timeline). All
+  /// timestamps are sim-time microseconds, so the export is byte-identical
+  /// across replays of the same seed.
+  std::string perfetto_json() const;
+
+  bool write_perfetto(const std::string& path) const;
 };
 
 /// True for metrics whose value depends on host wall-clock time rather
 /// than the simulation (excluded from canonical_json()).
 bool is_wall_clock_metric(const std::string& name) noexcept;
 
-/// Snapshot `registry` (collectors are run) plus optional sampler series and
-/// trace into a report. Callers add summary scalars afterwards.
+/// Snapshot `registry` (collectors are run) plus optional sampler series,
+/// trace, spans and timeline into a report. Callers add summary scalars
+/// afterwards. Close open spans (SpanTracer::close_open) before calling.
 RunReport build_run_report(MetricsRegistry& registry,
                            const Sampler* sampler = nullptr,
-                           const MessageTrace* trace = nullptr);
+                           const MessageTrace* trace = nullptr,
+                           const SpanTracer* tracer = nullptr,
+                           const ClusterTimeline* timeline = nullptr);
 
 /// Prometheus text exposition of the registry's current values (collectors
 /// are run first). Histograms export _count/_sum plus quantile gauges.

@@ -14,6 +14,9 @@ const char* to_string(TraceEvent e) noexcept {
     case TraceEvent::kAcked: return "acked";
     case TraceEvent::kExpired: return "expired";
     case TraceEvent::kFailed: return "failed";
+    case TraceEvent::kFetched: return "fetched";
+    case TraceEvent::kDelivered: return "delivered";
+    case TraceEvent::kDupDetected: return "dup_detected";
   }
   return "?";
 }

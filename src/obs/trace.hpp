@@ -23,6 +23,9 @@ enum class TraceEvent : std::uint8_t {
   kAcked,           ///< Delivery report reached the producer.
   kExpired,         ///< T_o elapsed in the accumulator.
   kFailed,          ///< Retries exhausted / expired in flight.
+  kFetched,         ///< Read from a broker log by the consumer.
+  kDelivered,       ///< First delivery to the consumer application (V).
+  kDupDetected,     ///< Same key delivered again (VI, consumer-visible).
 };
 
 const char* to_string(TraceEvent e) noexcept;

@@ -12,6 +12,8 @@
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/timeline.hpp"
 #include "sim/event_queue.hpp"
 
 namespace ks::sim {
@@ -33,6 +35,15 @@ class Simulation {
   /// register their counters/gauges/collectors here; exporters and samplers
   /// read it. Owned by the simulation so one experiment = one metric space.
   obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  /// Per-simulation causal span tracer. Disabled by default (one branch per
+  /// call site); experiments arm it via configure(). Components reach it
+  /// through their existing Simulation reference, like metrics().
+  obs::SpanTracer& tracer() noexcept { return tracer_; }
+
+  /// Per-simulation control-plane event log. Always on — the events are
+  /// rare — and bounded, so components can record unconditionally.
+  obs::ClusterTimeline& timeline() noexcept { return timeline_; }
 
   /// Schedule `fn` at absolute time `t` (clamped to now if in the past).
   EventId at(TimePoint t, std::function<void()> fn);
@@ -75,6 +86,8 @@ class Simulation {
   std::uint64_t wall_time_us_ = 0;
   bool stop_requested_ = false;
   obs::MetricsRegistry metrics_;
+  obs::SpanTracer tracer_;
+  obs::ClusterTimeline timeline_;
   obs::Counter m_events_;
   obs::Counter m_wall_us_;
   obs::Gauge m_pending_;

@@ -42,6 +42,14 @@ Endpoint::Endpoint(sim::Simulation& sim, Config config, net::Link& tx,
 }
 
 void Endpoint::fresh_epoch_state() {
+  // Anything still buffered dies with the epoch; close its flight spans at
+  // the reset point so the timeline shows where the bytes were lost.
+  for (const auto& [end, meta] : out_msgs_) {
+    sim_.tracer().end(sim_.now(), meta.flight_span);
+  }
+  for (const auto& [end, meta] : in_msgs_) {
+    sim_.tracer().end(sim_.now(), meta.flight_span);
+  }
   snd_una_ = snd_nxt_ = stream_end_ = 0;
   out_msgs_.clear();
   peer_sacked_.clear();
@@ -95,7 +103,15 @@ bool Endpoint::send(AppMessage message) {
   }
   if (send_buffer_free() < message.size) return false;
   stream_end_ += message.size;
-  out_msgs_.emplace(stream_end_, std::move(message.payload));
+  // Flight spans only exist under a parent (produce attempt / fetch): an
+  // unparented message would otherwise become a kNoKey root, and the
+  // replica-fetch chatter records thousands of those per run.
+  const auto flight =
+      message.span == 0
+          ? obs::SpanId{0}
+          : sim_.tracer().begin(sim_.now(), obs::SpanKind::kTcpFlight,
+                                obs::kTrackNet, message.span);
+  out_msgs_.emplace(stream_end_, MsgMeta{std::move(message.payload), flight});
   ++stats_.messages_sent;
   maybe_send();
   return true;
@@ -171,7 +187,8 @@ void Endpoint::send_segment(StreamOffset seq, Bytes len,
   // Attach metadata for every app message ending inside (seq, seq+len].
   for (auto it = out_msgs_.upper_bound(seq);
        it != out_msgs_.end() && it->first <= seq + len; ++it) {
-    seg->message_ends.push_back(MessageEnd{it->first, it->second});
+    seg->message_ends.push_back(
+        MessageEnd{it->first, it->second.payload, it->second.flight_span});
   }
 
   ++stats_.segments_sent;
@@ -350,6 +367,8 @@ void Endpoint::enter_reset() {
   rto_timer_.cancel();
   syn_timer_.cancel();
   ++stats_.resets;
+  sim_.timeline().record(sim_.now(), obs::ClusterEventKind::kConnectionReset,
+                         -1, -1, 0, 0, name_);
   if (on_reset) on_reset();
 }
 
@@ -365,7 +384,7 @@ void Endpoint::handle_data(const Segment& seg) {
   // anything at or below the delivery watermark was already handed up.
   for (const auto& m : seg.message_ends) {
     if (m.end_offset > last_delivered_end_) {
-      in_msgs_.emplace(m.end_offset, m.payload);
+      in_msgs_.emplace(m.end_offset, MsgMeta{m.payload, m.flight_span});
     }
   }
 
@@ -403,7 +422,8 @@ void Endpoint::deliver_ready_messages() {
   bool was_empty = ready_.empty();
   while (!in_msgs_.empty() && in_msgs_.begin()->first <= rcv_nxt_) {
     const StreamOffset end = in_msgs_.begin()->first;
-    auto payload = std::move(in_msgs_.begin()->second);
+    auto payload = std::move(in_msgs_.begin()->second.payload);
+    sim_.tracer().end(sim_.now(), in_msgs_.begin()->second.flight_span);
     in_msgs_.erase(in_msgs_.begin());
     const Bytes size = end - last_delivered_end_;
     last_delivered_end_ = end;

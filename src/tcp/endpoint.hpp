@@ -67,6 +67,8 @@ struct Config {
 struct AppMessage {
   Bytes size = 0;
   std::shared_ptr<const void> payload;
+  /// Parent span for the message's tcp.flight child (0 = untraced).
+  std::uint64_t span = 0;
 };
 
 class Endpoint {
@@ -195,7 +197,13 @@ class Endpoint {
   StreamOffset snd_nxt_ = 0;   ///< Next byte to transmit.
   std::map<StreamOffset, StreamOffset> peer_sacked_;  ///< start -> end.
   StreamOffset stream_end_ = 0;///< One past the last byte accepted from app.
-  std::map<StreamOffset, std::shared_ptr<const void>> out_msgs_;  ///< end->payload.
+  /// Per-message bookkeeping riding the stream: opaque payload plus the
+  /// message's open tcp.flight span (0 = untraced).
+  struct MsgMeta {
+    std::shared_ptr<const void> payload;
+    std::uint64_t flight_span = 0;
+  };
+  std::map<StreamOffset, MsgMeta> out_msgs_;  ///< msg end offset -> meta.
   double cwnd_ = 0;            ///< Congestion window, bytes.
   double ssthresh_ = 0;
   /// EWMA of outgoing segment wire size. Linux denominates cwnd in packets;
@@ -219,7 +227,7 @@ class Endpoint {
   // ---- receiver state ----
   StreamOffset rcv_nxt_ = 0;
   std::map<StreamOffset, StreamOffset> ooo_ranges_;  ///< start -> end.
-  std::map<StreamOffset, std::shared_ptr<const void>> in_msgs_;  ///< end->payload.
+  std::map<StreamOffset, MsgMeta> in_msgs_;  ///< msg end offset -> meta.
   bool auto_read_ = true;
   std::deque<ReadMessage> ready_;
   Bytes unread_bytes_ = 0;

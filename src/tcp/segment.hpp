@@ -32,6 +32,9 @@ enum SegmentFlags : std::uint32_t {
 struct MessageEnd {
   StreamOffset end_offset;
   std::shared_ptr<const void> payload;
+  /// Open tcp.flight span for this message (0 = untraced); the receiver
+  /// closes it when the message reassembles.
+  std::uint64_t flight_span = 0;
 };
 
 struct Segment {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "kafka/consumer.hpp"
 #include "net/netem.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
@@ -116,6 +117,15 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   // fault is at the producer side, as in the paper); broker outages go
   // through the cluster so the controller reacts.
   for (const auto& f : scenario.faults) {
+    // Timeline marker for every injected fault, so failure narratives can
+    // line message fates up against the fault schedule.
+    sim.at(f.at, [&sim, f] {
+      const bool broker_fault = f.kind == FaultAction::Kind::kBrokerFail ||
+                                f.kind == FaultAction::Kind::kBrokerResume;
+      sim.timeline().record(sim.now(), obs::ClusterEventKind::kFaultInjected,
+                            broker_fault ? f.broker : -1, -1, 0, 0,
+                            f.describe());
+    });
     switch (f.kind) {
       case FaultAction::Kind::kNetem:
         for (auto& n : netems) {
@@ -192,6 +202,16 @@ ExperimentResult run_experiment(const Scenario& scenario) {
           ? scenario.trace_sample_every
           : std::max<std::uint64_t>(scenario.num_messages / 64, 1);
   obs::MessageTrace trace(scenario.trace_capacity, trace_every);
+  // Causal spans share the trace's key sampling by default so a traced key
+  // has both its lifecycle events and its span tree. The tracer lives on
+  // the Simulation; components record through it unconditionally, and a
+  // disabled tracer (sample_every == 0) makes every call a cheap no-op.
+  if (scenario.spans_enabled) {
+    sim.tracer().configure(scenario.span_capacity,
+                           scenario.span_sample_every > 0
+                               ? scenario.span_sample_every
+                               : trace_every);
+  }
   source.on_overrun = [&](const kafka::Record& r) {
     trace.record(sim.now(), r.key, obs::TraceEvent::kOverrun);
   };
@@ -288,6 +308,88 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   const TimePoint finish_time = sim.now();
   sim.run(finish_time + kDrainGrace);
 
+  // Consumer drain: read the committed log back through a real consumer
+  // over clean links, so each traced key's lifecycle extends to the
+  // consumer side (kFetched/kDelivered/kDupDetected) and Fig. 2 is
+  // observable source-to-consumer. Runs after the fault schedule; fetches
+  // never mutate broker logs, and the high watermark only advances, so the
+  // census below is unaffected by the extra simulated time.
+  if (scenario.consumer_drain) {
+    const int drain_leader =
+        replicated ? cluster.current_leader(partition) : 0;
+    std::int64_t drain_target = 0;
+    if (drain_leader >= 0) {
+      if (const auto* log = cluster.broker(drain_leader).partition(partition)) {
+        drain_target = log->high_watermark();
+      }
+    }
+    if (drain_leader >= 0 && drain_target > 0) {
+      const int num_cons = replicated ? cluster.num_brokers() : 1;
+      std::vector<std::unique_ptr<net::DuplexLink>> cons_links;
+      std::vector<std::unique_ptr<tcp::Pair>> cons_conns;
+      for (int i = 0; i < num_cons; ++i) {
+        const int broker_index = replicated ? i : drain_leader;
+        cons_links.push_back(std::make_unique<net::DuplexLink>(
+            sim, link_config,
+            std::make_shared<net::ConstantDelay>(kBaseLanDelay),
+            std::make_shared<net::NoLoss>(),
+            std::make_shared<net::ConstantDelay>(kBaseLanDelay),
+            std::make_shared<net::NoLoss>(),
+            "cons-broker" + std::to_string(broker_index)));
+        cons_conns.push_back(std::make_unique<tcp::Pair>(
+            sim, tcp_config(scenario.semantics), *cons_links.back(),
+            "cons-conn" + std::to_string(broker_index)));
+        cluster.broker(broker_index).attach(cons_conns.back()->server);
+      }
+      // The drain runs over clean LAN links after the fault schedule: a
+      // fetch timeout here means a dead broker, not congestion, so a tight
+      // retry budget lets an undrainable cluster stall in seconds of sim
+      // time instead of grinding through the default WAN-scale backoffs.
+      kafka::Consumer::Config drain_config;
+      drain_config.fetch_timeout = millis(500);
+      drain_config.max_fetch_retries = 8;
+      drain_config.fetch_retry_backoff_max = millis(1000);
+      kafka::Consumer consumer(
+          sim, drain_config,
+          cons_conns[static_cast<std::size_t>(replicated ? drain_leader : 0)]
+              ->client,
+          partition);
+      if (replicated) {
+        std::vector<tcp::Endpoint*> cons_endpoints;
+        for (auto& c : cons_conns) cons_endpoints.push_back(&c->client);
+        consumer.enable_failover(std::move(cons_endpoints),
+                                 [&cluster](std::int32_t p) {
+                                   return cluster.current_leader(p);
+                                 });
+      }
+      std::vector<std::uint8_t> seen(scenario.num_messages, 0);
+      consumer.on_record = [&](const kafka::FetchedRecord& r) {
+        ++result.consumer_records;
+        trace.record(sim.now(), r.key, obs::TraceEvent::kFetched,
+                     static_cast<std::int32_t>(r.offset));
+        if (r.key >= seen.size()) return;
+        if (!seen[r.key]) {
+          seen[r.key] = 1;
+          ++result.consumer_delivered;
+          trace.record(sim.now(), r.key, obs::TraceEvent::kDelivered);
+        } else {
+          ++result.consumer_duplicates;
+          trace.record(sim.now(), r.key, obs::TraceEvent::kDupDetected);
+        }
+      };
+      bool drained = false;
+      consumer.on_drained = [&] { drained = true; };
+      consumer.start();
+      consumer.drain_until(drain_target);
+      const TimePoint drain_deadline = sim.now() + seconds(30);
+      while (!drained && !consumer.stalled() && sim.now() < drain_deadline) {
+        sim.run(sim.now() + millis(100));
+      }
+      result.consumer_drained = drained;
+      result.consumer_truncations = consumer.stats().offset_truncations;
+    }
+  }
+
   // Census: the paper's key comparison (committed records only).
   result.census = cluster.census("stream", scenario.num_messages);
   result.p_loss = result.census.p_loss();
@@ -295,7 +397,11 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   result.cases = tracker.census();
 
   // Acked-record loss: keys the producer reported as delivered that no
-  // committed log holds.
+  // committed log holds. Also collect bounded per-anomaly key lists for the
+  // ks_explain narrative, traced keys first so their lifecycles are in the
+  // report.
+  std::vector<std::uint64_t> acked_lost_keys;
+  std::vector<std::uint64_t> lost_keys;
   {
     const auto counts =
         cluster.committed_key_counts("stream", scenario.num_messages);
@@ -304,6 +410,20 @@ ExperimentResult run_experiment(const Scenario& scenario) {
       ++result.acked_records;
       if (counts[k] == 0) ++result.acked_lost;
     }
+    constexpr std::size_t kMaxAnomalyKeys = 32;
+    const auto collect = [&](auto&& is_anomalous,
+                             std::vector<std::uint64_t>& out) {
+      for (int pass = 0; pass < 2 && out.size() < kMaxAnomalyKeys; ++pass) {
+        for (std::uint64_t k = 0;
+             k < scenario.num_messages && out.size() < kMaxAnomalyKeys; ++k) {
+          if (trace.sampled(k) != (pass == 0)) continue;
+          if (is_anomalous(k)) out.push_back(k);
+        }
+      }
+    };
+    collect([&](std::uint64_t k) { return acked[k] && counts[k] == 0; },
+            acked_lost_keys);
+    collect([&](std::uint64_t k) { return counts[k] == 0; }, lost_keys);
   }
   result.leader_elections = cluster.stats().elections;
   result.unclean_elections = cluster.stats().unclean_elections;
@@ -358,11 +478,15 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   result.events = sim.events_executed();
 
   // Structured run artifact: final snapshot (collectors run inside), time
-  // series and the sampled message trace, plus the run-level summary.
+  // series, the sampled message trace, the causal spans and the cluster
+  // timeline, plus the run-level summary.
   if (scenario.sample_interval > 0) sampler.sample(sim.now());
+  sim.tracer().close_open(sim.now());
   result.report = obs::build_run_report(
       sim.metrics(), scenario.sample_interval > 0 ? &sampler : nullptr,
-      &trace);
+      &trace, &sim.tracer(), &sim.timeline());
+  result.report.acked_lost_keys = std::move(acked_lost_keys);
+  result.report.lost_keys = std::move(lost_keys);
   auto& summary = result.report.summary;
   summary["p_loss"] = result.p_loss;
   summary["p_duplicate"] = result.p_duplicate;
@@ -406,6 +530,14 @@ ExperimentResult run_experiment(const Scenario& scenario) {
       static_cast<double>(result.replica_prefix_violations);
   summary["producer_failovers"] =
       static_cast<double>(result.producer_failovers);
+  summary["consumer_records"] = static_cast<double>(result.consumer_records);
+  summary["consumer_delivered"] =
+      static_cast<double>(result.consumer_delivered);
+  summary["consumer_duplicates"] =
+      static_cast<double>(result.consumer_duplicates);
+  summary["consumer_truncations"] =
+      static_cast<double>(result.consumer_truncations);
+  summary["consumer_drained"] = result.consumer_drained ? 1.0 : 0.0;
   return result;
 }
 

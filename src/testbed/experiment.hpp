@@ -78,6 +78,13 @@ struct ExperimentResult {
   std::uint64_t producer_failovers = 0;
   std::uint64_t producer_not_leader_errors = 0;
 
+  // Consumer drain stage (source-to-consumer Fig. 2 visibility).
+  std::uint64_t consumer_records = 0;     ///< Records read back, incl. dups.
+  std::uint64_t consumer_delivered = 0;   ///< Unique keys delivered.
+  std::uint64_t consumer_duplicates = 0;  ///< Repeat deliveries observed.
+  std::uint64_t consumer_truncations = 0; ///< Position re-pointed downward.
+  bool consumer_drained = false;          ///< Reached the drain target.
+
   /// Structured run artifact: final metric values across every layer,
   /// sampled time series, histogram summaries and the message trace.
   obs::RunReport report;

@@ -103,6 +103,16 @@ struct Scenario {
   std::uint64_t trace_sample_every = 0;
   /// Bound on retained trace events (ring overwrites the oldest).
   std::size_t trace_capacity = 4096;
+  /// Causal span tracing (produce attempt -> TCP flight -> broker append ->
+  /// commit wait -> ack; fetch -> deliver). Off => near-zero cost.
+  bool spans_enabled = true;
+  /// Span key sampling; 0 = match the message-trace sampling.
+  std::uint64_t span_sample_every = 0;
+  /// Bound on retained completed spans (ring overwrites the oldest).
+  std::size_t span_capacity = 8192;
+  /// After the producer finishes, drain the topic through a consumer so
+  /// Fig. 2 is observable source-to-consumer (kFetched/kDelivered events).
+  bool consumer_drain = true;
 
   /// Feature vector for the "normal network" model of Fig. 3:
   /// {S, T_o, delta, semantics, B}. (B stays effective even without

@@ -1,0 +1,246 @@
+// ks_explain: turn a failing chaos seed or a saved run artifact into a
+// human-readable causal narrative for one message key.
+//
+//   ks_explain --seed 0x14b [--profile broker_faults] [--key K]
+//              [--report out.json] [--perfetto out.perfetto.json]
+//   ks_explain path/to/report.json [--key K]
+//
+// Seed mode replays the scenario deterministically with sampling forced to
+// every key (observability is passive, so the simulated run is unchanged),
+// re-checks the invariant library and prints the narrative for the chosen
+// key — by default the record named by the failure (acked-lost first).
+// Artifact mode loads a previously written report JSON and explains it
+// offline, no simulation required.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "chaos/generator.hpp"
+#include "chaos/invariants.hpp"
+#include "obs/explain.hpp"
+#include "obs/json_parse.hpp"
+#include "obs/report.hpp"
+#include "testbed/experiment.hpp"
+
+namespace {
+
+using namespace ks;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ks_explain --seed 0xNNN [--profile broker_faults] [--key K]\n"
+      "                  [--report out.json] [--perfetto out.json]\n"
+      "       ks_explain <report.json> [--key K]\n");
+  return 2;
+}
+
+struct Args {
+  std::optional<std::uint64_t> seed;
+  chaos::Profile profile = chaos::Profile::kDefault;
+  std::optional<std::uint64_t> key;
+  std::string artifact;      ///< Report JSON to load (artifact mode).
+  std::string report_out;    ///< --report: write the replayed report here.
+  std::string perfetto_out;  ///< --perfetto: write the trace export here.
+  bool ok = true;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ks_explain: %s needs a value\n", argv[i]);
+        args.ok = false;
+        return "";
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      args.seed = std::strtoull(value(), nullptr, 0);
+    } else if (arg == "--key") {
+      args.key = std::strtoull(value(), nullptr, 0);
+    } else if (arg == "--profile") {
+      const std::string_view p = value();
+      if (p == "broker_faults") {
+        args.profile = chaos::Profile::kBrokerFaults;
+      } else if (p != "default") {
+        std::fprintf(stderr, "ks_explain: unknown profile '%.*s'\n",
+                     static_cast<int>(p.size()), p.data());
+        args.ok = false;
+      }
+    } else if (arg == "--report") {
+      args.report_out = value();
+    } else if (arg == "--perfetto") {
+      args.perfetto_out = value();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ks_explain: unknown option '%s'\n", argv[i]);
+      args.ok = false;
+    } else if (args.artifact.empty()) {
+      args.artifact = arg;
+    } else {
+      args.ok = false;
+    }
+  }
+  if (args.seed.has_value() == !args.artifact.empty()) args.ok = false;
+  return args;
+}
+
+/// Rebuild the explainable parts of a RunReport from its JSON export.
+/// Metrics/series are skipped — the narrative only needs the summary,
+/// trace, spans, timeline and anomaly key lists.
+std::optional<obs::RunReport> load_report(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "ks_explain: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const auto doc = obs::parse_json(text);
+  if (!doc || !doc->is_object()) {
+    std::fprintf(stderr, "ks_explain: %s is not valid JSON\n", path.c_str());
+    return std::nullopt;
+  }
+
+  obs::RunReport report;
+  if (const auto* summary = doc->find("summary");
+      summary != nullptr && summary->is_object()) {
+    for (const auto& [k, v] : summary->object) {
+      if (v.is_number()) report.summary[k] = v.number;
+    }
+  }
+  if (const auto* trace = doc->find("trace")) {
+    report.trace_sample_every =
+        static_cast<std::uint64_t>(trace->int_or("sample_every"));
+    report.trace_dropped =
+        static_cast<std::uint64_t>(trace->int_or("dropped"));
+    if (const auto* events = trace->find("events");
+        events != nullptr && events->is_array()) {
+      for (const auto& e : events->array) {
+        report.trace.push_back(obs::RunReport::TraceEntry{
+            e.int_or("t_us"), static_cast<std::uint64_t>(e.int_or("key")),
+            e.str_or("event"),
+            static_cast<std::int32_t>(e.int_or("detail"))});
+      }
+    }
+  }
+  if (const auto* spans = doc->find("spans")) {
+    report.span_sample_every =
+        static_cast<std::uint64_t>(spans->int_or("sample_every"));
+    report.spans_dropped =
+        static_cast<std::uint64_t>(spans->int_or("dropped"));
+    if (const auto* events = spans->find("events");
+        events != nullptr && events->is_array()) {
+      for (const auto& s : events->array) {
+        report.spans.push_back(obs::RunReport::SpanEntry{
+            static_cast<std::uint64_t>(s.int_or("id")),
+            static_cast<std::uint64_t>(s.int_or("parent")),
+            static_cast<std::uint64_t>(s.int_or("key")), s.str_or("kind"),
+            static_cast<std::int32_t>(s.int_or("track")), s.int_or("detail"),
+            s.int_or("begin_us"), s.int_or("end_us")});
+      }
+    }
+  }
+  if (const auto* timeline = doc->find("timeline")) {
+    report.timeline_dropped =
+        static_cast<std::uint64_t>(timeline->int_or("dropped"));
+    if (const auto* events = timeline->find("events");
+        events != nullptr && events->is_array()) {
+      for (const auto& e : events->array) {
+        report.timeline.push_back(obs::RunReport::TimelineEntry{
+            e.int_or("t_us"), e.str_or("kind"),
+            static_cast<std::int32_t>(e.int_or("broker")),
+            static_cast<std::int32_t>(e.int_or("partition")),
+            e.int_or("a"), e.int_or("b"), e.str_or("note")});
+      }
+    }
+  }
+  if (const auto* anomalies = doc->find("anomalies")) {
+    const auto load_keys = [&](const char* name,
+                               std::vector<std::uint64_t>& out) {
+      const auto* arr = anomalies->find(name);
+      if (arr == nullptr || !arr->is_array()) return;
+      for (const auto& k : arr->array) {
+        if (k.is_number()) {
+          out.push_back(static_cast<std::uint64_t>(k.number));
+        }
+      }
+    };
+    load_keys("acked_lost_keys", report.acked_lost_keys);
+    load_keys("lost_keys", report.lost_keys);
+  }
+  return report;
+}
+
+int explain(const obs::RunReport& report, std::optional<std::uint64_t> key) {
+  if (!key) key = obs::pick_explain_key(report);
+  if (!key) {
+    std::printf("no per-key material in this report (no traced keys, no "
+                "anomalies); nothing to explain\n");
+    return 0;
+  }
+  std::printf("%s", obs::explain_key(report, *key).c_str());
+  return 0;
+}
+
+int run_seed_mode(const Args& args) {
+  chaos::ChaosScenario cs = chaos::generate_scenario(*args.seed, args.profile);
+
+  // Turn observability up to full resolution: trace and span every key and
+  // size the rings so nothing is evicted. All of it is passive — the
+  // simulated run (and therefore the failure) is identical to the repro.
+  auto& sc = cs.scenario;
+  sc.trace_sample_every = 1;
+  sc.trace_capacity = static_cast<std::size_t>(sc.num_messages) * 16 + 4096;
+  sc.spans_enabled = true;
+  sc.span_sample_every = 1;
+  sc.span_capacity = static_cast<std::size_t>(sc.num_messages) * 16 + 4096;
+
+  std::printf("seed 0x%" PRIx64 " (%s profile)\n  %s\n", *args.seed,
+              to_string(args.profile), cs.describe().c_str());
+
+  const auto result = testbed::run_experiment(sc);
+  const auto violations = chaos::check_invariants(cs, result);
+  if (violations.empty()) {
+    std::printf("no invariant violations under this seed\n");
+  } else {
+    std::printf("%zu invariant violation(s):\n", violations.size());
+    for (const auto& v : violations) {
+      std::printf("  [%s] %s\n", v.invariant.c_str(), v.detail.c_str());
+    }
+  }
+
+  if (!args.report_out.empty() &&
+      !result.report.write_json(args.report_out)) {
+    std::fprintf(stderr, "ks_explain: cannot write %s\n",
+                 args.report_out.c_str());
+    return 1;
+  }
+  if (!args.perfetto_out.empty() &&
+      !result.report.write_perfetto(args.perfetto_out)) {
+    std::fprintf(stderr, "ks_explain: cannot write %s\n",
+                 args.perfetto_out.c_str());
+    return 1;
+  }
+
+  return explain(result.report, args.key);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (!args.ok) return usage();
+  if (args.seed) return run_seed_mode(args);
+  const auto report = load_report(args.artifact);
+  if (!report) return 1;
+  return explain(*report, args.key);
+}

@@ -83,6 +83,11 @@ TEST(Determinism, ReplicatedFailoverRunIsByteIdentical) {
   ASSERT_GE(first.leader_elections, 1u);
   EXPECT_EQ(first.acked_lost, 0u);
   EXPECT_EQ(first.report.canonical_json(), second.report.canonical_json());
+  // The Perfetto trace export is sim-time-only and must replay bit for bit
+  // too (spans + cluster timeline, including the election above).
+  EXPECT_EQ(first.report.perfetto_json(), second.report.perfetto_json());
+  EXPECT_FALSE(first.report.spans.empty());
+  EXPECT_FALSE(first.report.timeline.empty());
   EXPECT_EQ(first.events, second.events);
   EXPECT_EQ(first.census.delivered, second.census.delivered);
   EXPECT_EQ(first.leader_elections, second.leader_elections);
