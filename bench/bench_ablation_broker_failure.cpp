@@ -1,10 +1,10 @@
-// Broker-failure scenarios (the paper\'s explicit future work): inject a
+// Broker-failure scenarios (the paper's explicit future work): inject a
 // fail-stop outage on the leader mid-run and compare delivery semantics.
 // At-least-once retries ride out the outage (within T_o); at-most-once
 // silently loses whatever was in flight when the connection died.
 #include <cstdio>
 
-#include "bench_util.hpp"
+#include "bench_core/registry.hpp"
 #include "kafka/broker.hpp"
 #include "kafka/producer.hpp"
 #include "kafka/source.hpp"
@@ -21,6 +21,8 @@ struct OutageResult {
   double p_loss;
   double p_duplicate;
   std::uint64_t resets;
+  double duration_s;
+  std::uint64_t events;
 };
 
 OutageResult run(kafka::DeliverySemantics semantics, Duration outage,
@@ -75,7 +77,8 @@ OutageResult run(kafka::DeliverySemantics semantics, Duration outage,
   for (const auto& e : broker.partition(0)->entries()) {
     if (e.key < n) ++counts[e.key];
   }
-  OutageResult r{0.0, 0.0, producer.stats().connection_resets};
+  OutageResult r{0.0, 0.0, producer.stats().connection_resets,
+                 to_seconds(sim.now()), sim.events_executed()};
   for (int c : counts) {
     if (c == 0) r.p_loss += 1.0;
     if (c > 1) r.p_duplicate += 1.0;
@@ -85,9 +88,7 @@ OutageResult run(kafka::DeliverySemantics semantics, Duration outage,
   return r;
 }
 
-}  // namespace
-
-int main() {
+void run_ablation_broker_failure(bench::BenchContext& ctx) {
   const auto n = ks::bench::messages_per_run(10000);
   std::printf("# Ablation — leader fail-stop outage mid-run (no network "
               "faults)\n");
@@ -101,6 +102,12 @@ int main() {
                          kafka::DeliverySemantics::kExactlyOnce}) {
     for (auto outage : {seconds(2), seconds(8)}) {
       const auto r = run(semantics, outage, seconds(30), n, 90001);
+      ctx.account(r.duration_s, r.events, 1);
+      ctx.point({{"semantics", static_cast<double>(semantics)},
+                 {"outage_s", to_seconds(outage)}},
+                {{"p_loss", {r.p_loss, 0.0}},
+                 {"p_duplicate", {r.p_duplicate, 0.0}},
+                 {"connection_resets", {static_cast<double>(r.resets), 0.0}}});
       table.row({kafka::to_string(semantics),
                  ks::bench::fmt("%.0f", to_seconds(outage)), "30000",
                  ks::bench::pct(r.p_loss), ks::bench::pct(r.p_duplicate),
@@ -113,5 +120,10 @@ int main() {
               "holds the data), while ack-paced producers freeze their "
               "admission window and the real-time stream overruns its "
               "ring once the outage outlasts the upstream buffer.\n");
-  return 0;
 }
+
+KS_BENCH_REGISTER("ablation_broker_failure",
+                  "Ablation: leader fail-stop outage mid-run per semantics",
+                  run_ablation_broker_failure);
+
+}  // namespace

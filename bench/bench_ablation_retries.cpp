@@ -5,12 +5,14 @@
 // mechanism behind Table II's R_d increase.
 #include <cstdio>
 
-#include "bench_runner.hpp"
-#include "bench_util.hpp"
+#include "bench_core/registry.hpp"
 #include "testbed/experiment.hpp"
 
-int main() {
-  using namespace ks;
+namespace {
+
+using namespace ks;
+
+void run_ablation_retries(bench::BenchContext& ctx) {
   const auto n = bench::messages_per_run(10000);
 
   std::printf("# Ablation — retry strategy under D=50ms, L=15%% "
@@ -30,11 +32,12 @@ int main() {
       sc.request_timeout = timeout;
       sc.semantics = kafka::DeliverySemantics::kAtLeastOnce;
       sc.num_messages = n;
-      // The semantics preset fixes retries; sweep via a custom run.
-      // run_experiment reads retries from the preset, so encode the sweep
-      // through the scenario hook below.
+      // The semantics preset fixes retries; sweep via the override knob.
       sc.retries_override = retries;
-      const auto r = bench::run_averaged(sc, bench::repeats());
+      const auto r = ctx.run_averaged(sc, bench::repeats());
+      ctx.point({{"retries", static_cast<double>(retries)},
+                 {"ack_timeout_ms", to_millis(timeout)}},
+                r);
       table.row({std::to_string(retries),
                  bench::fmt("%.0f", to_millis(timeout)), bench::pct(r.p_loss),
                  bench::pct(r.p_duplicate)});
@@ -45,5 +48,10 @@ int main() {
               "traffic (P_d jumps ~40x) without buying loss down — the "
               "paper\'s observation that the retry strategy has little "
               "upside in these scenarios.\n");
-  return 0;
 }
+
+KS_BENCH_REGISTER("ablation_retries",
+                  "Ablation: retry budget vs ack timeout trade-off",
+                  run_ablation_retries);
+
+}  // namespace

@@ -6,12 +6,14 @@
 //  - the in-flight cap and request timeout shape the duplicate rate.
 #include <cstdio>
 
-#include "bench_runner.hpp"
-#include "bench_util.hpp"
+#include "bench_core/registry.hpp"
 #include "testbed/experiment.hpp"
 
-int main() {
-  using namespace ks;
+namespace {
+
+using namespace ks;
+
+void run_ablation_semantics(bench::BenchContext& ctx) {
   const auto n = bench::messages_per_run(12000);
 
   std::printf("# Ablation — semantics under D=50ms, L=13%%\n");
@@ -31,11 +33,17 @@ int main() {
     sc.source_interval = micros(4000);
     sc.semantics = semantics;
     sc.num_messages = n;
-    const auto r = bench::run_averaged(sc, bench::repeats());
+    const auto r = ctx.run_averaged(sc, bench::repeats());
+    ctx.point({{"semantics", static_cast<double>(semantics)}}, r);
     table.row({kafka::to_string(semantics), bench::pct(r.p_loss),
                bench::pct(r.p_duplicate), bench::pct(r.stale_fraction),
                bench::fmt("%.4f", r.phi)});
   }
   table.print();
-  return 0;
 }
+
+KS_BENCH_REGISTER("ablation_semantics",
+                  "Ablation: three delivery semantics under D=50ms, L=13%",
+                  run_ablation_semantics);
+
+}  // namespace

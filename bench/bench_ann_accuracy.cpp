@@ -8,12 +8,15 @@
 // predicted-vs-measured rows for each figure's sweep.
 #include <cstdio>
 
-#include "bench_util.hpp"
+#include "bench_core/registry.hpp"
 #include "kpi/predictor.hpp"
 #include "testbed/collector.hpp"
 
-int main() {
-  using namespace ks;
+namespace {
+
+using namespace ks;
+
+void run_ann_accuracy(bench::BenchContext& ctx) {
   const bool full = bench::full_mode();
 
   auto config = full ? testbed::CollectorConfig::full()
@@ -32,6 +35,9 @@ int main() {
   auto abnormal = collector.collect_abnormal();
   std::printf("# abnormal dataset: %zu rows\n\n", abnormal.size());
   std::fflush(stdout);
+  ctx.account(0.0, 0,
+              static_cast<std::uint64_t>(collector.normal_grid_size() +
+                                         collector.abnormal_grid_size()));
 
   ann::TrainConfig tc;
   tc.epochs = full ? 600 : 400;
@@ -48,6 +54,9 @@ int main() {
 
   std::printf("held-out MAE: normal %.4f, abnormal %.4f (paper target <0.02)\n\n",
               train_result.normal_mae, train_result.abnormal_mae);
+  ctx.point({},
+            {{"normal_mae", {train_result.normal_mae, 0.0}},
+             {"abnormal_mae", {train_result.abnormal_mae, 0.0}}});
 
   // Predicted vs measured samples (the paper's Figs. 4-6 overlay).
   std::printf("## predicted vs measured (abnormal grid samples)\n");
@@ -76,5 +85,10 @@ int main() {
                bench::pct(pred.p_duplicate)});
   }
   table.print();
-  return 0;
 }
+
+KS_BENCH_REGISTER_SLOW("ann_accuracy",
+                       "Sec. III-G: ANN held-out MAE vs the paper's target",
+                       run_ann_accuracy);
+
+}  // namespace

@@ -10,12 +10,14 @@
 //    slightly better (it "saves ~3000 more messages per million").
 #include <cstdio>
 
-#include "bench_runner.hpp"
-#include "bench_util.hpp"
+#include "bench_core/registry.hpp"
 #include "testbed/experiment.hpp"
 
-int main() {
-  using namespace ks;
+namespace {
+
+using namespace ks;
+
+void run_fig4(bench::BenchContext& ctx) {
   const auto n = bench::messages_per_run(12000);
   const std::vector<Bytes> sizes =
       bench::full_mode()
@@ -28,7 +30,6 @@ int main() {
 
   bench::Table table({"M (bytes)", "P_l at-most-once", "P_l at-least-once",
                       "P_d at-least-once"});
-  bench::BenchArtifact artifact("fig4_message_size");
   for (auto m : sizes) {
     testbed::Scenario sc;
     sc.message_size = m;
@@ -36,16 +37,20 @@ int main() {
     sc.packet_loss = 0.19;
     sc.num_messages = n;
     sc.semantics = kafka::DeliverySemantics::kAtMostOnce;
-    const auto amo = bench::run_averaged(sc, bench::repeats());
+    const auto amo = ctx.run_averaged(sc, bench::repeats());
     sc.semantics = kafka::DeliverySemantics::kAtLeastOnce;
-    const auto alo = bench::run_averaged(sc, bench::repeats());
-    artifact.add_point({{"M", static_cast<double>(m)}, {"semantics", 0}}, amo);
-    artifact.add_point({{"M", static_cast<double>(m)}, {"semantics", 1}}, alo);
+    const auto alo = ctx.run_averaged(sc, bench::repeats());
+    ctx.point({{"M", static_cast<double>(m)}, {"semantics", 0}}, amo);
+    ctx.point({{"M", static_cast<double>(m)}, {"semantics", 1}}, alo);
 
     table.row({std::to_string(m), bench::pct(amo.p_loss),
                bench::pct(alo.p_loss), bench::pct(alo.p_duplicate)});
   }
   table.print();
-  artifact.write();
-  return 0;
 }
+
+KS_BENCH_REGISTER("fig4_message_size",
+                  "Fig. 4: P_l vs message size M under D=100ms, L=19%",
+                  run_fig4);
+
+}  // namespace

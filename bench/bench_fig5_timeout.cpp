@@ -7,12 +7,14 @@
 //  - at-least-once delivery reduces that loss significantly.
 #include <cstdio>
 
-#include "bench_runner.hpp"
-#include "bench_util.hpp"
+#include "bench_core/registry.hpp"
 #include "testbed/experiment.hpp"
 
-int main() {
-  using namespace ks;
+namespace {
+
+using namespace ks;
+
+void run_fig5(bench::BenchContext& ctx) {
   const auto n = bench::messages_per_run(12000);
   const std::vector<Duration> timeouts =
       bench::full_mode()
@@ -27,7 +29,6 @@ int main() {
               static_cast<unsigned long long>(n));
 
   bench::Table table({"T_o (ms)", "P_l at-most-once", "P_l at-least-once"});
-  bench::BenchArtifact artifact("fig5_timeout");
   for (auto t_o : timeouts) {
     testbed::Scenario sc;
     sc.message_size = 200;
@@ -35,16 +36,20 @@ int main() {
     sc.source_mode = testbed::SourceMode::kOnDemand;
     sc.num_messages = n;
     sc.semantics = kafka::DeliverySemantics::kAtMostOnce;
-    const auto amo = bench::run_averaged(sc, bench::repeats());
+    const auto amo = ctx.run_averaged(sc, bench::repeats());
     sc.semantics = kafka::DeliverySemantics::kAtLeastOnce;
-    const auto alo = bench::run_averaged(sc, bench::repeats());
-    artifact.add_point({{"T_o_ms", to_millis(t_o)}, {"semantics", 0}}, amo);
-    artifact.add_point({{"T_o_ms", to_millis(t_o)}, {"semantics", 1}}, alo);
+    const auto alo = ctx.run_averaged(sc, bench::repeats());
+    ctx.point({{"T_o_ms", to_millis(t_o)}, {"semantics", 0}}, amo);
+    ctx.point({{"T_o_ms", to_millis(t_o)}, {"semantics", 1}}, alo);
 
     table.row({bench::fmt("%.0f", to_millis(t_o)), bench::pct(amo.p_loss),
                bench::pct(alo.p_loss)});
   }
   table.print();
-  artifact.write();
-  return 0;
 }
+
+KS_BENCH_REGISTER("fig5_timeout",
+                  "Fig. 5: P_l vs message timeout T_o (no faults, full load)",
+                  run_fig5);
+
+}  // namespace

@@ -6,12 +6,14 @@
 //  - delta = 90 ms brings P_l below 10%.
 #include <cstdio>
 
-#include "bench_runner.hpp"
-#include "bench_util.hpp"
+#include "bench_core/registry.hpp"
 #include "testbed/experiment.hpp"
 
-int main() {
-  using namespace ks;
+namespace {
+
+using namespace ks;
+
+void run_fig6(bench::BenchContext& ctx) {
   const auto n = bench::messages_per_run(12000);
   const std::vector<Duration> polls =
       bench::full_mode()
@@ -26,7 +28,6 @@ int main() {
               static_cast<unsigned long long>(n));
 
   bench::Table table({"delta (ms)", "P_l at-most-once", "P_l at-least-once"});
-  bench::BenchArtifact artifact("fig6_polling");
   for (auto delta : polls) {
     testbed::Scenario sc;
     sc.message_size = 200;
@@ -35,18 +36,20 @@ int main() {
     sc.source_mode = testbed::SourceMode::kOnDemand;
     sc.num_messages = n;
     sc.semantics = kafka::DeliverySemantics::kAtMostOnce;
-    const auto amo = bench::run_averaged(sc, bench::repeats());
+    const auto amo = ctx.run_averaged(sc, bench::repeats());
     sc.semantics = kafka::DeliverySemantics::kAtLeastOnce;
-    const auto alo = bench::run_averaged(sc, bench::repeats());
-    artifact.add_point({{"delta_ms", to_millis(delta)}, {"semantics", 0}},
-                       amo);
-    artifact.add_point({{"delta_ms", to_millis(delta)}, {"semantics", 1}},
-                       alo);
+    const auto alo = ctx.run_averaged(sc, bench::repeats());
+    ctx.point({{"delta_ms", to_millis(delta)}, {"semantics", 0}}, amo);
+    ctx.point({{"delta_ms", to_millis(delta)}, {"semantics", 1}}, alo);
 
     table.row({bench::fmt("%.0f", to_millis(delta)), bench::pct(amo.p_loss),
                bench::pct(alo.p_loss)});
   }
   table.print();
-  artifact.write();
-  return 0;
 }
+
+KS_BENCH_REGISTER("fig6_polling",
+                  "Fig. 6: P_l vs polling interval delta (T_o=500ms)",
+                  run_fig6);
+
+}  // namespace

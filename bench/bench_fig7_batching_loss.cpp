@@ -9,12 +9,14 @@
 //  - returns diminish as B grows; at L ~ 30% configuration helps little.
 #include <cstdio>
 
-#include "bench_runner.hpp"
-#include "bench_util.hpp"
+#include "bench_core/registry.hpp"
 #include "testbed/experiment.hpp"
 
-int main() {
-  using namespace ks;
+namespace {
+
+using namespace ks;
+
+void run_fig7(bench::BenchContext& ctx) {
   const auto n = bench::messages_per_run(12000);
   const std::vector<double> losses =
       bench::full_mode()
@@ -27,7 +29,6 @@ int main() {
   std::printf("# messages per run: %llu\n\n",
               static_cast<unsigned long long>(n));
 
-  bench::BenchArtifact artifact("fig7_batching_loss");
   for (auto semantics : {kafka::DeliverySemantics::kAtMostOnce,
                          kafka::DeliverySemantics::kAtLeastOnce}) {
     std::printf("## %s\n", kafka::to_string(semantics));
@@ -45,11 +46,11 @@ int main() {
         sc.batch_size = b;
         sc.num_messages = n;
         sc.semantics = semantics;
-        const auto r = bench::run_averaged(sc, bench::repeats());
-        artifact.add_point({{"L", l},
-                            {"B", static_cast<double>(b)},
-                            {"semantics", static_cast<double>(semantics)}},
-                           r);
+        const auto r = ctx.run_averaged(sc, bench::repeats());
+        ctx.point({{"L", l},
+                   {"B", static_cast<double>(b)},
+                   {"semantics", static_cast<double>(semantics)}},
+                  r);
         row.push_back(bench::pct(r.p_loss));
       }
       table.row(row);
@@ -57,6 +58,10 @@ int main() {
     table.print();
     std::printf("\n");
   }
-  artifact.write();
-  return 0;
 }
+
+KS_BENCH_REGISTER("fig7_batching_loss",
+                  "Fig. 7: P_l vs loss rate L for batch sizes B",
+                  run_fig7);
+
+}  // namespace

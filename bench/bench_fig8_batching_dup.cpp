@@ -8,12 +8,14 @@
 //    from the request/response path; congestion drives the timeouts).
 #include <cstdio>
 
-#include "bench_runner.hpp"
-#include "bench_util.hpp"
+#include "bench_core/registry.hpp"
 #include "testbed/experiment.hpp"
 
-int main() {
-  using namespace ks;
+namespace {
+
+using namespace ks;
+
+void run_fig8(bench::BenchContext& ctx) {
   const auto n = bench::messages_per_run(12000);
   const std::vector<int> batches =
       bench::full_mode() ? std::vector<int>{1, 2, 3, 4, 5, 6, 8, 10}
@@ -27,7 +29,6 @@ int main() {
   std::vector<std::string> headers = {"B"};
   for (auto l : losses) headers.push_back("P_d @ L=" + bench::pct(l));
   bench::Table table(headers);
-  bench::BenchArtifact artifact("fig8_batching_dup");
   for (auto b : batches) {
     std::vector<std::string> row = {std::to_string(b)};
     for (auto l : losses) {
@@ -40,13 +41,17 @@ int main() {
       sc.batch_size = b;
       sc.semantics = kafka::DeliverySemantics::kAtLeastOnce;
       sc.num_messages = n;
-      const auto r = bench::run_averaged(sc, bench::repeats());
-      artifact.add_point({{"B", static_cast<double>(b)}, {"L", l}}, r);
+      const auto r = ctx.run_averaged(sc, bench::repeats());
+      ctx.point({{"B", static_cast<double>(b)}, {"L", l}}, r);
       row.push_back(bench::pct(r.p_duplicate));
     }
     table.row(row);
   }
   table.print();
-  artifact.write();
-  return 0;
 }
+
+KS_BENCH_REGISTER("fig8_batching_dup",
+                  "Fig. 8: P_d vs batch size B (at-least-once)",
+                  run_fig8);
+
+}  // namespace

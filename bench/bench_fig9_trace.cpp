@@ -5,12 +5,15 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "bench_util.hpp"
+#include "bench_core/registry.hpp"
 #include "common/rng.hpp"
 #include "net/trace.hpp"
 
-int main() {
-  using namespace ks;
+namespace {
+
+using namespace ks;
+
+void run_fig9(bench::BenchContext& ctx) {
   net::TraceGenConfig config;
   config.duration = bench::full_mode() ? seconds(600) : seconds(300);
   Rng rng(90001);
@@ -40,11 +43,24 @@ int main() {
     max_delay = std::max(max_delay, p.delay);
     if (p.loss_rate >= 0.05) bad_time += 1.0;
   }
+  const double bad_frac =
+      bad_time / static_cast<double>(trace.points.size());
   std::printf("\nsummary: mean delay %.1f ms (max %.1f), mean loss %s "
               "(max %s), bursty-loss time %.1f%%\n",
               to_millis(trace.mean_delay()), to_millis(max_delay),
               bench::pct(trace.mean_loss()).c_str(),
-              bench::pct(max_loss).c_str(),
-              100.0 * bad_time / static_cast<double>(trace.points.size()));
-  return 0;
+              bench::pct(max_loss).c_str(), 100.0 * bad_frac);
+
+  ctx.point({{"duration_s", to_seconds(config.duration)}},
+            {{"mean_delay_ms", {to_millis(trace.mean_delay()), 0.0}},
+             {"max_delay_ms", {to_millis(max_delay), 0.0}},
+             {"mean_loss", {trace.mean_loss(), 0.0}},
+             {"max_loss", {max_loss, 0.0}},
+             {"bursty_loss_fraction", {bad_frac, 0.0}}});
 }
+
+KS_BENCH_REGISTER("fig9_trace",
+                  "Fig. 9: Pareto/Gilbert-Elliott network trace statistics",
+                  run_fig9);
+
+}  // namespace

@@ -9,6 +9,7 @@
 
 #include "ann/network.hpp"
 #include "common/rng.hpp"
+#include "obs/profiler.hpp"
 #include "obs/span.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulation.hpp"
@@ -124,6 +125,31 @@ BENCHMARK(BM_PipelineSpanOverhead)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+void BM_PipelineProfilerOverhead(benchmark::State& state) {
+  // Self-profiler toggled on the same pipeline: arg 0 leaves it disabled
+  // (every ProfScope reduces to one branch), arg 1 times every hot path
+  // (two steady_clock reads per dispatched event). The delta bounds the
+  // enabled cost; the disabled path is additionally asserted in main().
+  const bool profiled = state.range(0) != 0;
+  for (auto _ : state) {
+    testbed::Scenario sc;
+    sc.num_messages = 2000;
+    sc.broker_regimes = false;
+    sc.seed = 42;
+    sc.sample_interval = 0;
+    sc.trace_sample_every = ~0ULL;
+    sc.spans_enabled = false;
+    sc.profiler_enabled = profiled;
+    const auto r = testbed::run_experiment(sc);
+    benchmark::DoNotOptimize(r.report.perf.profiled);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_PipelineProfilerOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_AnnForward(benchmark::State& state) {
   Rng rng(3);
   auto net = ann::Network::paper_architecture(5, 2, rng);
@@ -212,10 +238,63 @@ bool disabled_span_path_within_budget() {
   return true;
 }
 
+// Same bound for the self-profiler: a ProfScope against a disabled
+// profiler must stay one predicted branch in the ctor and one in the dtor.
+// An event-loop record crosses ~6 instrumented sites (dispatch per event
+// dominates: produce batch, TCP segments, broker append, fetch, timers).
+bool disabled_profiler_path_within_budget() {
+  using clock = std::chrono::steady_clock;
+  const auto seconds_between = [](clock::time_point a, clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+
+  obs::profiler().enable(false);
+  constexpr int kScopes = 1 << 21;
+  const auto t0 = clock::now();
+  for (int i = 0; i < kScopes; ++i) {
+    obs::ProfScope scope(obs::ProfKey::kEventDispatch);
+    benchmark::DoNotOptimize(scope);
+  }
+  const auto t1 = clock::now();
+  const double scope_s = seconds_between(t0, t1) / kScopes;
+
+  testbed::Scenario sc;
+  sc.num_messages = 4000;
+  sc.broker_regimes = false;
+  sc.seed = 42;
+  sc.sample_interval = 0;
+  sc.trace_sample_every = ~0ULL;
+  sc.spans_enabled = false;
+  sc.consumer_drain = false;
+  const auto t2 = clock::now();
+  const auto result = testbed::run_experiment(sc);
+  const auto t3 = clock::now();
+  benchmark::DoNotOptimize(result.census.delivered);
+  const double record_s =
+      seconds_between(t2, t3) / static_cast<double>(sc.num_messages);
+
+  // Each record costs a handful of dispatched events, each of which enters
+  // one kEventDispatch scope, plus the per-record broker/TCP scopes.
+  constexpr double kScopesPerRecord = 12.0;
+  const double ratio = scope_s * kScopesPerRecord / record_s;
+  std::printf("profiler self-check: disabled scope %.1fns, hot loop "
+              "%.0fns/record, overhead %.3f%% (budget 1%%)\n",
+              scope_s * 1e9, record_s * 1e9, ratio * 100.0);
+  if (ratio > 0.01) {
+    std::fprintf(stderr,
+                 "FAIL: disabled profiler path costs %.3f%% of the hot "
+                 "produce loop (budget 1%%)\n",
+                 ratio * 100.0);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (!disabled_span_path_within_budget()) return 1;
+  if (!disabled_profiler_path_within_budget()) return 1;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -10,7 +10,7 @@
 #include <memory>
 #include <vector>
 
-#include "bench_util.hpp"
+#include "bench_core/registry.hpp"
 #include "kafka/cluster.hpp"
 #include "kafka/producer.hpp"
 #include "kafka/source.hpp"
@@ -27,6 +27,7 @@ struct ScalingResult {
   double p_loss = 0.0;
   double throughput = 0.0;
   double duration_s = 0.0;
+  std::uint64_t events = 0;
 };
 
 ScalingResult run_scaled(int n_producers, std::uint64_t total_messages,
@@ -123,6 +124,7 @@ ScalingResult run_scaled(int n_producers, std::uint64_t total_messages,
   ScalingResult result;
   result.p_loss = census.p_loss();
   result.duration_s = to_seconds(finish);
+  result.events = sim.events_executed();
   if (result.duration_s > 0) {
     result.throughput =
         static_cast<double>(census.delivered + census.duplicated) /
@@ -131,27 +133,36 @@ ScalingResult run_scaled(int n_producers, std::uint64_t total_messages,
   return result;
 }
 
-}  // namespace
-
-int main() {
+void run_scaling_producers(bench::BenchContext& ctx) {
   const auto n = ks::bench::messages_per_run(12000);
   std::printf("# Producer scaling (Sec. IV-C) — fixed aggregate rate split "
               "over N_p producers,\n# each with delta' = N_p * delta "
               "(at-most-once, T_o=500ms, no faults)\n\n");
   ks::bench::Table table({"N_p", "P_l", "aggregate msg/s"});
   for (int np : {1, 2, 3, 4, 6}) {
-    double loss = 0.0, thru = 0.0;
+    std::vector<double> loss, thru;
     const int reps = ks::bench::repeats();
     for (int rep = 0; rep < reps; ++rep) {
-      const auto r = run_scaled(np, n, 90001 + static_cast<std::uint64_t>(rep) * 7919);
-      loss += r.p_loss;
-      thru += r.throughput;
+      const auto r =
+          run_scaled(np, n, 90001 + static_cast<std::uint64_t>(rep) * 7919);
+      loss.push_back(r.p_loss);
+      thru.push_back(r.throughput);
+      ctx.account(r.duration_s, r.events, 1);
     }
-    table.row({std::to_string(np), ks::bench::pct(loss / reps),
-               ks::bench::fmt("%.0f", thru / reps)});
+    const auto loss_stat = ks::bench::stat_of(loss);
+    const auto thru_stat = ks::bench::stat_of(thru);
+    ctx.point({{"n_producers", static_cast<double>(np)}},
+              {{"p_loss", loss_stat}, {"throughput_msg_s", thru_stat}});
+    table.row({std::to_string(np), ks::bench::pct(loss_stat.mean),
+               ks::bench::fmt("%.0f", thru_stat.mean)});
   }
   table.print();
   std::printf("\nScaling the overloaded producer preserves the aggregate "
               "arrival rate while driving the loss toward zero.\n");
-  return 0;
 }
+
+KS_BENCH_REGISTER("scaling_producers",
+                  "Sec. IV-C: producer scaling at fixed aggregate rate",
+                  run_scaling_producers);
+
+}  // namespace

@@ -10,12 +10,14 @@
 // at-least-once; exactly-once (idempotent) eliminates Case5.
 #include <cstdio>
 
-#include "bench_runner.hpp"
-#include "bench_util.hpp"
+#include "bench_core/registry.hpp"
 #include "testbed/experiment.hpp"
 
-int main() {
-  using namespace ks;
+namespace {
+
+using namespace ks;
+
+void run_table1(bench::BenchContext& ctx) {
   const auto n = bench::messages_per_run(12000);
 
   std::printf("# Table I — message-state case census (L=19%%, D=100ms)\n");
@@ -38,6 +40,16 @@ int main() {
     sc.num_messages = n;
     sc.seed = 90001;
     const auto r = testbed::run_experiment(sc);
+    ctx.account(r.duration_s, r.events, 1);
+    ctx.point({{"semantics", static_cast<double>(semantics)}},
+              {{"unsent", {static_cast<double>(r.cases.cases[0]), 0.0}},
+               {"case1", {static_cast<double>(r.cases.cases[1]), 0.0}},
+               {"case2", {static_cast<double>(r.cases.cases[2]), 0.0}},
+               {"case3", {static_cast<double>(r.cases.cases[3]), 0.0}},
+               {"case4", {static_cast<double>(r.cases.cases[4]), 0.0}},
+               {"case5", {static_cast<double>(r.cases.cases[5]), 0.0}},
+               {"p_loss", {r.p_loss, 0.0}},
+               {"p_duplicate", {r.p_duplicate, 0.0}}});
     table.row({kafka::to_string(semantics),
                std::to_string(r.cases.cases[0]),
                std::to_string(r.cases.cases[1]),
@@ -48,5 +60,10 @@ int main() {
                bench::pct(r.p_duplicate)});
   }
   table.print();
-  return 0;
 }
+
+KS_BENCH_REGISTER("table1_states",
+                  "Table I: message-state case census per semantics",
+                  run_table1);
+
+}  // namespace

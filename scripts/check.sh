@@ -26,10 +26,15 @@ export KS_CHAOS_ARTIFACT_DIR="${KS_CHAOS_ARTIFACT_DIR:-${PWD}/build/chaos-artifa
 report_chaos_artifacts() {
   # Only on failure: passing runs still exercise the injected-violation
   # harness test, whose artifacts are expected and not worth shouting about.
-  if [ "$1" -ne 0 ] &&
-      compgen -G "${KS_CHAOS_ARTIFACT_DIR}/*" >/dev/null 2>&1; then
-    echo "== chaos failure artifacts (report + perfetto trace) =="
-    ls -l "${KS_CHAOS_ARTIFACT_DIR}"
+  # Those expected artifacts are removed on success so repeated runs don't
+  # accumulate stale files that would muddy a later failure listing.
+  if [ "$1" -ne 0 ]; then
+    if compgen -G "${KS_CHAOS_ARTIFACT_DIR}/*" >/dev/null 2>&1; then
+      echo "== chaos failure artifacts (report + perfetto trace) =="
+      ls -l "${KS_CHAOS_ARTIFACT_DIR}"
+    fi
+  else
+    rm -rf "${KS_CHAOS_ARTIFACT_DIR:?}"/* 2>/dev/null || true
   fi
 }
 trap 'report_chaos_artifacts $?' EXIT

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerate the committed bench baselines in bench/baselines/.
+#
+#   scripts/refresh_baselines.sh
+#
+# Run this after an intentional perf or result change, eyeball the diff
+# (`git diff bench/baselines`), and commit the new artifacts together with
+# the change that caused them. The subset and knobs here MUST match the
+# nightly bench job in .github/workflows/ci.yml — ks_bench_diff compares
+# run shapes and reports a config mismatch instead of timings otherwise.
+#
+# Keep in mind what the artifact stability contract says (see
+# src/bench_core/artifact.hpp): only `bench`, `config` and `points` are
+# byte-stable; `fingerprint`, `timing` and `profile` are host-volatile, so
+# refreshed baselines always differ there. ks_bench_diff knows.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+# The pinned subset: fast, deterministic benches covering a census table,
+# two figure sweeps and an ablation — enough surface to catch both timing
+# and result regressions without the slow ANN-training pipelines.
+SUBSET=(table1_states fig4_message_size fig6_polling ablation_semantics)
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}" --target ks_bench
+
+mkdir -p bench/baselines
+KS_BENCH_MESSAGES=4000 build/src/tools/ks_bench \
+  --repeat 3 --out bench/baselines "${SUBSET[@]}"
+
+echo
+echo "baselines refreshed; review with: git diff bench/baselines"

@@ -1,0 +1,105 @@
+// BENCH_<name>.json — the versioned, schema'd artifact every registered
+// bench emits through the unified ks_bench runner.
+//
+// Schema v2 layout (v1, the ad-hoc per-bench points file with embedded
+// RunReports, is gone — ks_bench_diff rejects it by schema_version):
+//
+//   {
+//     "schema_version": 2,
+//     "bench": "<name>",
+//     "fingerprint": { git_sha, compiler, flags, build_type, os, host },
+//     "config":  { messages, full, repeat, warmup, reps_per_point,
+//                  profiled },
+//     "timing":  { wall_s: DistStat, sim_seconds, sim_events, experiments,
+//                  sim_s_per_wall_s: DistStat, events_per_wall_s: DistStat },
+//     "profile": { peak_rss_kb, alloc_count, alloc_bytes,
+//                  sections: [{name, calls, total_ns}] },
+//     "points":  [ { params: {k: v}, metrics: {k: {mean, stddev}} } ]
+//   }
+//
+// Stability contract: `bench`, `config` and `points` are byte-stable
+// across runs of the same build and environment knobs (they come from the
+// deterministic simulation). `fingerprint`, `timing` and `profile` are
+// host-volatile. ks_bench_diff therefore compares points with an exactness
+// tolerance and timing with noise-aware thresholds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_core/fingerprint.hpp"
+#include "bench_core/runner.hpp"
+
+namespace ks::bench {
+
+inline constexpr int kArtifactSchemaVersion = 2;
+
+/// Distribution summary of a host-time measurement over --repeat runs.
+struct DistStat {
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  std::vector<double> samples;
+
+  static DistStat of(std::vector<double> samples);
+};
+
+/// One deterministic grid point: sweep parameters and seed-averaged
+/// metrics, both in recorded order (which is itself deterministic).
+struct ArtifactPoint {
+  std::vector<std::pair<std::string, double>> params;
+  std::vector<std::pair<std::string, Stat>> metrics;
+};
+
+struct Artifact {
+  int schema_version = kArtifactSchemaVersion;
+  std::string bench;
+  Fingerprint fingerprint;
+
+  // config — run shape (deterministic given the environment knobs).
+  std::uint64_t messages = 0;  ///< KS_BENCH_MESSAGES-resolved run size.
+  bool full = false;           ///< KS_BENCH_FULL grids.
+  int repeat = 1;              ///< Timed whole-bench repetitions.
+  int warmup = 0;              ///< Discarded warm-up repetitions.
+  int reps_per_point = 0;      ///< Seed-averaging reps inside each point.
+  bool profiled = false;       ///< Self-profiler armed during the run.
+
+  // timing — host-volatile wall-clock cost over the timed repetitions,
+  // plus deterministic work counters from the final repetition.
+  DistStat wall_s;
+  double sim_seconds = 0.0;      ///< Simulated seconds covered per repeat.
+  std::uint64_t sim_events = 0;  ///< Simulation events executed per repeat.
+  std::uint64_t experiments = 0; ///< run_experiment invocations per repeat.
+  DistStat sim_s_per_wall_s;     ///< Simulation speedup per repeat.
+  DistStat events_per_wall_s;    ///< Event throughput per repeat.
+
+  // profile — host-volatile process counters (final timed repetition).
+  std::int64_t peak_rss_kb = 0;
+  std::uint64_t alloc_count = 0;
+  std::uint64_t alloc_bytes = 0;
+  struct Section {
+    std::string name;
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+  };
+  std::vector<Section> sections;
+
+  // points — byte-stable deterministic results.
+  std::vector<ArtifactPoint> points;
+
+  std::string to_json() const;
+  bool write(const std::string& path) const;
+
+  /// Parse one artifact; nullopt on malformed JSON or schema mismatch.
+  static std::optional<Artifact> parse(const std::string& json);
+  static std::optional<Artifact> load(const std::string& path);
+};
+
+/// Default artifact file name for a bench.
+std::string artifact_filename(const std::string& bench);
+
+}  // namespace ks::bench

@@ -1,0 +1,37 @@
+#include "bench_core/fingerprint.hpp"
+
+#include <sys/utsname.h>
+#include <unistd.h>
+
+// The git SHA and flag strings come in as compile definitions on this one
+// translation unit (see bench_core/CMakeLists.txt); the SHA is captured at
+// configure time, so a stale value means "re-run cmake", not a bug.
+#ifndef KS_GIT_SHA
+#define KS_GIT_SHA "unknown"
+#endif
+#ifndef KS_CXX_FLAGS
+#define KS_CXX_FLAGS ""
+#endif
+#ifndef KS_BUILD_TYPE
+#define KS_BUILD_TYPE ""
+#endif
+
+namespace ks::bench {
+
+Fingerprint capture_fingerprint() {
+  Fingerprint fp;
+  fp.git_sha = KS_GIT_SHA;
+  fp.compiler = __VERSION__;
+  fp.flags = KS_CXX_FLAGS;
+  fp.build_type = KS_BUILD_TYPE;
+
+  utsname un{};
+  if (uname(&un) == 0) {
+    fp.os = std::string(un.sysname) + " " + un.release + " " + un.machine;
+  }
+  char host[256] = {0};
+  if (gethostname(host, sizeof(host) - 1) == 0) fp.host = host;
+  return fp;
+}
+
+}  // namespace ks::bench

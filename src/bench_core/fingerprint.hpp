@@ -1,0 +1,24 @@
+// Build/machine fingerprint for BENCH artifacts: enough identity to tell
+// whether two artifact sets are comparable (same code, same compiler, same
+// box) without parsing CI logs. Host-volatile by definition — the artifact
+// schema keeps it in its own block, outside the byte-stable parts, and
+// ks_bench_diff only reports fingerprint mismatches, never fails on them.
+#pragma once
+
+#include <string>
+
+namespace ks::bench {
+
+struct Fingerprint {
+  std::string git_sha;     ///< HEAD at configure time ("unknown" outside git).
+  std::string compiler;    ///< __VERSION__ of the compiler that built this.
+  std::string flags;       ///< CXX flags for the active build type.
+  std::string build_type;  ///< CMAKE_BUILD_TYPE.
+  std::string os;          ///< uname sysname/release/machine.
+  std::string host;        ///< gethostname().
+};
+
+/// Capture the fingerprint of the running binary/process.
+Fingerprint capture_fingerprint();
+
+}  // namespace ks::bench

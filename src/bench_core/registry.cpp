@@ -1,0 +1,61 @@
+#include "bench_core/registry.hpp"
+
+namespace ks::bench {
+
+namespace {
+
+// Function-local static: safe against static-initialization order, since
+// registrars run from other translation units' dynamic initializers.
+std::vector<BenchInfo>& mutable_registry() {
+  static std::vector<BenchInfo> registry;
+  return registry;
+}
+
+}  // namespace
+
+void BenchContext::point(std::vector<std::pair<std::string, double>> params,
+                         const AveragedResult& result) {
+  ArtifactPoint p;
+  p.params = std::move(params);
+  for (const auto& [name, stat] : result.metrics) {
+    p.metrics.emplace_back(name, stat);
+  }
+  points_.push_back(std::move(p));
+}
+
+void BenchContext::point(
+    std::vector<std::pair<std::string, double>> params,
+    std::vector<std::pair<std::string, Stat>> metrics) {
+  points_.push_back({std::move(params), std::move(metrics)});
+}
+
+void BenchContext::scalar(const std::string& name, double value) {
+  points_.push_back({{}, {{name, Stat{value, 0.0}}}});
+}
+
+AveragedResult BenchContext::run_averaged(const testbed::Scenario& scenario,
+                                          int reps) {
+  auto result = ks::bench::run_averaged(scenario, reps);
+  account(result.sim_seconds, result.sim_events,
+          static_cast<std::uint64_t>(reps));
+  reps_per_point_ = reps;
+  return result;
+}
+
+void BenchContext::account(double sim_seconds, std::uint64_t sim_events,
+                           std::uint64_t experiments) {
+  sim_seconds_ += sim_seconds;
+  sim_events_ += sim_events;
+  experiments_ += experiments;
+}
+
+const std::vector<BenchInfo>& bench_registry() { return mutable_registry(); }
+
+bool register_bench(std::string name, std::string description, BenchFn fn,
+                    bool slow) {
+  mutable_registry().push_back(
+      {std::move(name), std::move(description), fn, slow});
+  return true;
+}
+
+}  // namespace ks::bench

@@ -1,0 +1,93 @@
+// The bench registry behind the unified ks_bench runner. Each bench
+// translation unit registers a named entry point at static-initialization
+// time; ks_bench links the suite as an object library (so the registrars
+// survive the linker) and runs any subset by name.
+//
+//   void run_fig4(ks::bench::BenchContext& ctx) { ... }
+//   KS_BENCH_REGISTER("fig4_message_size", "Fig. 4: P_l vs M", run_fig4);
+//
+// A bench prints its human-readable tables to stdout as before, and
+// records its deterministic results on the context; the runner turns the
+// context into a schema v2 BENCH_<name>.json artifact (see artifact.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_core/artifact.hpp"
+#include "bench_core/runner.hpp"
+#include "bench_core/util.hpp"
+#include "testbed/experiment.hpp"
+
+namespace ks::bench {
+
+/// Per-run recording surface handed to every bench function.
+class BenchContext {
+ public:
+  /// Record one deterministic grid point from a seed-averaged result
+  /// (all of its metrics, with cross-seed stddev).
+  void point(std::vector<std::pair<std::string, double>> params,
+             const AveragedResult& result);
+
+  /// Record a point with explicit metrics (for benches that do not use
+  /// run_averaged — census tables, custom sim loops, trainers).
+  void point(std::vector<std::pair<std::string, double>> params,
+             std::vector<std::pair<std::string, Stat>> metrics);
+
+  /// Record one standalone deterministic scalar (no sweep parameters).
+  void scalar(const std::string& name, double value);
+
+  /// run_averaged + work accounting in one call: the preferred way for
+  /// sweep benches to run their grid points.
+  AveragedResult run_averaged(const testbed::Scenario& scenario, int reps);
+
+  /// Deterministic work accounting for benches that drive their own
+  /// simulation loops: simulated seconds covered, events executed, and
+  /// how many experiment runs that was.
+  void account(double sim_seconds, std::uint64_t sim_events,
+               std::uint64_t experiments);
+
+  const std::vector<ArtifactPoint>& points() const noexcept {
+    return points_;
+  }
+  double sim_seconds() const noexcept { return sim_seconds_; }
+  std::uint64_t sim_events() const noexcept { return sim_events_; }
+  std::uint64_t experiments() const noexcept { return experiments_; }
+  int reps_per_point() const noexcept { return reps_per_point_; }
+
+ private:
+  std::vector<ArtifactPoint> points_;
+  double sim_seconds_ = 0.0;
+  std::uint64_t sim_events_ = 0;
+  std::uint64_t experiments_ = 0;
+  int reps_per_point_ = 0;
+};
+
+using BenchFn = void (*)(BenchContext&);
+
+struct BenchInfo {
+  std::string name;         ///< Artifact name: BENCH_<name>.json.
+  std::string description;  ///< One line for --list.
+  BenchFn fn = nullptr;
+  /// Slow benches (ANN training pipelines) — still run by default, but
+  /// skippable wholesale with ks_bench --skip-slow.
+  bool slow = false;
+};
+
+/// All registered benches, registration order.
+const std::vector<BenchInfo>& bench_registry();
+
+bool register_bench(std::string name, std::string description, BenchFn fn,
+                    bool slow = false);
+
+}  // namespace ks::bench
+
+#define KS_BENCH_REGISTER(name, description, fn)                       \
+  static const bool ks_bench_registered_##fn [[maybe_unused]] =        \
+      ::ks::bench::register_bench(name, description, &fn)
+
+#define KS_BENCH_REGISTER_SLOW(name, description, fn)                  \
+  static const bool ks_bench_registered_##fn [[maybe_unused]] =        \
+      ::ks::bench::register_bench(name, description, &fn, /*slow=*/true)

@@ -1,0 +1,30 @@
+// Execute one registered bench under the unified runner's measurement
+// harness — warm-up, timed repetitions, self-profiling, artifact assembly.
+// Shared between the ks_bench CLI and the bench_core tests so the schema
+// the tests validate is the schema the tool ships.
+#pragma once
+
+#include "bench_core/artifact.hpp"
+#include "bench_core/registry.hpp"
+
+namespace ks::bench {
+
+struct RunBenchOptions {
+  int repeat = 1;  ///< Timed whole-bench repetitions (>= 1).
+  int warmup = 0;  ///< Discarded warm-up repetitions before timing.
+  /// Arm the self-profiler during the run (hot-path breakdown in the
+  /// artifact's profile block). The profiler's overhead is uniform across
+  /// repeats, so timing stays internally comparable.
+  bool profile = true;
+  /// Mute stdout for every repetition except the last, so the bench's
+  /// human-readable tables print once however many repeats run.
+  bool quiet_nonfinal = true;
+};
+
+/// Run `info.fn` warmup+repeat times and assemble the schema v2 artifact:
+/// wall-time distribution over the timed repetitions, deterministic
+/// points/accounting from the final repetition, profiler counters, build
+/// fingerprint. The deterministic blocks are byte-stable across calls.
+Artifact run_bench(const BenchInfo& info, const RunBenchOptions& options);
+
+}  // namespace ks::bench

@@ -1,0 +1,46 @@
+#include "bench_core/runner.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace ks::bench {
+
+Stat stat_of(const std::vector<double>& samples) {
+  Stat s;
+  if (samples.empty()) return s;
+  const double n = static_cast<double>(samples.size());
+  for (double v : samples) s.mean += v;
+  s.mean /= n;
+  double var = 0.0;
+  for (double v : samples) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / n);
+  return s;
+}
+
+AveragedResult run_averaged(testbed::Scenario scenario, int reps) {
+  AveragedResult avg;
+  std::map<std::string, std::vector<double>> samples;
+  for (int rep = 0; rep < reps; ++rep) {
+    scenario.seed = 90001 + static_cast<std::uint64_t>(rep) * 7919;
+    auto r = testbed::run_experiment(scenario);
+    samples["p_loss"].push_back(r.p_loss);
+    samples["p_duplicate"].push_back(r.p_duplicate);
+    samples["stale_fraction"].push_back(r.stale_fraction);
+    samples["phi"].push_back(r.bandwidth_utilization_phi);
+    samples["delivered_throughput"].push_back(r.delivered_throughput);
+    samples["mean_latency_ms"].push_back(r.mean_latency_ms);
+    avg.sim_seconds += r.duration_s;
+    avg.sim_events += r.events;
+    if (rep == reps - 1) avg.report = std::move(r.report);
+  }
+  for (auto& [name, values] : samples) avg.metrics[name] = stat_of(values);
+  avg.p_loss = avg.metrics["p_loss"].mean;
+  avg.p_duplicate = avg.metrics["p_duplicate"].mean;
+  avg.stale_fraction = avg.metrics["stale_fraction"].mean;
+  avg.phi = avg.metrics["phi"].mean;
+  avg.reps = reps;
+  return avg;
+}
+
+}  // namespace ks::bench

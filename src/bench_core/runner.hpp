@@ -1,0 +1,52 @@
+// Seed-averaged experiment execution for the figure benches. All points of
+// a sweep share the same seed set (common random numbers), which removes
+// broker-regime noise from the cross-point comparison. Formerly part of
+// bench/bench_runner.hpp.
+//
+// Beyond the means the old runner produced, every metric now carries the
+// per-point standard deviation across the seed set — that is what lets the
+// BENCH artifact's deterministic `points` block feed a noise-aware
+// regression diff (ks_bench_diff) instead of a raw threshold.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "testbed/experiment.hpp"
+
+namespace ks::bench {
+
+/// Mean and (population) standard deviation of one metric across the
+/// seed-averaging repetitions of a grid point.
+struct Stat {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+struct AveragedResult {
+  double p_loss = 0.0;
+  double p_duplicate = 0.0;
+  double stale_fraction = 0.0;
+  double phi = 0.0;
+  /// Every averaged metric by name (includes the four above plus
+  /// delivered_throughput and mean_latency_ms), with cross-seed stddev.
+  std::map<std::string, Stat> metrics;
+  /// Representative run artifact: the last seed's full RunReport.
+  obs::RunReport report;
+  /// Deterministic work accounting, summed over the repetitions: simulated
+  /// seconds and executed events (feeds the artifact's throughput block).
+  double sim_seconds = 0.0;
+  std::uint64_t sim_events = 0;
+  int reps = 0;
+};
+
+/// Run `scenario` under the shared seed set (90001 + rep * 7919) and
+/// average the reliability metrics. Deterministic given the seed set.
+AveragedResult run_averaged(testbed::Scenario scenario, int reps);
+
+/// Mean/population-stddev of a sample vector (for benches that average
+/// custom simulation loops instead of run_experiment).
+Stat stat_of(const std::vector<double>& samples);
+
+}  // namespace ks::bench

@@ -1,11 +1,14 @@
 // Shared helpers for the reproduction benches: environment-tunable run
-// sizes and uniform table printing.
+// sizes and uniform table printing. Formerly bench/bench_util.hpp; lives
+// in src/ so the unified ks_bench runner, the per-bench code and the
+// tests share one copy.
 //
 // Environment knobs:
 //   KS_BENCH_MESSAGES  — messages per experiment run (default per bench)
 //   KS_BENCH_FULL=1    — use the full paper-scale grids (slower)
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common/logging.hpp"
+#include "obs/profiler.hpp"
 
 namespace ks::chaos {
 
@@ -246,6 +247,7 @@ void check_trace_legality(const obs::RunReport& report,
 
 std::vector<Violation> check_invariants(
     const ChaosScenario& cs, const testbed::ExperimentResult& result) {
+  obs::ProfScope prof(obs::ProfKey::kInvariantCheck);
   std::vector<Violation> out;
   check_census_conservation(cs, result, out);
   check_expectations(cs, result, out);

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/profiler.hpp"
+
 namespace ks::kafka {
 
 Broker::Broker(sim::Simulation& sim, Config config)
@@ -185,6 +187,7 @@ void Broker::serve_produce(tcp::Endpoint* endpoint,
   // Copy the request shared_ptr into the completion so the records stay
   // alive through the service delay.
   sim_.after(d, [this, endpoint, append_span, payload = std::move(payload)] {
+    obs::ProfScope prof(obs::ProfKey::kBrokerProduce);
     const auto& request =
         std::get<ProduceRequest>(static_cast<const Frame*>(payload.get())->body);
     ++stats_.produce_requests;
@@ -301,6 +304,7 @@ void Broker::serve_produce(tcp::Endpoint* endpoint,
 
 FetchResponse Broker::build_fetch_response(const FetchRequest& request,
                                            Bytes max_bytes) {
+  obs::ProfScope prof(obs::ProfKey::kBrokerFetch);
   FetchResponse response;
   response.request_id = request.id;
   response.partition = request.partition;

@@ -1,7 +1,9 @@
 #include "obs/json_parse.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 
 namespace ks::obs {
 namespace {
@@ -83,6 +85,7 @@ class Parser {
       ++digits;
     }
     if (digits == 0) return std::nullopt;
+    const std::size_t int_end = pos_;
     if (pos_ < text_.size() && text_[pos_] == '.') {
       ++pos_;
       while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
@@ -103,6 +106,33 @@ class Parser {
     v.type = JsonValue::Type::kNumber;
     v.number = std::strtod(token.c_str(), nullptr);
     if (!std::isfinite(v.number)) return std::nullopt;
+    if (int_end == pos_) {
+      // Pure integer token: capture the exact 64-bit value alongside the
+      // double so values above 2^53 (uint64 counters, the kNoKey sentinel)
+      // survive a round-trip.
+      const std::string_view tok = text_.substr(start, int_end - start);
+      if (tok[0] == '-') {
+        std::int64_t i = 0;
+        const auto [p, ec] =
+            std::from_chars(tok.data(), tok.data() + tok.size(), i);
+        if (ec == std::errc{} && p == tok.data() + tok.size()) {
+          v.integral = true;
+          v.integer = i;
+        }
+      } else {
+        std::uint64_t u = 0;
+        const auto [p, ec] =
+            std::from_chars(tok.data(), tok.data() + tok.size(), u);
+        if (ec == std::errc{} && p == tok.data() + tok.size()) {
+          v.integral = true;
+          v.uinteger = u;
+          v.integer = u <= static_cast<std::uint64_t>(
+                               std::numeric_limits<std::int64_t>::max())
+                          ? static_cast<std::int64_t>(u)
+                          : std::numeric_limits<std::int64_t>::max();
+        }
+      }
+    }
     return v;
   }
 
@@ -219,8 +249,23 @@ double JsonValue::num_or(std::string_view key, double fallback) const noexcept {
 std::int64_t JsonValue::int_or(std::string_view key,
                                std::int64_t fallback) const noexcept {
   const JsonValue* v = find(key);
-  return (v != nullptr && v->is_number()) ? static_cast<std::int64_t>(v->number)
-                                          : fallback;
+  if (v == nullptr || !v->is_number()) return fallback;
+  return v->integral ? v->integer : static_cast<std::int64_t>(v->number);
+}
+
+std::uint64_t JsonValue::uint_or(std::string_view key,
+                                 std::uint64_t fallback) const noexcept {
+  const JsonValue* v = find(key);
+  if (v == nullptr || !v->is_number()) return fallback;
+  if (v->integral) {
+    return v->integer < 0 ? fallback : v->uinteger;
+  }
+  return v->number < 0.0 ? fallback : static_cast<std::uint64_t>(v->number);
+}
+
+bool JsonValue::bool_or(std::string_view key, bool fallback) const noexcept {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->type == Type::kBool) ? v->boolean : fallback;
 }
 
 std::string JsonValue::str_or(std::string_view key,

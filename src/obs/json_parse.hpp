@@ -20,6 +20,13 @@ class JsonValue {
   Type type = Type::kNull;
   bool boolean = false;
   double number = 0.0;
+  /// True when the source token was a pure integer that fits std::int64_t
+  /// or std::uint64_t; `integer`/`uinteger` then hold the exact value.
+  /// Doubles lose integers above 2^53 (e.g. the kNoKey span sentinel), so
+  /// exact reconstruction must go through these.
+  bool integral = false;
+  std::int64_t integer = 0;    ///< Valid when integral (clamped if > int64).
+  std::uint64_t uinteger = 0;  ///< Valid when integral and non-negative.
   std::string string;
   std::vector<JsonValue> array;
   std::vector<std::pair<std::string, JsonValue>> object;
@@ -36,6 +43,9 @@ class JsonValue {
   double num_or(std::string_view key, double fallback = 0.0) const noexcept;
   std::int64_t int_or(std::string_view key,
                       std::int64_t fallback = 0) const noexcept;
+  std::uint64_t uint_or(std::string_view key,
+                        std::uint64_t fallback = 0) const noexcept;
+  bool bool_or(std::string_view key, bool fallback = false) const noexcept;
   std::string str_or(std::string_view key, std::string fallback = {}) const;
 };
 

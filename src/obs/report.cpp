@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "obs/json.hpp"
+#include "obs/profiler.hpp"
 
 namespace ks::obs {
 
@@ -17,7 +18,9 @@ double RunReport::metric(const std::string& full_name, double fallback) const {
   return fallback;
 }
 
-std::string RunReport::to_json() const {
+std::string RunReport::to_json() const { return json_impl(true); }
+
+std::string RunReport::json_impl(bool include_perf) const {
   JsonWriter w;
   w.begin_object();
 
@@ -186,6 +189,35 @@ std::string RunReport::to_json() const {
   w.end_array();
   w.end_object();
 
+  if (include_perf) {
+    w.key("perf");
+    w.begin_object();
+    w.key("wall_us");
+    w.value(perf.wall_us);
+    w.key("peak_rss_kb");
+    w.value(perf.peak_rss_kb);
+    w.key("profiled");
+    w.value(perf.profiled);
+    w.key("alloc_count");
+    w.value(perf.alloc_count);
+    w.key("alloc_bytes");
+    w.value(perf.alloc_bytes);
+    w.key("sections");
+    w.begin_array();
+    for (const auto& s : perf.sections) {
+      w.begin_object();
+      w.key("name");
+      w.value(s.name);
+      w.key("calls");
+      w.value(s.calls);
+      w.key("total_ns");
+      w.value(s.total_ns);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
   w.end_object();
   return w.str();
 }
@@ -202,7 +234,7 @@ std::string RunReport::canonical_json() const {
   std::erase_if(canon.series, [](const Sampler::Series& s) {
     return is_wall_clock_metric(s.name);
   });
-  return canon.to_json();
+  return canon.json_impl(false);
 }
 
 bool RunReport::write_json(const std::string& path) const {
@@ -346,6 +378,7 @@ bool RunReport::write_perfetto(const std::string& path) const {
 RunReport build_run_report(MetricsRegistry& registry, const Sampler* sampler,
                            const MessageTrace* trace, const SpanTracer* tracer,
                            const ClusterTimeline* timeline) {
+  ProfScope prof(ProfKey::kReportBuild);
   registry.collect();
   RunReport report;
   registry.visit([&](const MetricsRegistry::MetricInfo& m) {

@@ -68,9 +68,30 @@ struct RunReport {
     std::string note;
   };
 
+  /// Host-side performance metadata for the run: wall-clock cost, process
+  /// peak RSS, allocation counters and the self-profiler's hot-path
+  /// breakdown (see obs/profiler.hpp). Everything here depends on the host
+  /// machine, so the whole section stays out of canonical_json() — replay
+  /// byte-determinism is untouched (asserted by determinism_test).
+  struct Perf {
+    std::uint64_t wall_us = 0;       ///< run_experiment wall-clock duration.
+    std::int64_t peak_rss_kb = 0;    ///< Process peak RSS at run end.
+    bool profiled = false;           ///< Self-profiler was enabled.
+    std::uint64_t alloc_count = 0;   ///< operator new calls during the run.
+    std::uint64_t alloc_bytes = 0;
+    struct Section {
+      std::string name;
+      std::uint64_t calls = 0;
+      std::uint64_t total_ns = 0;
+    };
+    /// Hot-path breakdown, profiler key order; empty when not profiled.
+    std::vector<Section> sections;
+  };
+
   /// Run-level scalars (p_loss, duration_s, ...), keyed by name; insertion
   /// order is irrelevant, a map keeps the JSON deterministic.
   std::map<std::string, double> summary;
+  Perf perf;
   std::vector<Metric> metrics;
   std::vector<HistogramSummary> histograms;
   std::vector<Sampler::Series> series;
@@ -94,11 +115,16 @@ struct RunReport {
   std::string to_json() const;
 
   /// to_json() minus host-dependent values (wall-clock metrics and their
-  /// series): two runs of the same seed produce byte-identical canonical
-  /// JSON, which is what the determinism and chaos-replay checks compare.
+  /// series, plus the whole perf section): two runs of the same seed
+  /// produce byte-identical canonical JSON, which is what the determinism
+  /// and chaos-replay checks compare.
   std::string canonical_json() const;
 
   bool write_json(const std::string& path) const;
+
+  /// Serializer behind to_json()/canonical_json(); the canonical form
+  /// omits the host-dependent perf section entirely (key and all).
+  std::string json_impl(bool include_perf) const;
 
   /// Chrome/Perfetto trace-event JSON ("X" complete events for spans on
   /// per-actor tracks, "i" instant events for the cluster timeline). All

@@ -1,0 +1,195 @@
+#include "obs/report_parse.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "obs/json_parse.hpp"
+
+namespace ks::obs {
+
+namespace {
+
+/// The serializer omits empty `labels`/`note` keys, so every string read
+/// here defaults to "" — absence and emptiness round-trip to the same
+/// report, which re-serializes identically.
+void parse_metrics(const JsonValue& arr, RunReport& report, bool& ok) {
+  for (const auto& m : arr.array) {
+    const auto kind = metric_kind_from_string(m.str_or("kind"));
+    if (!kind) {
+      ok = false;
+      return;
+    }
+    report.metrics.push_back(RunReport::Metric{
+        m.str_or("name"), m.str_or("labels"), *kind, m.num_or("value")});
+  }
+}
+
+void parse_histograms(const JsonValue& arr, RunReport& report) {
+  for (const auto& h : arr.array) {
+    report.histograms.push_back(RunReport::HistogramSummary{
+        h.str_or("name"), h.str_or("labels"), h.uint_or("count"),
+        h.num_or("mean_us"), h.num_or("p50_us"), h.num_or("p99_us"),
+        h.num_or("max_us")});
+  }
+}
+
+void parse_series(const JsonValue& arr, RunReport& report, bool& ok) {
+  for (const auto& s : arr.array) {
+    const auto kind = metric_kind_from_string(s.str_or("kind"));
+    if (!kind) {
+      ok = false;
+      return;
+    }
+    Sampler::Series series;
+    series.name = s.str_or("name");
+    series.kind = *kind;
+    if (const auto* t = s.find("t_us"); t != nullptr && t->is_array()) {
+      for (const auto& v : t->array) {
+        series.t.push_back(static_cast<TimePoint>(
+            v.integral ? v.integer : static_cast<std::int64_t>(v.number)));
+      }
+    }
+    if (const auto* v = s.find("v"); v != nullptr && v->is_array()) {
+      for (const auto& e : v->array) series.v.push_back(e.number);
+    }
+    report.series.push_back(std::move(series));
+  }
+}
+
+void parse_trace(const JsonValue& obj, RunReport& report) {
+  report.trace_sample_every = obj.uint_or("sample_every");
+  report.trace_dropped = obj.uint_or("dropped");
+  if (const auto* events = obj.find("events");
+      events != nullptr && events->is_array()) {
+    for (const auto& e : events->array) {
+      report.trace.push_back(RunReport::TraceEntry{
+          static_cast<TimePoint>(e.int_or("t_us")), e.uint_or("key"),
+          e.str_or("event"), static_cast<std::int32_t>(e.int_or("detail"))});
+    }
+  }
+}
+
+void parse_spans(const JsonValue& obj, RunReport& report) {
+  report.span_sample_every = obj.uint_or("sample_every");
+  report.spans_dropped = obj.uint_or("dropped");
+  if (const auto* events = obj.find("events");
+      events != nullptr && events->is_array()) {
+    for (const auto& s : events->array) {
+      report.spans.push_back(RunReport::SpanEntry{
+          s.uint_or("id"), s.uint_or("parent"), s.uint_or("key"),
+          s.str_or("kind"), static_cast<std::int32_t>(s.int_or("track")),
+          s.int_or("detail"), static_cast<TimePoint>(s.int_or("begin_us")),
+          static_cast<TimePoint>(s.int_or("end_us"))});
+    }
+  }
+}
+
+void parse_timeline(const JsonValue& obj, RunReport& report) {
+  report.timeline_dropped = obj.uint_or("dropped");
+  if (const auto* events = obj.find("events");
+      events != nullptr && events->is_array()) {
+    for (const auto& e : events->array) {
+      report.timeline.push_back(RunReport::TimelineEntry{
+          static_cast<TimePoint>(e.int_or("t_us")), e.str_or("kind"),
+          static_cast<std::int32_t>(e.int_or("broker")),
+          static_cast<std::int32_t>(e.int_or("partition")), e.int_or("a"),
+          e.int_or("b"), e.str_or("note")});
+    }
+  }
+}
+
+void parse_key_list(const JsonValue& obj, const char* name,
+                    std::vector<std::uint64_t>& out) {
+  const auto* arr = obj.find(name);
+  if (arr == nullptr || !arr->is_array()) return;
+  for (const auto& k : arr->array) {
+    if (!k.is_number()) continue;
+    out.push_back(k.integral ? k.uinteger
+                             : static_cast<std::uint64_t>(k.number));
+  }
+}
+
+void parse_perf(const JsonValue& obj, RunReport& report) {
+  report.perf.wall_us = obj.uint_or("wall_us");
+  report.perf.peak_rss_kb = obj.int_or("peak_rss_kb");
+  report.perf.profiled = obj.bool_or("profiled");
+  report.perf.alloc_count = obj.uint_or("alloc_count");
+  report.perf.alloc_bytes = obj.uint_or("alloc_bytes");
+  if (const auto* sections = obj.find("sections");
+      sections != nullptr && sections->is_array()) {
+    for (const auto& s : sections->array) {
+      report.perf.sections.push_back(RunReport::Perf::Section{
+          s.str_or("name"), s.uint_or("calls"), s.uint_or("total_ns")});
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<MetricKind> metric_kind_from_string(
+    std::string_view s) noexcept {
+  if (s == "counter") return MetricKind::kCounter;
+  if (s == "gauge") return MetricKind::kGauge;
+  if (s == "histogram") return MetricKind::kHistogram;
+  return std::nullopt;
+}
+
+std::optional<RunReport> report_from_json(std::string_view text) {
+  const auto doc = parse_json(text);
+  if (!doc || !doc->is_object()) return std::nullopt;
+
+  RunReport report;
+  bool ok = true;
+  if (const auto* summary = doc->find("summary");
+      summary != nullptr && summary->is_object()) {
+    for (const auto& [k, v] : summary->object) {
+      if (v.is_number()) report.summary[k] = v.number;
+    }
+  }
+  if (const auto* metrics = doc->find("metrics");
+      metrics != nullptr && metrics->is_array()) {
+    parse_metrics(*metrics, report, ok);
+  }
+  if (const auto* histograms = doc->find("histograms");
+      histograms != nullptr && histograms->is_array()) {
+    parse_histograms(*histograms, report);
+  }
+  if (const auto* series = doc->find("series");
+      series != nullptr && series->is_array()) {
+    parse_series(*series, report, ok);
+  }
+  if (const auto* trace = doc->find("trace");
+      trace != nullptr && trace->is_object()) {
+    parse_trace(*trace, report);
+  }
+  if (const auto* spans = doc->find("spans");
+      spans != nullptr && spans->is_object()) {
+    parse_spans(*spans, report);
+  }
+  if (const auto* timeline = doc->find("timeline");
+      timeline != nullptr && timeline->is_object()) {
+    parse_timeline(*timeline, report);
+  }
+  if (const auto* anomalies = doc->find("anomalies");
+      anomalies != nullptr && anomalies->is_object()) {
+    parse_key_list(*anomalies, "acked_lost_keys", report.acked_lost_keys);
+    parse_key_list(*anomalies, "lost_keys", report.lost_keys);
+  }
+  if (const auto* perf = doc->find("perf");
+      perf != nullptr && perf->is_object()) {
+    parse_perf(*perf, report);
+  }
+  if (!ok) return std::nullopt;
+  return report;
+}
+
+std::optional<RunReport> load_run_report(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return report_from_json(buf.str());
+}
+
+}  // namespace ks::obs

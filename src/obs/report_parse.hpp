@@ -1,0 +1,29 @@
+// Full inverse of RunReport::to_json(): rebuild every section of a report
+// from its JSON export (summary, metrics, histograms, series, trace, spans,
+// timeline, anomalies, perf). Reports parsed from a to_json() string
+// re-serialize byte-identically (asserted by obs_report_parse_test), so
+// saved artifacts are first-class inputs to every offline tool.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/report.hpp"
+
+namespace ks::obs {
+
+/// Inverse of to_string(MetricKind); nullopt for unknown names.
+std::optional<MetricKind> metric_kind_from_string(std::string_view s) noexcept;
+
+/// Parse a to_json() (or canonical_json()) document back into a RunReport.
+/// Unknown keys are ignored; missing sections default to empty. Returns
+/// nullopt when `text` is not a JSON object or a metric/series carries an
+/// unknown kind string.
+std::optional<RunReport> report_from_json(std::string_view text);
+
+/// Read `path` and parse it with report_from_json(). Returns nullopt on IO
+/// or parse failure (no diagnostics — callers own the error message).
+std::optional<RunReport> load_run_report(const std::string& path);
+
+}  // namespace ks::obs

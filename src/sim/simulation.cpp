@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/profiler.hpp"
+
 namespace ks::sim {
 
 Simulation::Simulation(std::uint64_t seed) : rng_(seed) {
@@ -34,7 +36,10 @@ bool Simulation::step(TimePoint until) {
   if (queue_.next_time() > until) return false;
   auto ev = queue_.pop();
   now_ = std::max(now_, ev.time);
-  ev.fn();
+  {
+    obs::ProfScope prof(obs::ProfKey::kEventDispatch);
+    ev.fn();
+  }
   ++executed_;
   return true;
 }

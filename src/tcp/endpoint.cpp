@@ -5,6 +5,8 @@
 #include <limits>
 #include <utility>
 
+#include "obs/profiler.hpp"
+
 namespace ks::tcp {
 
 Endpoint::Endpoint(sim::Simulation& sim, Config config, net::Link& tx,
@@ -526,6 +528,7 @@ void Endpoint::on_syn_timeout() {
 // ---------------------------------------------------------------------------
 
 void Endpoint::handle_packet(const net::Packet& packet) {
+  obs::ProfScope prof(obs::ProfKey::kTcpSegment);
   const auto* seg = packet.as<Segment>();
   assert(seg != nullptr);
 

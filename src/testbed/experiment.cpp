@@ -1,6 +1,7 @@
 #include "testbed/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <string>
@@ -9,6 +10,7 @@
 #include "common/stats.hpp"
 #include "kafka/consumer.hpp"
 #include "net/netem.hpp"
+#include "obs/profiler.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulation.hpp"
@@ -56,6 +58,17 @@ tcp::Config tcp_config(kafka::DeliverySemantics semantics) {
 ExperimentResult run_experiment(const Scenario& scenario) {
   ExperimentResult result;
   result.scenario = scenario;
+
+  // Host-side run metadata: wall-clock duration always; the self-profiler's
+  // hot-path breakdown when armed (by the scenario or by an outer harness
+  // like ks_bench). All of it lands in the report's perf section, which
+  // canonical_json() excludes, so replays stay byte-identical.
+  const auto wall_start = std::chrono::steady_clock::now();
+  const bool profiler_was_on = obs::profiler().enabled();
+  if (scenario.profiler_enabled && !profiler_was_on) {
+    obs::profiler().enable(true);
+  }
+  const auto prof_start = obs::profiler().snapshot();
 
   sim::Simulation sim(scenario.seed);
 
@@ -538,6 +551,31 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   summary["consumer_truncations"] =
       static_cast<double>(result.consumer_truncations);
   summary["consumer_drained"] = result.consumer_drained ? 1.0 : 0.0;
+
+  // Perf metadata last, so the wall duration covers the whole run including
+  // report building. Allocation counters tick whether or not the profiler
+  // is armed (the hooks are process-global); section timings need it armed.
+  auto& perf = result.report.perf;
+  const auto prof_delta = obs::profiler().snapshot().since(prof_start);
+  perf.wall_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  perf.peak_rss_kb = obs::peak_rss_kb();
+  perf.profiled = obs::profiler().enabled();
+  perf.alloc_count = prof_delta.alloc_count;
+  perf.alloc_bytes = prof_delta.alloc_bytes;
+  if (perf.profiled) {
+    for (std::size_t i = 0; i < obs::kProfKeyCount; ++i) {
+      const auto key = static_cast<obs::ProfKey>(i);
+      const auto& s = prof_delta.section(key);
+      perf.sections.push_back(
+          obs::RunReport::Perf::Section{to_string(key), s.calls, s.total_ns});
+    }
+  }
+  if (scenario.profiler_enabled && !profiler_was_on) {
+    obs::profiler().enable(false);
+  }
   return result;
 }
 

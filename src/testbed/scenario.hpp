@@ -113,6 +113,11 @@ struct Scenario {
   /// After the producer finishes, drain the topic through a consumer so
   /// Fig. 2 is observable source-to-consumer (kFetched/kDelivered events).
   bool consumer_drain = true;
+  /// Arm the process-wide self-profiler (obs/profiler.hpp) for this run:
+  /// host-time hot-path breakdown in the report's perf section. Off =>
+  /// one branch per instrumented site. If the caller (ks_bench) already
+  /// enabled the profiler, the run profiles regardless of this knob.
+  bool profiler_enabled = false;
 
   /// Feature vector for the "normal network" model of Fig. 3:
   /// {S, T_o, delta, semantics, B}. (B stays effective even without

@@ -15,16 +15,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <optional>
-#include <sstream>
 #include <string>
 
 #include "chaos/generator.hpp"
 #include "chaos/invariants.hpp"
 #include "obs/explain.hpp"
-#include "obs/json_parse.hpp"
 #include "obs/report.hpp"
+#include "obs/report_parse.hpp"
 #include "testbed/experiment.hpp"
 
 namespace {
@@ -92,90 +90,13 @@ Args parse_args(int argc, char** argv) {
   return args;
 }
 
-/// Rebuild the explainable parts of a RunReport from its JSON export.
-/// Metrics/series are skipped — the narrative only needs the summary,
-/// trace, spans, timeline and anomaly key lists.
+/// Load a saved report via the full obs parser (report_parse.hpp), with
+/// the tool's own error messages on stderr.
 std::optional<obs::RunReport> load_report(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "ks_explain: cannot open %s\n", path.c_str());
-    return std::nullopt;
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const std::string text = buf.str();
-  const auto doc = obs::parse_json(text);
-  if (!doc || !doc->is_object()) {
-    std::fprintf(stderr, "ks_explain: %s is not valid JSON\n", path.c_str());
-    return std::nullopt;
-  }
-
-  obs::RunReport report;
-  if (const auto* summary = doc->find("summary");
-      summary != nullptr && summary->is_object()) {
-    for (const auto& [k, v] : summary->object) {
-      if (v.is_number()) report.summary[k] = v.number;
-    }
-  }
-  if (const auto* trace = doc->find("trace")) {
-    report.trace_sample_every =
-        static_cast<std::uint64_t>(trace->int_or("sample_every"));
-    report.trace_dropped =
-        static_cast<std::uint64_t>(trace->int_or("dropped"));
-    if (const auto* events = trace->find("events");
-        events != nullptr && events->is_array()) {
-      for (const auto& e : events->array) {
-        report.trace.push_back(obs::RunReport::TraceEntry{
-            e.int_or("t_us"), static_cast<std::uint64_t>(e.int_or("key")),
-            e.str_or("event"),
-            static_cast<std::int32_t>(e.int_or("detail"))});
-      }
-    }
-  }
-  if (const auto* spans = doc->find("spans")) {
-    report.span_sample_every =
-        static_cast<std::uint64_t>(spans->int_or("sample_every"));
-    report.spans_dropped =
-        static_cast<std::uint64_t>(spans->int_or("dropped"));
-    if (const auto* events = spans->find("events");
-        events != nullptr && events->is_array()) {
-      for (const auto& s : events->array) {
-        report.spans.push_back(obs::RunReport::SpanEntry{
-            static_cast<std::uint64_t>(s.int_or("id")),
-            static_cast<std::uint64_t>(s.int_or("parent")),
-            static_cast<std::uint64_t>(s.int_or("key")), s.str_or("kind"),
-            static_cast<std::int32_t>(s.int_or("track")), s.int_or("detail"),
-            s.int_or("begin_us"), s.int_or("end_us")});
-      }
-    }
-  }
-  if (const auto* timeline = doc->find("timeline")) {
-    report.timeline_dropped =
-        static_cast<std::uint64_t>(timeline->int_or("dropped"));
-    if (const auto* events = timeline->find("events");
-        events != nullptr && events->is_array()) {
-      for (const auto& e : events->array) {
-        report.timeline.push_back(obs::RunReport::TimelineEntry{
-            e.int_or("t_us"), e.str_or("kind"),
-            static_cast<std::int32_t>(e.int_or("broker")),
-            static_cast<std::int32_t>(e.int_or("partition")),
-            e.int_or("a"), e.int_or("b"), e.str_or("note")});
-      }
-    }
-  }
-  if (const auto* anomalies = doc->find("anomalies")) {
-    const auto load_keys = [&](const char* name,
-                               std::vector<std::uint64_t>& out) {
-      const auto* arr = anomalies->find(name);
-      if (arr == nullptr || !arr->is_array()) return;
-      for (const auto& k : arr->array) {
-        if (k.is_number()) {
-          out.push_back(static_cast<std::uint64_t>(k.number));
-        }
-      }
-    };
-    load_keys("acked_lost_keys", report.acked_lost_keys);
-    load_keys("lost_keys", report.lost_keys);
+  auto report = obs::load_run_report(path);
+  if (!report) {
+    std::fprintf(stderr, "ks_explain: cannot load %s as a run report\n",
+                 path.c_str());
   }
   return report;
 }

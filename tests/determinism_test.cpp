@@ -108,5 +108,36 @@ TEST(Determinism, CanonicalJsonExcludesOnlyWallClockMetrics) {
   EXPECT_FALSE(obs::is_wall_clock_metric("producer_records_acked_total"));
 }
 
+// The perf section (wall-clock, peak RSS, profiler breakdown) is host
+// metadata: always present in the full export, never in the canonical
+// one — and arming the profiler must not perturb the simulation at all.
+TEST(Determinism, PerfSectionIsHostOnlyAndProfilingIsPassive) {
+  Scenario sc = make_scenario(7, kafka::DeliverySemantics::kAtLeastOnce);
+  const auto off = run_experiment(sc);
+  sc.profiler_enabled = true;
+  const auto on = run_experiment(sc);
+
+  EXPECT_NE(off.report.to_json().find("\"perf\""), std::string::npos);
+  EXPECT_EQ(off.report.canonical_json().find("\"perf\""), std::string::npos);
+  EXPECT_GT(off.report.perf.wall_us, 0u);
+  EXPECT_GT(off.report.perf.peak_rss_kb, 0);
+  EXPECT_FALSE(off.report.perf.profiled);
+  EXPECT_TRUE(off.report.perf.sections.empty());
+
+  EXPECT_TRUE(on.report.perf.profiled);
+  ASSERT_FALSE(on.report.perf.sections.empty());
+  // The event loop ran under the profiler, so dispatch must have counted.
+  bool dispatch_counted = false;
+  for (const auto& s : on.report.perf.sections) {
+    if (s.name == std::string("sim.event_dispatch") && s.calls > 0) {
+      dispatch_counted = true;
+    }
+  }
+  EXPECT_TRUE(dispatch_counted);
+
+  // Profiler on vs off: byte-identical canonical replay.
+  EXPECT_EQ(off.report.canonical_json(), on.report.canonical_json());
+}
+
 }  // namespace
 }  // namespace ks::testbed

@@ -9,6 +9,7 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/report.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
@@ -327,6 +328,74 @@ TEST(Exporters, RunReportCollectsBeforeSnapshot) {
   const RunReport report = build_run_report(reg);
   EXPECT_DOUBLE_EQ(report.metric("m_total"), 13.0);
   EXPECT_DOUBLE_EQ(report.metric("missing", -1.0), -1.0);
+}
+
+// The self-profiler is a process-wide singleton; tests restore its state
+// so order does not matter.
+class ProfilerTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = profiler().enabled();
+    profiler().enable(false);
+    profiler().reset();
+  }
+  void TearDown() override {
+    profiler().reset();
+    profiler().enable(was_enabled_);
+  }
+  bool was_enabled_ = false;
+};
+
+TEST_F(ProfilerTest, DisabledScopeRecordsNothing) {
+  { ProfScope scope(ProfKey::kTcpSegment); }
+  const auto snap = profiler().snapshot();
+  EXPECT_EQ(snap.section(ProfKey::kTcpSegment).calls, 0u);
+}
+
+TEST_F(ProfilerTest, EnabledScopeCountsCallsAndTime) {
+  profiler().enable(true);
+  for (int i = 0; i < 3; ++i) {
+    ProfScope scope(ProfKey::kBrokerProduce);
+  }
+  const auto snap = profiler().snapshot();
+  EXPECT_EQ(snap.section(ProfKey::kBrokerProduce).calls, 3u);
+  EXPECT_EQ(snap.section(ProfKey::kBrokerFetch).calls, 0u);
+}
+
+TEST_F(ProfilerTest, ScopeArmsAtConstructionNotDestruction) {
+  // Enabling mid-scope must not record: the scope sampled the clock only
+  // if the profiler was on when it opened.
+  profiler().enable(false);
+  {
+    ProfScope scope(ProfKey::kInvariantCheck);
+    profiler().enable(true);
+  }
+  EXPECT_EQ(profiler().snapshot().section(ProfKey::kInvariantCheck).calls,
+            0u);
+}
+
+TEST_F(ProfilerTest, SnapshotSinceSubtractsPairwise) {
+  profiler().enable(true);
+  { ProfScope scope(ProfKey::kEventDispatch); }
+  const auto mid = profiler().snapshot();
+  { ProfScope scope(ProfKey::kEventDispatch); }
+  { ProfScope scope(ProfKey::kEventDispatch); }
+  const auto delta = profiler().snapshot().since(mid);
+  EXPECT_EQ(delta.section(ProfKey::kEventDispatch).calls, 2u);
+}
+
+TEST_F(ProfilerTest, EveryKeyHasAStableName) {
+  for (std::size_t i = 0; i < kProfKeyCount; ++i) {
+    const char* name = to_string(static_cast<ProfKey>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "?");
+  }
+}
+
+TEST_F(ProfilerTest, PeakRssIsPositiveAndMonotone) {
+  const auto first = peak_rss_kb();
+  EXPECT_GT(first, 0);
+  EXPECT_GE(peak_rss_kb(), first);
 }
 
 }  // namespace

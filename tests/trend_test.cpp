@@ -8,7 +8,7 @@
 //    at-least-once reliability — B: 1 -> 2 collapses P_l.
 //
 // Runs are deterministic (fixed seed set, same common-random-numbers
-// scheme as bench_runner::run_averaged), so the assertions cannot flake;
+// scheme as bench_core's run_averaged), so the assertions cannot flake;
 // the margins only guard against behavioral drift of the simulator.
 #include <gtest/gtest.h>
 
