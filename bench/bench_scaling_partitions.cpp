@@ -1,0 +1,85 @@
+// Partition scaling (Kafka's parallelism unit, Sec. II): one topic split
+// over N_part partitions consumed by a fixed 3-member group. More
+// partitions spread the keyspace over more members — group consumption
+// throughput rises until every member is busy, then flattens; partitions
+// beyond the member count only add routing overhead. Members idle when
+// N_part < group size (the paper's reason consumer count is capped by the
+// partition count).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_core/registry.hpp"
+#include "testbed/experiment.hpp"
+
+namespace {
+
+using namespace ks;
+
+void run_scaling_partitions(bench::BenchContext& ctx) {
+  const auto n = bench::messages_per_run(8000);
+  constexpr int kGroupSize = 3;
+
+  std::printf("# Partition scaling — keyed topic over N_part partitions, "
+              "%d-member group\n# (exactly-once, commit-after-deliver, "
+              "clean network), messages per run: %llu\n\n",
+              kGroupSize, static_cast<unsigned long long>(n));
+
+  bench::Table table({"N_part", "busy members", "group msg/s", "P_l", "P_d",
+                      "events/msg"});
+  for (int parts : {1, 2, 3, 4, 6, 8}) {
+    testbed::Scenario sc;
+    sc.num_messages = n;
+    sc.message_size = 200;
+    sc.source_mode = testbed::SourceMode::kOnDemand;
+    sc.semantics = kafka::DeliverySemantics::kExactlyOnce;
+    sc.message_timeout = seconds(120);
+    sc.partitions = parts;
+    sc.partitioner = kafka::PartitionerKind::kKeyed;
+    sc.group_size = kGroupSize;
+    sc.group_commit_mode = kafka::CommitMode::kCommitAfterDeliver;
+    sc.group_strategy = kafka::AssignmentStrategy::kCooperativeSticky;
+
+    const int reps = bench::repeats();
+    std::vector<double> loss, dup, group_thru, events_per_msg;
+    for (int rep = 0; rep < reps; ++rep) {
+      sc.seed = 90001 + static_cast<std::uint64_t>(rep) * 7919;
+      const auto r = testbed::run_experiment(sc);
+      loss.push_back(r.p_loss);
+      dup.push_back(r.p_duplicate);
+      group_thru.push_back(
+          r.duration_s > 0
+              ? static_cast<double>(r.group_unique_delivered) / r.duration_s
+              : 0.0);
+      events_per_msg.push_back(static_cast<double>(r.events) /
+                               static_cast<double>(n));
+      ctx.account(r.duration_s, r.events, 1);
+    }
+    const auto loss_stat = bench::stat_of(loss);
+    const auto dup_stat = bench::stat_of(dup);
+    const auto thru_stat = bench::stat_of(group_thru);
+    const auto epm_stat = bench::stat_of(events_per_msg);
+    const int busy = std::min(parts, kGroupSize);
+    ctx.point({{"partitions", static_cast<double>(parts)}},
+              {{"group_throughput_msg_s", thru_stat},
+               {"p_loss", loss_stat},
+               {"p_duplicate", dup_stat},
+               {"events_per_msg", epm_stat},
+               {"busy_members", {static_cast<double>(busy), 0.0}}});
+    table.row({std::to_string(parts), std::to_string(busy),
+               bench::fmt("%.0f", thru_stat.mean), bench::pct(loss_stat.mean),
+               bench::pct(dup_stat.mean),
+               bench::fmt("%.1f", epm_stat.mean)});
+  }
+  table.print();
+  std::printf("\nGroup throughput scales with min(N_part, group size): "
+              "partitions are the parallelism unit, and members beyond the "
+              "partition count sit idle.\n");
+}
+
+KS_BENCH_REGISTER("scaling_partitions",
+                  "Partition scaling: 3-member group over N_part partitions",
+                  run_scaling_partitions);
+
+}  // namespace

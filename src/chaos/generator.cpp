@@ -40,6 +40,7 @@ const char* to_string(Profile profile) noexcept {
   switch (profile) {
     case Profile::kDefault: return "default";
     case Profile::kBrokerFaults: return "broker_faults";
+    case Profile::kGroupFaults: return "group_faults";
   }
   return "?";
 }
@@ -49,10 +50,17 @@ ChaosScenario generate_scenario(std::uint64_t chaos_seed, Profile profile) {
   cs.chaos_seed = chaos_seed;
   // The profile participates in the expansion so the same seed under a
   // different profile is an unrelated scenario (the repro line names both).
+  // Each non-default profile mixes with its own constant, so adding a
+  // profile never re-deals an existing one's seeds.
   Rng rng(profile == Profile::kDefault
               ? chaos_seed
-              : SplitMix64(chaos_seed ^ 0xB20CE2FA17C0DE5ULL).next());
+              : SplitMix64(chaos_seed ^
+                           (profile == Profile::kBrokerFaults
+                                ? 0xB20CE2FA17C0DE5ULL
+                                : 0x6E2D5EC75B4D9E3FULL))
+                    .next());
   const bool broker_profile = profile == Profile::kBrokerFaults;
+  const bool group_profile = profile == Profile::kGroupFaults;
   Scenario& sc = cs.scenario;
   sc.seed = rng.next_u64();
 
@@ -92,16 +100,42 @@ ChaosScenario generate_scenario(std::uint64_t chaos_seed, Profile profile) {
 
   // Replication dimensions. The broker-fault profile soaks the replicated
   // code paths; the default profile keeps a majority of unreplicated
-  // (paper-baseline) runs.
-  if (rng.bernoulli(broker_profile ? 0.90 : 0.35)) {
+  // (paper-baseline) runs. The group profile keeps the broker side plain
+  // (RF=1, no broker outages) so every anomaly it finds is the group's.
+  if (!group_profile && rng.bernoulli(broker_profile ? 0.90 : 0.35)) {
     sc.replication_factor = rng.bernoulli(0.7) ? 3 : 2;
     sc.min_insync_replicas =
         rng.bernoulli(0.5) ? 1 : std::min(2, sc.replication_factor);
     sc.unclean_leader_election = rng.bernoulli(0.25);
   }
 
+  // --- consumer-group dimensions (group profile only) -----------------------
+  if (group_profile) {
+    sc.partitions = rng.bernoulli(0.5) ? 2 : 4;
+    sc.partitioner = rng.bernoulli(0.5) ? kafka::PartitionerKind::kKeyed
+                                        : kafka::PartitionerKind::kRoundRobin;
+    sc.group_size = rng.bernoulli(0.5) ? 2 : 3;
+    sc.group_commit_mode = rng.bernoulli(0.5)
+                               ? kafka::CommitMode::kCommitAfterDeliver
+                               : kafka::CommitMode::kCommitBeforeDeliver;
+    sc.group_strategy = rng.bernoulli(0.5)
+                            ? kafka::AssignmentStrategy::kCooperativeSticky
+                            : kafka::AssignmentStrategy::kEager;
+    sc.group_static_membership = rng.bernoulli(0.3);
+    sc.group_session_timeout = millis(rng.uniform_int(250, 500));
+    sc.group_heartbeat_interval = millis(rng.uniform_int(50, 120));
+    sc.group_process_time = micros(rng.uniform_int(200, 1500));
+    // Keep the producer path mostly clean (light netem comes only from the
+    // schedule below) so the committed log fills and the interesting
+    // variation is all on the group side.
+    sc.num_messages = static_cast<std::uint64_t>(rng.uniform_int(120, 260));
+    sc.network_delay = 0;
+    sc.packet_loss = 0.0;
+  }
+
   // --- benign-recovery class: eventual connectivity => zero loss ------------
-  const bool benign = rng.bernoulli(broker_profile ? 0.12 : 0.22);
+  const bool benign =
+      !group_profile && rng.bernoulli(broker_profile ? 0.12 : 0.22);
   if (benign) {
     // acks=1 loses leader-acked-but-unreplicated records to a fail-stop
     // (real Kafka behaviour, demonstrated elsewhere), so the zero-loss
@@ -134,7 +168,8 @@ ChaosScenario generate_scenario(std::uint64_t chaos_seed, Profile profile) {
   // schedule is drawn below — at most one broker down at any moment.
   // Records may still fail or expire; what may never happen is a record
   // acknowledged to the application vanishing from the committed log.
-  const bool durable = !benign && rng.bernoulli(broker_profile ? 0.40 : 0.15);
+  const bool durable = !group_profile && !benign &&
+                       rng.bernoulli(broker_profile ? 0.40 : 0.15);
   if (durable) {
     sc.semantics = kafka::DeliverySemantics::kExactlyOnce;
     sc.replication_factor = 3;
@@ -154,6 +189,57 @@ ChaosScenario generate_scenario(std::uint64_t chaos_seed, Profile profile) {
   // Benign faults must clear early so the retry budget can finish the job.
   const Duration window_end = benign ? est_run / 2 : est_run;
   const Duration clear_time = window_end + millis(100);
+
+  if (group_profile) {
+    // Group schedules are consumer-side: crashes (paired-restart and
+    // permanent), heartbeat pauses straddling the session timeout, a
+    // scale-out standby, and occasional light netem on the producer path.
+    cs.expect_group_no_loss =
+        sc.group_commit_mode == kafka::CommitMode::kCommitAfterDeliver;
+    int survivors = sc.group_size;
+    if (rng.bernoulli(0.35)) {
+      FaultAction s;
+      s.kind = FaultAction::Kind::kGroupScaleOut;
+      s.at = uniform_duration(rng, est_run / 4, window_end);
+      sc.faults.push_back(s);
+      ++survivors;
+    }
+    const int num_group_faults = static_cast<int>(rng.uniform_int(1, 4));
+    for (int i = 0; i < num_group_faults; ++i) {
+      FaultAction f;
+      f.at = uniform_duration(rng, est_run / 10, window_end);
+      f.member = static_cast<int>(rng.uniform_int(0, sc.group_size - 1));
+      const double roll = rng.uniform01();
+      if (roll < 0.30) {
+        // Crash with a paired restart: rebalanced out, then back in.
+        f.kind = FaultAction::Kind::kConsumerCrash;
+        sc.faults.push_back(f);
+        FaultAction r = f;
+        r.kind = FaultAction::Kind::kConsumerRestart;
+        r.at = f.at + uniform_duration(rng, millis(100), millis(800));
+        sc.faults.push_back(r);
+      } else if (roll < 0.50 && survivors > 1) {
+        // Permanent crash; the survivor floor keeps the drain reachable.
+        --survivors;
+        f.kind = FaultAction::Kind::kConsumerCrash;
+        sc.faults.push_back(f);
+      } else if (roll < 0.85) {
+        // Short pauses just delay heartbeats; long ones cross the session
+        // timeout and exercise eviction plus zombie-commit fencing.
+        f.kind = FaultAction::Kind::kConsumerPause;
+        f.delay = uniform_duration(rng, sc.group_heartbeat_interval,
+                                   2 * sc.group_session_timeout);
+        sc.faults.push_back(f);
+      } else {
+        f.member = 0;
+        f.kind = FaultAction::Kind::kNetem;
+        f.delay = millis(rng.uniform_int(1, 60));
+        f.loss = rng.uniform(0.0, 0.15);
+        sc.faults.push_back(f);
+      }
+    }
+    return cs;
+  }
 
   const int num_faults =
       benign ? static_cast<int>(rng.uniform_int(1, 4))
@@ -259,6 +345,21 @@ std::string ChaosScenario::describe() const {
       expect_no_acked_loss ? " [no-acked-loss]" : "",
       scenario.faults.size());
   std::string out = buf;
+  if (scenario.group_size > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "\n    group: P=%d %s members=%d %s %s%s hb=%.0fms session=%.0fms "
+        "proc=%.1fms%s",
+        scenario.partitions, kafka::to_string(scenario.partitioner),
+        scenario.group_size, kafka::to_string(scenario.group_commit_mode),
+        kafka::to_string(scenario.group_strategy),
+        scenario.group_static_membership ? " static" : "",
+        to_millis(scenario.group_heartbeat_interval),
+        to_millis(scenario.group_session_timeout),
+        to_millis(scenario.group_process_time),
+        expect_group_no_loss ? " [group-no-loss]" : "");
+    out += buf;
+  }
   for (const auto& f : scenario.faults) {
     out += "\n    ";
     out += f.describe();

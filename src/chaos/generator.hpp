@@ -23,8 +23,12 @@ namespace ks::chaos {
 /// ablation (mostly netem, some broker outages); kBrokerFaults weights the
 /// schedule towards broker fail-stop outages over replicated partitions —
 /// the soak profile for the replication/failover subsystem
-/// (KS_CHAOS_PROFILE=broker_faults).
-enum class Profile { kDefault, kBrokerFaults };
+/// (KS_CHAOS_PROFILE=broker_faults). kGroupFaults targets the consumer-group
+/// subsystem: multi-partition topics, a 2-3 member group, and a schedule of
+/// member crashes, heartbeat pauses (some past the session timeout),
+/// restarts and scale-outs, with only light producer-side netem
+/// (KS_CHAOS_PROFILE=group_faults).
+enum class Profile { kDefault, kBrokerFaults, kGroupFaults };
 
 /// A generated scenario plus the invariant expectations the generator can
 /// promise by construction (checked by the invariant library).
@@ -48,6 +52,13 @@ struct ChaosScenario {
   /// down at any moment — the replication headline invariant: an
   /// acknowledged record is never lost, whatever fail-stops happen.
   bool expect_no_acked_loss = false;
+
+  /// Group delivery class: commit-after-deliver (at-least-once discipline)
+  /// must never skip a committed record, whatever member crashes, pauses
+  /// and rebalances the schedule throws at the group (duplicates are the
+  /// allowed price). Commit-before-deliver scenarios leave this false —
+  /// losing records across a crash is exactly their Table-I signature.
+  bool expect_group_no_loss = false;
 
   /// One-line human summary (config + fault schedule).
   std::string describe() const;

@@ -1,5 +1,6 @@
 #include "chaos/harness.hpp"
 
+#include <cctype>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -32,8 +33,14 @@ bool is_restore(const testbed::FaultAction& f) {
     case Kind::kNetem: return f.loss <= 0.0 && f.delay <= 0;
     case Kind::kBandwidth: return f.bandwidth_bps <= 0.0;
     case Kind::kBrokerResume: return true;
+    // A restart revives a crashed member and a scale-out adds capacity the
+    // generator's survivor floor may count on — never shrink those away.
+    case Kind::kConsumerRestart:
+    case Kind::kGroupScaleOut: return true;
     case Kind::kGilbertElliott:
-    case Kind::kBrokerFail: return false;
+    case Kind::kBrokerFail:
+    case Kind::kConsumerCrash:
+    case Kind::kConsumerPause: return false;
   }
   return false;
 }
@@ -103,24 +110,28 @@ ChaosScenario shrink_scenario(const Options& options, ChaosScenario cs,
 }
 
 std::string repro_command(std::uint64_t chaos_seed, Profile profile) {
-  char buf[128];
+  char buf[160];
+  char env[48] = "";
+  if (profile != Profile::kDefault) {
+    std::snprintf(env, sizeof(env), "KS_CHAOS_PROFILE=%s ",
+                  to_string(profile));
+  }
   std::snprintf(buf, sizeof(buf),
                 "%sKS_CHAOS_SEED=0x%" PRIx64 " ctest -R Chaos "
                 "--output-on-failure",
-                profile == Profile::kDefault
-                    ? ""
-                    : "KS_CHAOS_PROFILE=broker_faults ",
-                chaos_seed);
+                env, chaos_seed);
   return buf;
 }
 
 std::string explain_command(std::uint64_t chaos_seed, Profile profile) {
-  char buf[128];
+  char buf[160];
+  char opt[48] = "";
+  if (profile != Profile::kDefault) {
+    std::snprintf(opt, sizeof(opt), " --profile %s", to_string(profile));
+  }
   std::snprintf(buf, sizeof(buf),
                 "build/src/tools/ks_explain --seed 0x%" PRIx64 "%s",
-                chaos_seed,
-                profile == Profile::kDefault ? ""
-                                             : " --profile broker_faults");
+                chaos_seed, opt);
   return buf;
 }
 
@@ -266,9 +277,10 @@ Options options_from_env(Options base) {
   }
   if (const char* profile = std::getenv("KS_CHAOS_PROFILE");
       profile != nullptr && *profile != '\0') {
-    base.profile = std::string_view(profile) == "broker_faults"
-                       ? Profile::kBrokerFaults
-                       : Profile::kDefault;
+    const std::string_view name(profile);
+    base.profile = name == "broker_faults" ? Profile::kBrokerFaults
+                   : name == "group_faults" ? Profile::kGroupFaults
+                                            : Profile::kDefault;
   }
   return base;
 }
@@ -280,7 +292,30 @@ std::vector<std::uint64_t> load_seed_corpus(const std::string& path) {
   while (std::getline(in, line)) {
     const auto start = line.find_first_not_of(" \t");
     if (start == std::string::npos || line[start] == '#') continue;
+    // Profile-tagged lines ("group_faults 0x...") belong to the profile's
+    // own sweep; the untagged loader takes only bare-seed lines.
+    if (std::isdigit(static_cast<unsigned char>(line[start])) == 0) continue;
     seeds.push_back(std::strtoull(line.c_str() + start, nullptr, 0));
+  }
+  return seeds;
+}
+
+std::vector<std::uint64_t> load_tagged_seed_corpus(const std::string& path,
+                                                   std::string_view tag) {
+  std::vector<std::uint64_t> seeds;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    const auto tag_end = line.find_first_of(" \t", start);
+    if (tag_end == std::string::npos) continue;
+    if (std::string_view(line).substr(start, tag_end - start) != tag) {
+      continue;
+    }
+    const auto seed_start = line.find_first_not_of(" \t", tag_end);
+    if (seed_start == std::string::npos) continue;
+    seeds.push_back(std::strtoull(line.c_str() + seed_start, nullptr, 0));
   }
   return seeds;
 }

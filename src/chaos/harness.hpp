@@ -9,13 +9,15 @@
 // Environment knobs (read by options_from_env):
 //   KS_CHAOS_SEED     replay exactly one scenario seed (hex or decimal)
 //   KS_CHAOS_ITERS    number of randomized scenarios (long-soak unlock)
-//   KS_CHAOS_PROFILE  fault-mix profile: "default" or "broker_faults"
+//   KS_CHAOS_PROFILE  fault-mix profile: "default", "broker_faults" or
+//                     "group_faults"
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "chaos/generator.hpp"
@@ -83,6 +85,13 @@ Options options_from_env(Options base = {});
 
 /// Load a seed corpus: one seed per line (hex 0x... or decimal), '#'
 /// comments and blank lines ignored. Missing file => empty corpus.
+/// Profile-tagged lines ("group_faults 0x...") are skipped — they belong
+/// to the tagged loader below.
 std::vector<std::uint64_t> load_seed_corpus(const std::string& path);
+
+/// Load the seeds tagged with one profile name: lines of the form
+/// "<tag> <seed>". Bare-seed and differently-tagged lines are skipped.
+std::vector<std::uint64_t> load_tagged_seed_corpus(const std::string& path,
+                                                   std::string_view tag);
 
 }  // namespace ks::chaos

@@ -217,6 +217,36 @@ void check_replication(const ChaosScenario& cs,
   }
 }
 
+void check_group(const ChaosScenario& cs,
+                 const testbed::ExperimentResult& result,
+                 std::vector<Violation>& out) {
+  if (cs.scenario.group_size == 0) return;
+  // Within one generation every partition has exactly one owner and fetch
+  // batches never overlap, so a same-generation repeat delivery is a
+  // protocol bug whatever the commit discipline.
+  if (result.group_same_generation_dups != 0) {
+    out.push_back(
+        {"group-generation-isolation",
+         fmt("%llu records delivered twice within one group generation "
+             "(%llu rebalances, %llu evictions)",
+             static_cast<unsigned long long>(
+                 result.group_same_generation_dups),
+             static_cast<unsigned long long>(result.group_rebalances),
+             static_cast<unsigned long long>(result.group_evictions))});
+  }
+  if (cs.expect_group_no_loss && result.group_lost != 0) {
+    out.push_back(
+        {"group-no-loss",
+         fmt("%llu committed records skipped by the group under "
+             "commit-after-deliver (%llu rebalances, %llu evictions, %llu "
+             "fenced commits) — at-least-once may duplicate, never lose",
+             static_cast<unsigned long long>(result.group_lost),
+             static_cast<unsigned long long>(result.group_rebalances),
+             static_cast<unsigned long long>(result.group_evictions),
+             static_cast<unsigned long long>(result.group_commits_fenced))});
+  }
+}
+
 void check_trace_legality(const obs::RunReport& report,
                           std::vector<Violation>& out) {
   // The ring dropped entries => per-key sequences may be truncated and
@@ -253,6 +283,7 @@ std::vector<Violation> check_invariants(
   check_expectations(cs, result, out);
   check_offset_contiguity(result, out);
   check_replication(cs, result, out);
+  check_group(cs, result, out);
   check_trace_legality(result.report, out);
   return out;
 }

@@ -20,6 +20,13 @@
 //    with unclean elections disabled, committed log prefixes agree across
 //    replicas, the committed offset never regresses, and every election
 //    is from the ISR.
+//  - group-generation-isolation: a consumer group never delivers the same
+//    (partition, offset) twice within one generation — redelivery is only
+//    legal across a rebalance boundary.
+//  - group-no-loss: under commit-after-deliver (the at-least-once
+//    discipline) the group's committed offset never passes over a record
+//    that was never delivered, whatever member crashes and rebalances
+//    occur; duplicates are the allowed price.
 //  - replay-determinism (harness-level): the same seed yields a
 //    byte-identical canonical RunReport JSON.
 #pragma once
@@ -53,6 +60,9 @@ void check_offset_contiguity(const testbed::ExperimentResult& result,
 void check_replication(const ChaosScenario& cs,
                        const testbed::ExperimentResult& result,
                        std::vector<Violation>& out);
+void check_group(const ChaosScenario& cs,
+                 const testbed::ExperimentResult& result,
+                 std::vector<Violation>& out);
 void check_trace_legality(const obs::RunReport& report,
                           std::vector<Violation>& out);
 

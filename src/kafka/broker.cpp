@@ -250,7 +250,7 @@ void Broker::serve_produce(tcp::Endpoint* endpoint,
       stats_.records_appended += request.records.size();
       for (const auto& r : request.records) {
         stats_.bytes_appended += r.wire_size();
-        if (on_append) on_append(r, result.base_offset);
+        if (on_append) on_append(request.partition, r, result.base_offset);
       }
     }
     if (replicated(st)) {

@@ -142,10 +142,11 @@ class Broker {
   const Config& config() const noexcept { return config_; }
   bool in_bad_regime() const noexcept { return !modulator_.good(); }
 
-  /// Observer invoked for every leader-side record append: (record,
-  /// offset). Used by the message-state tracker. Replica appends do not
-  /// fire it (they would double-count Fig. 2 append transitions).
-  std::function<void(const Record&, std::int64_t)> on_append;
+  /// Observer invoked for every leader-side record append: (partition,
+  /// record, offset). Used by the message-state tracker and the
+  /// per-(broker, partition) offset-contiguity watch. Replica appends do
+  /// not fire it (they would double-count Fig. 2 append transitions).
+  std::function<void(std::int32_t, const Record&, std::int64_t)> on_append;
   /// (partition, isr, shrink) after every leader-side ISR change.
   std::function<void(std::int32_t, const std::vector<int>&, bool)>
       on_isr_change;

@@ -1,0 +1,358 @@
+#include "kafka/group.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace ks::kafka {
+
+const char* to_string(AssignmentStrategy s) noexcept {
+  switch (s) {
+    case AssignmentStrategy::kEager: return "eager";
+    case AssignmentStrategy::kCooperativeSticky: return "cooperative_sticky";
+  }
+  return "?";
+}
+
+GroupCoordinator::GroupCoordinator(sim::Simulation& sim, Config config)
+    : sim_(sim),
+      config_(std::move(config)),
+      join_window_timer_(sim),
+      session_scan_timer_(sim) {
+  std::sort(config_.partitions.begin(), config_.partitions.end());
+}
+
+std::string GroupCoordinator::join(const std::string& instance_id,
+                                   MemberCallbacks callbacks) {
+  if (!instance_id.empty()) {
+    if (const auto it = static_instances_.find(instance_id);
+        it != static_instances_.end()) {
+      // Static rejoin: the instance is still a known member — hand back its
+      // member id and assignment without disturbing the group.
+      Member& m = members_.at(it->second);
+      m.callbacks = std::move(callbacks);
+      m.session_deadline = sim_.now() + config_.session_timeout;
+      ++stats_.static_rejoins;
+      sim_.timeline().record(sim_.now(),
+                             obs::ClusterEventKind::kGroupMemberJoined, -1,
+                             -1, static_cast<std::int64_t>(members_.size()),
+                             1, m.id + " (static rejoin)");
+      if (state_ == State::kStable && m.callbacks.on_assigned) {
+        m.callbacks.on_assigned(generation_, m.assignment);
+      }
+      return m.id;
+    }
+  }
+
+  Member m;
+  m.id = "member-" + std::to_string(next_member_seq_++);
+  m.instance_id = instance_id;
+  m.callbacks = std::move(callbacks);
+  m.session_deadline = sim_.now() + config_.session_timeout;
+  const std::string id = m.id;
+  members_.emplace(id, std::move(m));
+  if (!instance_id.empty()) static_instances_[instance_id] = id;
+  ++stats_.joins;
+  sim_.timeline().record(sim_.now(),
+                         obs::ClusterEventKind::kGroupMemberJoined, -1, -1,
+                         static_cast<std::int64_t>(members_.size()), 0, id);
+  arm_session_scan();
+  request_rebalance();
+  return id;
+}
+
+void GroupCoordinator::leave(const std::string& member_id) {
+  const auto it = members_.find(member_id);
+  if (it == members_.end()) return;
+  if (!it->second.instance_id.empty()) {
+    static_instances_.erase(it->second.instance_id);
+  }
+  members_.erase(it);
+  ++stats_.leaves;
+  sim_.timeline().record(sim_.now(), obs::ClusterEventKind::kGroupMemberLeft,
+                         -1, -1, static_cast<std::int64_t>(members_.size()),
+                         0, member_id);
+  request_rebalance();
+}
+
+ErrorCode GroupCoordinator::heartbeat(const std::string& member_id,
+                                      std::int32_t generation) {
+  ++stats_.heartbeats;
+  const auto it = members_.find(member_id);
+  if (it == members_.end()) return ErrorCode::kUnknownMemberId;
+  it->second.session_deadline = sim_.now() + config_.session_timeout;
+  if (state_ == State::kPreparingRebalance ||
+      state_ == State::kCompletingRebalance) {
+    return ErrorCode::kRebalanceInProgress;
+  }
+  if (generation != generation_) return ErrorCode::kIllegalGeneration;
+  return ErrorCode::kNone;
+}
+
+ErrorCode GroupCoordinator::commit(const std::string& member_id,
+                                   std::int32_t generation,
+                                   std::int32_t partition,
+                                   std::int64_t offset) {
+  const auto it = members_.find(member_id);
+  if (it == members_.end()) {
+    fence(member_id, generation, partition);
+    return ErrorCode::kUnknownMemberId;
+  }
+  if (generation != generation_) {
+    fence(member_id, generation, partition);
+    return ErrorCode::kIllegalGeneration;
+  }
+  offset_log_.push_back({partition, offset, generation});
+  compacted_[partition] = offset;
+  ++stats_.commits_accepted;
+  return ErrorCode::kNone;
+}
+
+void GroupCoordinator::fence(const std::string& member_id,
+                             std::int32_t generation,
+                             std::int32_t partition) {
+  ++stats_.commits_fenced;
+  sim_.timeline().record(sim_.now(),
+                         obs::ClusterEventKind::kGroupZombieFenced, -1,
+                         partition, generation, generation_, member_id);
+}
+
+std::int64_t GroupCoordinator::committed(std::int32_t partition) const {
+  const auto it = compacted_.find(partition);
+  return it == compacted_.end() ? 0 : it->second;
+}
+
+std::vector<std::int32_t> GroupCoordinator::assignment_of(
+    const std::string& member_id) const {
+  const auto it = members_.find(member_id);
+  return it == members_.end() ? std::vector<std::int32_t>{}
+                              : it->second.assignment;
+}
+
+std::map<std::int32_t, std::int64_t> GroupCoordinator::compacted_offsets()
+    const {
+  return compacted_;
+}
+
+std::size_t GroupCoordinator::compact_offsets() {
+  // Keep the newest entry per partition, preserving log order (a backward
+  // walk marking first-seen partitions — the compaction cleaner's rule).
+  std::vector<OffsetCommitEntry> kept;
+  std::set<std::int32_t> seen;
+  for (auto it = offset_log_.rbegin(); it != offset_log_.rend(); ++it) {
+    if (seen.insert(it->partition).second) kept.push_back(*it);
+  }
+  std::reverse(kept.begin(), kept.end());
+  const std::size_t removed = offset_log_.size() - kept.size();
+  offset_log_ = std::move(kept);
+  return removed;
+}
+
+void GroupCoordinator::request_rebalance() {
+  if (members_.empty()) {
+    state_ = State::kEmpty;
+    join_window_timer_.cancel();
+    return;
+  }
+  if (state_ == State::kPreparingRebalance) return;  // Window already open.
+  sim_.timeline().record(
+      sim_.now(), obs::ClusterEventKind::kGroupRebalanceBegin, -1, -1,
+      generation_, static_cast<std::int64_t>(members_.size()));
+  state_ = State::kPreparingRebalance;
+  if (config_.strategy == AssignmentStrategy::kEager) {
+    // Eager protocol: every member drops everything up front and the world
+    // stops until the new generation is installed.
+    for (auto& [id, m] : members_) {
+      if (m.assignment.empty()) continue;
+      sim_.timeline().record(
+          sim_.now(), obs::ClusterEventKind::kGroupPartitionsRevoked, -1, -1,
+          static_cast<std::int64_t>(m.assignment.size()), generation_, id);
+      if (m.callbacks.on_revoked) {
+        m.callbacks.on_revoked(generation_, m.assignment);
+      }
+      m.assignment.clear();
+    }
+  }
+  join_window_timer_.arm(config_.join_window, [this] {
+    complete_rebalance();
+  });
+}
+
+void GroupCoordinator::complete_rebalance() {
+  if (members_.empty()) {
+    state_ = State::kEmpty;
+    return;
+  }
+  state_ = State::kCompletingRebalance;
+
+  std::vector<std::string> ids;
+  std::map<std::string, std::vector<std::int32_t>> previous;
+  for (const auto& [id, m] : members_) {
+    ids.push_back(id);
+    previous[id] = m.assignment;
+  }
+  const auto target = compute_assignment(config_.strategy, ids,
+                                         config_.partitions, previous);
+
+  // Cooperative protocol: only partitions that actually move are revoked;
+  // everything else keeps flowing through the rebalance.
+  if (config_.strategy == AssignmentStrategy::kCooperativeSticky) {
+    for (auto& [id, m] : members_) {
+      const auto& next = target.at(id);
+      std::vector<std::int32_t> revoked;
+      for (const auto p : m.assignment) {
+        if (std::find(next.begin(), next.end(), p) == next.end()) {
+          revoked.push_back(p);
+        }
+      }
+      if (revoked.empty()) continue;
+      sim_.timeline().record(
+          sim_.now(), obs::ClusterEventKind::kGroupPartitionsRevoked, -1, -1,
+          static_cast<std::int64_t>(revoked.size()), generation_, id);
+      if (m.callbacks.on_revoked) m.callbacks.on_revoked(generation_, revoked);
+    }
+  }
+
+  for (const auto& [id, m] : members_) {
+    const auto& next = target.at(id);
+    for (const auto p : next) {
+      const auto& prev = previous.at(id);
+      if (std::find(prev.begin(), prev.end(), p) == prev.end()) {
+        ++stats_.partitions_moved;
+      }
+    }
+  }
+
+  ++generation_;
+  ++stats_.rebalances;
+  for (auto& [id, m] : members_) {
+    m.assignment = target.at(id);
+    sim_.timeline().record(
+        sim_.now(), obs::ClusterEventKind::kGroupPartitionsAssigned, -1, -1,
+        static_cast<std::int64_t>(m.assignment.size()), generation_, id);
+    if (m.callbacks.on_assigned) {
+      m.callbacks.on_assigned(generation_, m.assignment);
+    }
+  }
+  state_ = State::kStable;
+  sim_.timeline().record(
+      sim_.now(), obs::ClusterEventKind::kGroupGenerationStable, -1, -1,
+      generation_, static_cast<std::int64_t>(members_.size()));
+}
+
+void GroupCoordinator::arm_session_scan() {
+  if (session_scan_timer_.armed()) return;
+  const Duration scan =
+      std::max<Duration>(config_.session_timeout / 4, millis(5));
+  session_scan_timer_.arm(scan, [this] { scan_sessions(); });
+}
+
+void GroupCoordinator::scan_sessions() {
+  bool evicted = false;
+  for (auto it = members_.begin(); it != members_.end();) {
+    if (sim_.now() > it->second.session_deadline) {
+      sim_.timeline().record(
+          sim_.now(), obs::ClusterEventKind::kGroupMemberEvicted, -1, -1,
+          static_cast<std::int64_t>(sim_.now() -
+                                    it->second.session_deadline),
+          generation_, it->first);
+      if (!it->second.instance_id.empty()) {
+        static_instances_.erase(it->second.instance_id);
+      }
+      it = members_.erase(it);
+      ++stats_.evictions;
+      evicted = true;
+    } else {
+      ++it;
+    }
+  }
+  if (evicted) request_rebalance();
+  if (!members_.empty()) {
+    const Duration scan =
+        std::max<Duration>(config_.session_timeout / 4, millis(5));
+    session_scan_timer_.arm(scan, [this] { scan_sessions(); });
+  }
+}
+
+std::map<std::string, std::vector<std::int32_t>>
+GroupCoordinator::compute_assignment(
+    AssignmentStrategy strategy, const std::vector<std::string>& members,
+    const std::vector<std::int32_t>& partitions,
+    const std::map<std::string, std::vector<std::int32_t>>& previous) {
+  std::map<std::string, std::vector<std::int32_t>> out;
+  if (members.empty()) return out;
+  std::vector<std::int32_t> parts = partitions;
+  std::sort(parts.begin(), parts.end());
+  const std::size_t n = members.size();
+  const std::size_t p = parts.size();
+  const std::size_t lo = p / n;
+  const std::size_t extra = p % n;
+  for (const auto& m : members) out[m] = {};
+
+  if (strategy == AssignmentStrategy::kEager) {
+    // Range assignment: contiguous chunks in member order; the first
+    // (p % n) members take one partition more.
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t quota = lo + (i < extra ? 1 : 0);
+      for (std::size_t j = 0; j < quota && next < p; ++j) {
+        out[members[i]].push_back(parts[next++]);
+      }
+    }
+    return out;
+  }
+
+  // Cooperative-sticky: each partition stays with its previous owner when
+  // possible. Quotas are floor(p/n) with the remainder going to the members
+  // retaining the most — the distribution that provably minimizes movement.
+  std::set<std::int32_t> valid(parts.begin(), parts.end());
+  std::set<std::int32_t> claimed;
+  std::map<std::string, std::vector<std::int32_t>> retained;
+  for (const auto& m : members) {
+    auto& r = retained[m];
+    if (const auto it = previous.find(m); it != previous.end()) {
+      for (const auto part : it->second) {
+        if (valid.count(part) && claimed.insert(part).second) {
+          r.push_back(part);
+        }
+      }
+    }
+    std::sort(r.begin(), r.end());
+  }
+
+  // Give the ceil quota to the `extra` members with the largest retained
+  // sets (ties break towards the lexicographically smaller member id).
+  std::vector<std::string> by_retention = members;
+  std::stable_sort(by_retention.begin(), by_retention.end(),
+                   [&](const std::string& a, const std::string& b) {
+                     return retained[a].size() > retained[b].size();
+                   });
+  std::map<std::string, std::size_t> quota;
+  for (std::size_t i = 0; i < by_retention.size(); ++i) {
+    quota[by_retention[i]] = lo + (i < extra ? 1 : 0);
+  }
+
+  std::vector<std::int32_t> pool;
+  for (const auto part : parts) {
+    if (!claimed.count(part)) pool.push_back(part);
+  }
+  for (const auto& m : members) {
+    auto& r = retained[m];
+    while (r.size() > quota[m]) {  // Overflow: release the largest ids.
+      pool.push_back(r.back());
+      r.pop_back();
+    }
+  }
+  std::sort(pool.begin(), pool.end());
+  std::size_t next = 0;
+  for (const auto& m : members) {
+    auto& r = retained[m];
+    while (r.size() < quota[m] && next < pool.size()) {
+      r.push_back(pool[next++]);
+    }
+    std::sort(r.begin(), r.end());
+    out[m] = std::move(r);
+  }
+  return out;
+}
+
+}  // namespace ks::kafka

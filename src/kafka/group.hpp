@@ -1,0 +1,179 @@
+// Broker-side consumer-group coordinator.
+//
+// Manages the group membership protocol the paper's delivery-semantics
+// taxonomy silently assumes: members join, receive a partition assignment
+// for a generation, heartbeat to stay alive, and commit consumed offsets
+// into an append-only, compacted `__consumer_offsets`-style log. Commits
+// carry the member's generation and are fenced when it is stale — the
+// mechanism that turns "a consumer crashed mid-batch" into the paper's
+// at-most-once loss or at-least-once duplication, never silent corruption.
+//
+// Transport simplification: clients call the coordinator directly (the
+// join/sync/heartbeat RPCs are metadata-plane and tiny next to the data
+// plane this simulator models on real TCP). Two rebalance protocols are
+// implemented: eager (revoke everything, reassign by range) and a
+// one-phase cooperative-sticky variant (only moved partitions are revoked;
+// members keep consuming retained partitions through the rebalance).
+// Static membership (group.instance.id) lets a bounced member rejoin its
+// old assignment without triggering a rebalance at all.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "kafka/protocol.hpp"
+#include "sim/simulation.hpp"
+
+namespace ks::kafka {
+
+enum class AssignmentStrategy {
+  kEager,              ///< Revoke-all, then range reassignment.
+  kCooperativeSticky,  ///< Revoke only what moves; minimal movement.
+};
+
+const char* to_string(AssignmentStrategy s) noexcept;
+
+class GroupCoordinator {
+ public:
+  struct Config {
+    std::string group_id = "group";
+    AssignmentStrategy strategy = AssignmentStrategy::kEager;
+    /// Member evicted when no heartbeat for this long (session.timeout.ms).
+    Duration session_timeout = millis(400);
+    /// Join window: membership changes within it coalesce into one
+    /// rebalance (max.poll.interval / rebalance delay analog, scaled).
+    Duration join_window = millis(40);
+    /// Partitions of the subscribed topic (cluster-global partition ids).
+    std::vector<std::int32_t> partitions;
+  };
+
+  /// Callbacks a member registers at join time. on_revoked fires before the
+  /// member loses a partition (it must stop fetching it); on_assigned fires
+  /// with the member's full owned set for the new generation.
+  struct MemberCallbacks {
+    std::function<void(std::int32_t generation,
+                       const std::vector<std::int32_t>& partitions)>
+        on_revoked;
+    std::function<void(std::int32_t generation,
+                       const std::vector<std::int32_t>& partitions)>
+        on_assigned;
+  };
+
+  enum class State {
+    kEmpty,                ///< No members.
+    kPreparingRebalance,   ///< Join window open; memberships settling.
+    kCompletingRebalance,  ///< Assignment computed, being distributed.
+    kStable,               ///< A generation is live.
+  };
+
+  struct Stats {
+    std::uint64_t joins = 0;
+    std::uint64_t static_rejoins = 0;  ///< Rejoin without a rebalance.
+    std::uint64_t leaves = 0;
+    std::uint64_t evictions = 0;       ///< Session-timeout expulsions.
+    std::uint64_t rebalances = 0;      ///< Completed generations.
+    std::uint64_t heartbeats = 0;
+    std::uint64_t commits_accepted = 0;
+    std::uint64_t commits_fenced = 0;  ///< Stale generation / unknown member.
+    std::uint64_t partitions_moved = 0;  ///< Ownership changes, cumulative.
+  };
+
+  /// One `__consumer_offsets` record: the append-only commit log retains
+  /// every accepted commit until compact_offsets() folds it.
+  struct OffsetCommitEntry {
+    std::int32_t partition = 0;
+    std::int64_t offset = 0;
+    std::int32_t generation = 0;
+  };
+
+  GroupCoordinator(sim::Simulation& sim, Config config);
+
+  GroupCoordinator(const GroupCoordinator&) = delete;
+  GroupCoordinator& operator=(const GroupCoordinator&) = delete;
+
+  /// Join the group. `instance_id` empty = dynamic member (fresh member id,
+  /// triggers a rebalance). Non-empty = static membership: while the
+  /// instance is still known, the member id and assignment are returned
+  /// without a rebalance. Returns the member id.
+  std::string join(const std::string& instance_id, MemberCallbacks callbacks);
+
+  /// Graceful leave (close()): triggers a rebalance.
+  void leave(const std::string& member_id);
+
+  /// Heartbeat. kNone while stable; kRebalanceInProgress during a
+  /// rebalance; kUnknownMemberId after eviction. Resets session deadline.
+  ErrorCode heartbeat(const std::string& member_id, std::int32_t generation);
+
+  /// Commit `offset` for `partition` (next offset the member would read).
+  /// Fenced with kIllegalGeneration / kUnknownMemberId when the committer's
+  /// generation is superseded or it was evicted — the zombie-fencing rule.
+  ErrorCode commit(const std::string& member_id, std::int32_t generation,
+                   std::int32_t partition, std::int64_t offset);
+
+  /// Latest committed offset for a partition (0 = nothing committed).
+  std::int64_t committed(std::int32_t partition) const;
+
+  State state() const noexcept { return state_; }
+  std::int32_t generation() const noexcept { return generation_; }
+  std::size_t member_count() const noexcept { return members_.size(); }
+  bool has_member(const std::string& member_id) const {
+    return members_.count(member_id) != 0;
+  }
+  std::vector<std::int32_t> assignment_of(const std::string& member_id) const;
+  const Stats& stats() const noexcept { return stats_; }
+  const Config& config() const noexcept { return config_; }
+
+  /// The append-only commit log and its compacted view; compact_offsets()
+  /// drops all but the latest entry per partition (log compaction) and
+  /// returns the number of entries removed.
+  const std::vector<OffsetCommitEntry>& offset_log() const noexcept {
+    return offset_log_;
+  }
+  std::map<std::int32_t, std::int64_t> compacted_offsets() const;
+  std::size_t compact_offsets();
+
+  /// Pure assignor, exposed for property tests. `members` must be sorted;
+  /// `previous` maps member -> owned partitions of the outgoing generation.
+  /// kEager ranges partitions over members; kCooperativeSticky keeps every
+  /// retainable partition with its previous owner and moves the provably
+  /// minimal number needed for balance.
+  static std::map<std::string, std::vector<std::int32_t>> compute_assignment(
+      AssignmentStrategy strategy, const std::vector<std::string>& members,
+      const std::vector<std::int32_t>& partitions,
+      const std::map<std::string, std::vector<std::int32_t>>& previous);
+
+ private:
+  struct Member {
+    std::string id;
+    std::string instance_id;  ///< Empty for dynamic members.
+    MemberCallbacks callbacks;
+    std::vector<std::int32_t> assignment;
+    TimePoint session_deadline = 0;
+  };
+
+  void request_rebalance();
+  void complete_rebalance();
+  void arm_session_scan();
+  void scan_sessions();
+  void fence(const std::string& member_id, std::int32_t generation,
+             std::int32_t partition);
+
+  sim::Simulation& sim_;
+  Config config_;
+  State state_ = State::kEmpty;
+  std::int32_t generation_ = 0;
+  std::map<std::string, Member> members_;  ///< Ordered: deterministic walks.
+  std::map<std::string, std::string> static_instances_;  ///< instance -> id.
+  std::uint64_t next_member_seq_ = 1;
+  std::vector<OffsetCommitEntry> offset_log_;
+  std::map<std::int32_t, std::int64_t> compacted_;
+  sim::Timer join_window_timer_;
+  sim::Timer session_scan_timer_;
+  Stats stats_;
+};
+
+}  // namespace ks::kafka

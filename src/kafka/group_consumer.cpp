@@ -1,0 +1,356 @@
+#include "kafka/group_consumer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ks::kafka {
+
+const char* to_string(CommitMode m) noexcept {
+  switch (m) {
+    case CommitMode::kCommitBeforeDeliver: return "commit_before_deliver";
+    case CommitMode::kCommitAfterDeliver: return "commit_after_deliver";
+  }
+  return "?";
+}
+
+GroupConsumer::GroupConsumer(sim::Simulation& sim, Config config,
+                             GroupCoordinator& coordinator,
+                             std::vector<tcp::Endpoint*> endpoints,
+                             std::function<int(std::int32_t)> leader_of)
+    : sim_(sim),
+      config_(std::move(config)),
+      coordinator_(coordinator),
+      endpoints_(std::move(endpoints)),
+      leader_of_(std::move(leader_of)),
+      heartbeat_timer_(sim) {
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    reconnect_timers_.push_back(std::make_unique<sim::Timer>(sim));
+  }
+}
+
+void GroupConsumer::start() {
+  if (!started_) {
+    started_ = true;
+    for (std::size_t b = 0; b < endpoints_.size(); ++b) {
+      tcp::Endpoint* ep = endpoints_[b];
+      ep->on_connected = [this] {
+        for (auto& [p, s] : sessions_) fetch(p);
+      };
+      ep->on_message = [this](std::shared_ptr<const void> payload) {
+        handle_frame(std::move(payload));
+      };
+      ep->on_reset = [this, b] { handle_reset(b); };
+    }
+  }
+  alive_ = true;
+  join_group();
+  heartbeat_timer_.arm(config_.heartbeat_interval, [this] { heartbeat(); });
+}
+
+void GroupConsumer::crash() {
+  if (!alive_) return;
+  alive_ = false;
+  ++stats_.crashes;
+  heartbeat_timer_.cancel();
+  sessions_.clear();  // Fail-stop: no leave; the session times out.
+  for (auto& t : reconnect_timers_) t->cancel();
+}
+
+void GroupConsumer::restart() {
+  if (alive_) return;
+  alive_ = true;
+  join_group();
+  heartbeat_timer_.arm(config_.heartbeat_interval, [this] { heartbeat(); });
+}
+
+void GroupConsumer::pause_for(Duration d) {
+  paused_until_ = std::max(paused_until_, sim_.now() + d);
+}
+
+void GroupConsumer::join_group() {
+  if (!member_id_.empty()) ++stats_.rejoins;
+  GroupCoordinator::MemberCallbacks cbs;
+  cbs.on_revoked = [this](std::int32_t gen,
+                          const std::vector<std::int32_t>& parts) {
+    handle_revoked(gen, parts);
+  };
+  cbs.on_assigned = [this](std::int32_t gen,
+                           const std::vector<std::int32_t>& parts) {
+    handle_assigned(gen, parts);
+  };
+  member_id_ = coordinator_.join(config_.instance_id, std::move(cbs));
+}
+
+void GroupConsumer::handle_assigned(std::int32_t generation,
+                                    const std::vector<std::int32_t>& parts) {
+  generation_ = generation;
+  ++stats_.assignments;
+  // Keep live sessions for retained partitions (cooperative rebalances keep
+  // consuming through the generation change); start fresh sessions for new
+  // ownership from the group's committed offset.
+  std::map<std::int32_t, std::unique_ptr<Session>> next;
+  for (const auto p : parts) {
+    if (const auto it = sessions_.find(p); it != sessions_.end()) {
+      next[p] = std::move(it->second);
+    } else {
+      auto s = std::make_unique<Session>(sim_);
+      s->next_offset = coordinator_.committed(p);
+      next[p] = std::move(s);
+    }
+  }
+  sessions_ = std::move(next);
+  for (auto& [p, s] : sessions_) {
+    if (!s->fetch_outstanding && s->batch_pos >= s->batch.size()) fetch(p);
+  }
+}
+
+void GroupConsumer::handle_revoked(std::int32_t /*generation*/,
+                                   const std::vector<std::int32_t>& parts) {
+  // Abandon in-flight batches: under commit-after-deliver the delivered but
+  // uncommitted prefix is re-read by the next owner (duplication, not loss).
+  for (const auto p : parts) {
+    stats_.revocations += sessions_.erase(p);
+  }
+}
+
+void GroupConsumer::heartbeat() {
+  if (!alive_) return;
+  if (paused()) {  // A stopped-world process sends nothing.
+    heartbeat_timer_.arm(paused_until_ - sim_.now(), [this] { heartbeat(); });
+    return;
+  }
+  const ErrorCode rc = coordinator_.heartbeat(member_id_, generation_);
+  if (rc == ErrorCode::kUnknownMemberId &&
+      !coordinator_.has_member(member_id_)) {
+    // Evicted. If a batch is mid-delivery, let it finish — its commit will
+    // be fenced and handle_fenced() rejoins; otherwise rejoin now.
+    bool in_flight = false;
+    for (const auto& [p, s] : sessions_) {
+      if (s->batch_pos < s->batch.size()) {
+        in_flight = true;
+        break;
+      }
+    }
+    if (!in_flight) {
+      sessions_.clear();
+      join_group();
+    }
+  }
+  heartbeat_timer_.arm(config_.heartbeat_interval, [this] { heartbeat(); });
+}
+
+void GroupConsumer::fetch(std::int32_t partition) {
+  const auto it = sessions_.find(partition);
+  if (it == sessions_.end()) return;
+  Session& s = *it->second;
+  if (!alive_ || s.fetch_outstanding) return;
+  if (s.batch_pos < s.batch.size()) return;  // Delivery in progress.
+  if (paused()) {
+    s.poll_timer.arm(paused_until_ - sim_.now(),
+                     [this, partition] { fetch(partition); });
+    return;
+  }
+  const int leader = leader_of_(partition);
+  if (leader < 0 || leader >= static_cast<int>(endpoints_.size())) {
+    s.poll_timer.arm(config_.fetch_backoff,
+                     [this, partition] { fetch(partition); });
+    return;
+  }
+  tcp::Endpoint* ep = endpoints_[static_cast<std::size_t>(leader)];
+  if (!ep->established()) {
+    if (ep->state() != tcp::Endpoint::State::kSynSent) ep->connect();
+    s.poll_timer.arm(config_.fetch_backoff,
+                     [this, partition] { fetch(partition); });
+    return;
+  }
+  FetchRequest req;
+  req.id = next_request_id_++;
+  req.partition = partition;
+  req.offset = s.next_offset;
+  req.max_records = config_.max_records_per_fetch;
+  const Bytes wire = req.wire_size();
+  const std::uint64_t request_id = req.id;
+  if (!ep->send(tcp::AppMessage{wire, make_frame(std::move(req)), 0})) {
+    s.poll_timer.arm(config_.fetch_backoff,
+                     [this, partition] { fetch(partition); });
+    return;
+  }
+  s.fetch_outstanding = true;
+  s.outstanding_request_id = request_id;
+  s.fetch_broker = leader;
+  ++stats_.fetches;
+  s.fetch_timeout_timer.arm(config_.fetch_timeout, [this, partition] {
+    handle_fetch_timeout(partition);
+  });
+}
+
+void GroupConsumer::handle_fetch_timeout(std::int32_t partition) {
+  const auto it = sessions_.find(partition);
+  if (it == sessions_.end()) return;
+  Session& s = *it->second;
+  s.fetch_outstanding = false;  // Response lost; re-issue (leader may move).
+  ++stats_.fetch_retries;
+  s.poll_timer.arm(config_.fetch_backoff,
+                   [this, partition] { fetch(partition); });
+}
+
+void GroupConsumer::handle_reset(std::size_t broker) {
+  ++stats_.connection_resets;
+  for (auto& [p, s] : sessions_) {
+    if (s->fetch_outstanding &&
+        s->fetch_broker == static_cast<int>(broker)) {
+      s->fetch_outstanding = false;
+      s->fetch_timeout_timer.cancel();
+      const std::int32_t partition = p;
+      s->poll_timer.arm(config_.fetch_backoff,
+                        [this, partition] { fetch(partition); });
+    }
+  }
+  if (!alive_) return;
+  reconnect_timers_[broker]->arm(config_.reconnect_backoff, [this, broker] {
+    tcp::Endpoint* ep = endpoints_[broker];
+    if (ep->established() || ep->state() == tcp::Endpoint::State::kSynSent) {
+      return;
+    }
+    ep->connect();
+  });
+}
+
+void GroupConsumer::handle_frame(std::shared_ptr<const void> payload) {
+  const auto* frame = static_cast<const Frame*>(payload.get());
+  const auto* resp = std::get_if<FetchResponse>(&frame->body);
+  if (resp == nullptr) return;
+  const std::int32_t partition = resp->partition;
+  const auto it = sessions_.find(partition);
+  if (it == sessions_.end()) return;  // Revoked while the fetch was in flight.
+  Session& s = *it->second;
+  if (!s.fetch_outstanding || resp->request_id != s.outstanding_request_id) {
+    return;  // Late response to a fetch we already re-issued.
+  }
+  s.fetch_outstanding = false;
+  s.fetch_timeout_timer.cancel();
+
+  switch (resp->error) {
+    case ErrorCode::kNotLeaderForPartition:
+      s.poll_timer.arm(config_.fetch_backoff,
+                       [this, partition] { fetch(partition); });
+      return;
+    case ErrorCode::kOffsetOutOfRange:
+      s.next_offset = std::min(s.next_offset, resp->high_watermark);
+      s.poll_timer.arm(config_.fetch_backoff,
+                       [this, partition] { fetch(partition); });
+      return;
+    default:
+      break;
+  }
+
+  std::vector<FetchedRecord> batch;
+  for (const auto& r : resp->records) {
+    if (r.offset < s.next_offset) continue;  // Overlap from a re-fetch.
+    batch.push_back(r);
+  }
+  if (batch.empty()) {
+    s.poll_timer.arm(config_.fetch_backoff,
+                     [this, partition] { fetch(partition); });
+    return;
+  }
+  s.batch = std::move(batch);
+  s.batch_pos = 0;
+  s.batch_end = s.batch.back().offset + 1;
+  s.batch_generation = generation_;
+  s.next_offset = s.batch_end;
+  stats_.records_fetched += s.batch.size();
+  if (on_fetched) {
+    for (const auto& r : s.batch) on_fetched(r, partition);
+  }
+
+  if (config_.commit_mode == CommitMode::kCommitBeforeDeliver) {
+    // At-most-once: the position moves before the application sees a single
+    // record. A crash mid-batch skips the tail forever.
+    commit_batch(s, partition);
+    if (sessions_.count(partition) == 0) return;  // Fenced; batch dropped.
+  }
+  s.process_timer.arm(config_.process_time,
+                      [this, partition] { process_next(partition); });
+}
+
+void GroupConsumer::process_next(std::int32_t partition) {
+  const auto it = sessions_.find(partition);
+  if (it == sessions_.end()) return;
+  Session& s = *it->second;
+  if (paused()) {  // Frozen mid-batch; resume (late) where we left off.
+    s.process_timer.arm(paused_until_ - sim_.now(),
+                        [this, partition] { process_next(partition); });
+    return;
+  }
+  if (s.batch_pos >= s.batch.size()) {
+    finish_batch(partition);
+    return;
+  }
+  const FetchedRecord r = s.batch[s.batch_pos++];
+  const std::int32_t gen = s.batch_generation;
+  ++stats_.records_delivered;
+  if (on_delivery) on_delivery(r, partition, gen);
+  // The delivery hook may crash() us (chaos-driven): re-validate.
+  const auto it2 = sessions_.find(partition);
+  if (it2 == sessions_.end()) return;
+  Session& s2 = *it2->second;
+  if (s2.batch_pos < s2.batch.size()) {
+    s2.process_timer.arm(config_.process_time,
+                         [this, partition] { process_next(partition); });
+  } else {
+    finish_batch(partition);
+  }
+}
+
+void GroupConsumer::finish_batch(std::int32_t partition) {
+  const auto it = sessions_.find(partition);
+  if (it == sessions_.end()) return;
+  Session& s = *it->second;
+  s.batch.clear();
+  s.batch_pos = 0;
+  if (config_.commit_mode == CommitMode::kCommitAfterDeliver) {
+    commit_batch(s, partition);
+    if (sessions_.count(partition) == 0) return;  // Fenced and rejoined.
+  }
+  fetch(partition);
+}
+
+void GroupConsumer::commit_batch(Session& s, std::int32_t partition) {
+  // Commit under the live generation while we are still a member (a
+  // cooperative rebalance may have turned the generation over mid-batch on
+  // a partition we kept — a real consumer retries the commit after
+  // rejoining). An evicted member has only its stale generation, and the
+  // coordinator fences it: the zombie-commit rule.
+  const std::int32_t gen = coordinator_.has_member(member_id_)
+                               ? generation_
+                               : s.batch_generation;
+  const ErrorCode rc =
+      coordinator_.commit(member_id_, gen, partition, s.batch_end);
+  if (rc != ErrorCode::kNone) {
+    handle_fenced();  // May clear sessions_; caller re-validates.
+    return;
+  }
+  ++stats_.commits;
+}
+
+void GroupConsumer::handle_fenced() {
+  ++stats_.commits_fenced;
+  if (!alive_) return;
+  if (coordinator_.has_member(member_id_)) return;  // Still in the group.
+  sessions_.clear();
+  join_group();
+}
+
+std::vector<std::int32_t> GroupConsumer::owned_partitions() const {
+  std::vector<std::int32_t> out;
+  for (const auto& [p, s] : sessions_) out.push_back(p);
+  return out;
+}
+
+std::int64_t GroupConsumer::position(std::int32_t partition) const {
+  const auto it = sessions_.find(partition);
+  return it == sessions_.end() ? -1 : it->second->next_offset;
+}
+
+}  // namespace ks::kafka

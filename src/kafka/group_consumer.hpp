@@ -1,0 +1,164 @@
+// A group-member consumer: fetches its assigned partitions over TCP and
+// commits consumed offsets through the GroupCoordinator.
+//
+// The commit discipline is the whole point. Each fetched batch is either
+// committed *before* delivery (crash mid-batch => the uncommitted tail is
+// skipped by the next owner: at-most-once, the paper's loss signature) or
+// *after* delivery (crash mid-batch => the delivered prefix is re-read by
+// the next owner: at-least-once, the duplication signature). Commits carry
+// the generation the batch was fetched under, so a zombie that wakes after
+// eviction delivers stale records but cannot move the committed offset —
+// the coordinator fences it and it rejoins.
+//
+// Fault hooks for the chaos harness: crash() (fail-stop: no leave, the
+// session times out), restart() (rejoin; static instance ids come back to
+// their old assignment without a rebalance), pause_for() (GC-pause zombie:
+// heartbeats and processing freeze, timers resume late).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "kafka/group.hpp"
+#include "kafka/protocol.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/endpoint.hpp"
+
+namespace ks::kafka {
+
+/// When the consumed offset is committed relative to application delivery.
+enum class CommitMode {
+  kCommitBeforeDeliver,  ///< At-most-once: crash loses the uncommitted tail.
+  kCommitAfterDeliver,   ///< At-least-once: crash re-delivers the prefix.
+};
+
+const char* to_string(CommitMode m) noexcept;
+
+class GroupConsumer {
+ public:
+  struct Config {
+    std::string name = "member";  ///< Stable label for metrics/tests.
+    std::string instance_id;      ///< Non-empty => static membership.
+    CommitMode commit_mode = CommitMode::kCommitAfterDeliver;
+    Duration heartbeat_interval = millis(100);
+    Duration process_time = micros(500);   ///< Per-record application work.
+    Duration fetch_backoff = millis(20);   ///< Poll wait when caught up.
+    Duration fetch_timeout = seconds(2);   ///< Re-issue lost fetches.
+    Duration reconnect_backoff = millis(100);
+    int max_records_per_fetch = 200;
+  };
+
+  struct Stats {
+    std::uint64_t fetches = 0;
+    std::uint64_t fetch_retries = 0;
+    std::uint64_t records_fetched = 0;
+    std::uint64_t records_delivered = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t commits_fenced = 0;
+    std::uint64_t assignments = 0;   ///< on_assigned callbacks observed.
+    std::uint64_t revocations = 0;   ///< Partitions taken away, cumulative.
+    std::uint64_t rejoins = 0;       ///< Joins after the first.
+    std::uint64_t crashes = 0;
+    std::uint64_t connection_resets = 0;
+  };
+
+  /// `endpoints[i]` is this member's connection to broker i; `leader_of`
+  /// maps a cluster partition id to the current leader broker (-1 offline).
+  GroupConsumer(sim::Simulation& sim, Config config,
+                GroupCoordinator& coordinator,
+                std::vector<tcp::Endpoint*> endpoints,
+                std::function<int(std::int32_t)> leader_of);
+
+  GroupConsumer(const GroupConsumer&) = delete;
+  GroupConsumer& operator=(const GroupConsumer&) = delete;
+
+  /// Join the group and begin fetching once assigned.
+  void start();
+
+  /// Fail-stop: drop all state without leaving the group. The coordinator
+  /// notices via session timeout (the paper's consumer-crash case).
+  void crash();
+
+  /// Come back after crash(): rejoin (static ids reclaim their old
+  /// assignment without a rebalance) and resume fetching.
+  void restart();
+
+  /// Freeze heartbeats and record processing for `d` (a long GC pause). If
+  /// `d` exceeds the session timeout the member becomes a zombie: evicted,
+  /// its in-flight batch delivered late, its commit fenced.
+  void pause_for(Duration d);
+
+  /// Application delivery, fired per record in offset order per partition.
+  std::function<void(const FetchedRecord&, std::int32_t partition,
+                     std::int32_t generation)>
+      on_delivery;
+  /// A record arrived in a fetch response (before any processing).
+  std::function<void(const FetchedRecord&, std::int32_t partition)> on_fetched;
+
+  const std::string& member_id() const noexcept { return member_id_; }
+  std::int32_t generation() const noexcept { return generation_; }
+  bool alive() const noexcept { return alive_; }
+  std::vector<std::int32_t> owned_partitions() const;
+  /// Next offset this member would fetch for `partition` (-1 = not owned).
+  std::int64_t position(std::int32_t partition) const;
+  const Stats& stats() const noexcept { return stats_; }
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  /// Per-owned-partition fetch/deliver state. Sessions are created from the
+  /// committed offset at assignment and dropped on revocation or crash.
+  struct Session {
+    explicit Session(sim::Simulation& sim)
+        : poll_timer(sim), process_timer(sim), fetch_timeout_timer(sim) {}
+    std::int64_t next_offset = 0;
+    bool fetch_outstanding = false;
+    std::uint64_t outstanding_request_id = 0;
+    int fetch_broker = -1;  ///< Broker the outstanding fetch went to.
+    std::vector<FetchedRecord> batch;  ///< Fetched, pending delivery.
+    std::size_t batch_pos = 0;
+    std::int64_t batch_end = 0;        ///< next_offset after this batch.
+    std::int32_t batch_generation = 0; ///< Generation at fetch time.
+    sim::Timer poll_timer;
+    sim::Timer process_timer;
+    sim::Timer fetch_timeout_timer;
+  };
+
+  void join_group();
+  void handle_assigned(std::int32_t generation,
+                       const std::vector<std::int32_t>& partitions);
+  void handle_revoked(std::int32_t generation,
+                      const std::vector<std::int32_t>& partitions);
+  void heartbeat();
+  void fetch(std::int32_t partition);
+  void handle_frame(std::shared_ptr<const void> payload);
+  void handle_fetch_timeout(std::int32_t partition);
+  void handle_reset(std::size_t broker);
+  void process_next(std::int32_t partition);
+  void finish_batch(std::int32_t partition);
+  void commit_batch(Session& s, std::int32_t partition);
+  void handle_fenced();
+  bool paused() const noexcept { return sim_.now() < paused_until_; }
+
+  sim::Simulation& sim_;
+  Config config_;
+  GroupCoordinator& coordinator_;
+  std::vector<tcp::Endpoint*> endpoints_;
+  std::function<int(std::int32_t)> leader_of_;
+  std::string member_id_;
+  std::int32_t generation_ = 0;
+  bool alive_ = false;
+  bool started_ = false;
+  TimePoint paused_until_ = 0;
+  std::map<std::int32_t, std::unique_ptr<Session>> sessions_;
+  std::uint64_t next_request_id_ = 1;
+  sim::Timer heartbeat_timer_;
+  std::vector<std::unique_ptr<sim::Timer>> reconnect_timers_;  ///< Per broker.
+  Stats stats_;
+};
+
+}  // namespace ks::kafka

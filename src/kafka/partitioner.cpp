@@ -1,0 +1,78 @@
+#include "kafka/partitioner.hpp"
+
+namespace ks::kafka {
+
+namespace {
+
+/// SplitMix64 finalizer: full-avalanche mix so contiguous source keys land
+/// uniformly across partitions (murmur2-on-key stand-in).
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+const char* to_string(PartitionerKind k) noexcept {
+  switch (k) {
+    case PartitionerKind::kKeyed: return "keyed";
+    case PartitionerKind::kRoundRobin: return "round_robin";
+  }
+  return "?";
+}
+
+int partition_index_for(PartitionerKind kind, Key key, std::uint64_t counter,
+                        int num_partitions) noexcept {
+  if (num_partitions <= 1) return 0;
+  const std::uint64_t n = static_cast<std::uint64_t>(num_partitions);
+  switch (kind) {
+    case PartitionerKind::kKeyed: return static_cast<int>(mix64(key) % n);
+    case PartitionerKind::kRoundRobin:
+      return static_cast<int>(counter % n);
+  }
+  return 0;
+}
+
+PartitionRouter::PartitionRouter(Source& upstream, int num_partitions,
+                                 PartitionerKind kind)
+    : upstream_(upstream),
+      kind_(kind),
+      routed_(static_cast<std::size_t>(num_partitions < 1 ? 1
+                                                          : num_partitions)) {
+  const int n = num_partitions < 1 ? 1 : num_partitions;
+  lanes_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    lanes_.push_back(std::make_unique<Lane>(*this, i));
+  }
+}
+
+RecordSource& PartitionRouter::lane(int partition_index) {
+  return *lanes_.at(static_cast<std::size_t>(partition_index));
+}
+
+std::optional<Record> PartitionRouter::Lane::pull() {
+  if (!queue_.empty()) {
+    Record r = queue_.front();
+    queue_.pop_front();
+    return r;
+  }
+  auto record = router_.upstream_.pull();
+  if (!record) return std::nullopt;
+  const int target = partition_index_for(router_.kind_, record->key,
+                                         router_.counter_++,
+                                         router_.num_partitions());
+  ++router_.routed_[static_cast<std::size_t>(target)];
+  if (target == index_) return record;
+  router_.lanes_[static_cast<std::size_t>(target)]->queue_.push_back(*record);
+  return std::nullopt;
+}
+
+bool PartitionRouter::Lane::exhausted() const noexcept {
+  return queue_.empty() && router_.upstream_.exhausted();
+}
+
+}  // namespace ks::kafka

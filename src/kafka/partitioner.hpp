@@ -1,0 +1,86 @@
+// Producer-side partitioning: how records of one upstream stream are
+// spread over the partitions of a topic.
+//
+// Real Kafka partitions inside one producer (per-partition batch queues in
+// the record accumulator). Here each partition gets its own Producer
+// instance — preserving the calibrated single-partition send path — and the
+// PartitionRouter stands in for the shared accumulator: it pulls from the
+// one upstream Source and routes each record to the lane of the partition
+// the partitioner picked. Every lane is a RecordSource, so a Producer
+// cannot tell it apart from a plain Source.
+//
+// Each partition producer runs its own idempotent producer id and sequence
+// counter; since broker-side dedup state lives per partition log, this
+// yields Kafka's per-partition sequence spaces.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "kafka/record.hpp"
+#include "kafka/source.hpp"
+
+namespace ks::kafka {
+
+enum class PartitionerKind {
+  kKeyed,       ///< hash(key) % partitions — Kafka's default for keyed data.
+  kRoundRobin,  ///< Record counter % partitions — the keyless spreader.
+};
+
+const char* to_string(PartitionerKind k) noexcept;
+
+/// Partition index for a record: kKeyed mixes the key (SplitMix64 finalizer,
+/// so adjacent keys spread), kRoundRobin cycles on the routed-record counter.
+int partition_index_for(PartitionerKind kind, Key key, std::uint64_t counter,
+                        int num_partitions) noexcept;
+
+class PartitionRouter {
+ public:
+  PartitionRouter(Source& upstream, int num_partitions, PartitionerKind kind);
+
+  PartitionRouter(const PartitionRouter&) = delete;
+  PartitionRouter& operator=(const PartitionRouter&) = delete;
+
+  int num_partitions() const noexcept {
+    return static_cast<int>(lanes_.size());
+  }
+  PartitionerKind kind() const noexcept { return kind_; }
+
+  /// The per-partition record stream handed to that partition's Producer.
+  RecordSource& lane(int partition_index);
+
+  /// Records routed to each partition index so far.
+  const std::vector<std::uint64_t>& routed() const noexcept {
+    return routed_;
+  }
+
+ private:
+  /// One partition's view of the routed stream. pull() serves the lane's
+  /// own queue first; otherwise it pulls the upstream once and either keeps
+  /// the record (ours) or parks it on the owning lane and reports empty —
+  /// the puller retries on its poll cadence, so no lane can starve another
+  /// by draining the whole upstream in one call.
+  class Lane : public RecordSource {
+   public:
+    Lane(PartitionRouter& router, int index)
+        : router_(router), index_(index) {}
+    std::optional<Record> pull() override;
+    bool exhausted() const noexcept override;
+
+   private:
+    friend class PartitionRouter;
+    PartitionRouter& router_;
+    int index_;
+    std::deque<Record> queue_;
+  };
+
+  Source& upstream_;
+  PartitionerKind kind_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::uint64_t> routed_;
+  std::uint64_t counter_ = 0;  ///< Round-robin position.
+};
+
+}  // namespace ks::kafka

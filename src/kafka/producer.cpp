@@ -82,7 +82,8 @@ ProducerConfig ProducerConfig::for_semantics(DeliverySemantics s) {
 }
 
 Producer::Producer(sim::Simulation& sim, ProducerConfig config,
-                   tcp::Endpoint& conn, Source& source, std::int32_t partition)
+                   tcp::Endpoint& conn, RecordSource& source,
+                   std::int32_t partition)
     : sim_(sim),
       config_(config),
       active_(&conn),

@@ -112,7 +112,7 @@ struct ProducerStats {
 class Producer {
  public:
   Producer(sim::Simulation& sim, ProducerConfig config, tcp::Endpoint& conn,
-           Source& source, std::int32_t partition = 0);
+           RecordSource& source, std::int32_t partition = 0);
 
   Producer(const Producer&) = delete;
   Producer& operator=(const Producer&) = delete;
@@ -208,7 +208,7 @@ class Producer {
   sim::Simulation& sim_;
   ProducerConfig config_;
   tcp::Endpoint* active_;  ///< Current broker connection.
-  Source& source_;
+  RecordSource& source_;
   std::int32_t partition_;
   std::vector<tcp::Endpoint*> endpoints_;  ///< Failover set (may be empty).
   std::function<int(std::int32_t)> leader_lookup_;

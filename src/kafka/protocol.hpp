@@ -33,6 +33,10 @@ enum class ErrorCode : int {
   kNotEnoughReplicas,      ///< |ISR| < min.insync.replicas (retriable).
   kOffsetOutOfRange,       ///< Fetch offset beyond the serving log.
   kDivergentLog,           ///< Replica fetch fingerprint mismatch: truncate.
+  // ---- consumer-group coordination ----
+  kIllegalGeneration,      ///< Commit from a superseded group generation.
+  kUnknownMemberId,        ///< Member not (or no longer) in the group.
+  kRebalanceInProgress,    ///< Group rebalancing; member must rejoin.
 };
 
 struct ProduceRequest {

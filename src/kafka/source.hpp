@@ -23,7 +23,18 @@
 
 namespace ks::kafka {
 
-class Source {
+/// What a producer needs from its upstream: a pull-based record stream with
+/// an end. Source implements it directly (the single-partition path); a
+/// PartitionRouter lane implements it per partition on top of one shared
+/// Source (the multi-partition path).
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+  virtual std::optional<Record> pull() = 0;
+  virtual bool exhausted() const noexcept = 0;
+};
+
+class Source : public RecordSource {
  public:
   struct Config {
     std::uint64_t total_messages = 100000;  ///< N (the paper uses 1e6).
@@ -50,10 +61,10 @@ class Source {
 
   /// Producer polls for the next record. Stamps created_at in on-demand
   /// mode; real-time records keep their emission timestamp.
-  std::optional<Record> pull();
+  std::optional<Record> pull() override;
 
   /// True once all N messages have been emitted and the buffer is drained.
-  bool exhausted() const noexcept;
+  bool exhausted() const noexcept override;
 
   /// Total messages this source will ever produce (the census baseline N).
   std::uint64_t total_messages() const noexcept {

@@ -108,6 +108,45 @@ std::string describe_timeline_entry(const RunReport::TimelineEntry& e) {
   if (e.kind == "fault_injected") {
     return "fault injected: " + e.note;
   }
+  if (e.kind == "group_member_joined") {
+    return fmt("group member %s joined (%lld member%s)", e.note.c_str(),
+               static_cast<long long>(e.a), e.a == 1 ? "" : "s");
+  }
+  if (e.kind == "group_member_left") {
+    return fmt("group member %s left (%lld remaining)", e.note.c_str(),
+               static_cast<long long>(e.a));
+  }
+  if (e.kind == "group_member_evicted") {
+    return fmt("group member %s EVICTED: session expired %.0fms ago",
+               e.note.c_str(), static_cast<double>(e.a) / 1000.0);
+  }
+  if (e.kind == "group_rebalance_begin") {
+    return fmt("group rebalance begins (generation %lld, %lld member%s)",
+               static_cast<long long>(e.a), static_cast<long long>(e.b),
+               e.b == 1 ? "" : "s");
+  }
+  if (e.kind == "group_partitions_revoked") {
+    return fmt("%lld partition%s revoked from %s (generation %lld)",
+               static_cast<long long>(e.a), e.a == 1 ? "" : "s",
+               e.note.c_str(), static_cast<long long>(e.b));
+  }
+  if (e.kind == "group_partitions_assigned") {
+    return fmt("%lld partition%s assigned to %s (generation %lld)",
+               static_cast<long long>(e.a), e.a == 1 ? "" : "s",
+               e.note.c_str(), static_cast<long long>(e.b));
+  }
+  if (e.kind == "group_generation_stable") {
+    return fmt("group stable at generation %lld with %lld member%s",
+               static_cast<long long>(e.a), static_cast<long long>(e.b),
+               e.b == 1 ? "" : "s");
+  }
+  if (e.kind == "group_zombie_fenced") {
+    return fmt(
+        "ZOMBIE FENCED: commit from %s under stale generation %lld "
+        "rejected (current %lld)",
+        e.note.c_str(), static_cast<long long>(e.a),
+        static_cast<long long>(e.b));
+  }
   std::string out = e.kind;
   if (!e.note.empty()) out += ": " + e.note;
   return out;
@@ -116,6 +155,7 @@ std::string describe_timeline_entry(const RunReport::TimelineEntry& e) {
 std::optional<std::uint64_t> pick_explain_key(const RunReport& report) {
   if (!report.acked_lost_keys.empty()) return report.acked_lost_keys.front();
   if (!report.lost_keys.empty()) return report.lost_keys.front();
+  if (!report.group_lost_keys.empty()) return report.group_lost_keys.front();
   for (const auto& e : report.trace) {
     if (e.event == "failed" || e.event == "expired") return e.key;
   }
@@ -203,6 +243,11 @@ std::string explain_key(const RunReport& report, std::uint64_t key) {
     } else {
       out += "LOST - never committed to the log";
     }
+  } else if (contains(report.group_lost_keys, key)) {
+    out +=
+        "GROUP LOST - committed to the log and skipped by the consumer "
+        "group: its committed offset moved past this record without a "
+        "delivery (the commit-before-deliver crash window)";
   } else if (delivered && duplicates > 0) {
     out += fmt("DELIVERED with %d duplicate deliveries", duplicates);
   } else if (delivered) {

@@ -187,6 +187,10 @@ std::string RunReport::json_impl(bool include_perf) const {
   w.begin_array();
   for (const auto k : lost_keys) w.value(k);
   w.end_array();
+  w.key("group_lost_keys");
+  w.begin_array();
+  for (const auto k : group_lost_keys) w.value(k);
+  w.end_array();
   w.end_object();
 
   if (include_perf) {

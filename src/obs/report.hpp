@@ -107,6 +107,9 @@ struct RunReport {
   /// first so ks_explain has material): acked-then-missing, and missing.
   std::vector<std::uint64_t> acked_lost_keys;
   std::vector<std::uint64_t> lost_keys;
+  /// Keys a consumer group's committed offset passed over without ever
+  /// delivering (commit-before-deliver crash signature).
+  std::vector<std::uint64_t> group_lost_keys;
 
   /// Final value of a metric by full name (`name{labels}` or bare name);
   /// `fallback` when absent.

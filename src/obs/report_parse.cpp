@@ -175,6 +175,7 @@ std::optional<RunReport> report_from_json(std::string_view text) {
       anomalies != nullptr && anomalies->is_object()) {
     parse_key_list(*anomalies, "acked_lost_keys", report.acked_lost_keys);
     parse_key_list(*anomalies, "lost_keys", report.lost_keys);
+    parse_key_list(*anomalies, "group_lost_keys", report.group_lost_keys);
   }
   if (const auto* perf = doc->find("perf");
       perf != nullptr && perf->is_object()) {

@@ -23,6 +23,18 @@ const char* to_string(ClusterEventKind k) noexcept {
     case ClusterEventKind::kConsumerTruncation: return "consumer_truncation";
     case ClusterEventKind::kConsumerStall: return "consumer_stall";
     case ClusterEventKind::kFaultInjected: return "fault_injected";
+    case ClusterEventKind::kGroupMemberJoined: return "group_member_joined";
+    case ClusterEventKind::kGroupMemberLeft: return "group_member_left";
+    case ClusterEventKind::kGroupMemberEvicted: return "group_member_evicted";
+    case ClusterEventKind::kGroupRebalanceBegin:
+      return "group_rebalance_begin";
+    case ClusterEventKind::kGroupPartitionsRevoked:
+      return "group_partitions_revoked";
+    case ClusterEventKind::kGroupPartitionsAssigned:
+      return "group_partitions_assigned";
+    case ClusterEventKind::kGroupGenerationStable:
+      return "group_generation_stable";
+    case ClusterEventKind::kGroupZombieFenced: return "group_zombie_fenced";
   }
   return "?";
 }

@@ -35,6 +35,15 @@ enum class ClusterEventKind : std::uint8_t {
   kConsumerTruncation,   ///< Consumer offset beyond HW; a = new position.
   kConsumerStall,        ///< Consumer exhausted its fetch-retry budget.
   kFaultInjected,        ///< Scheduled net fault applied (note = describe()).
+  // ---- consumer-group coordination (note = member id unless stated) ----
+  kGroupMemberJoined,    ///< a = member count after the join.
+  kGroupMemberLeft,      ///< Graceful leave; a = member count after.
+  kGroupMemberEvicted,   ///< Session timeout; a = missed-by (us).
+  kGroupRebalanceBegin,  ///< a = outgoing generation, b = member count.
+  kGroupPartitionsRevoked,   ///< a = revoked count, b = generation.
+  kGroupPartitionsAssigned,  ///< a = assigned count, b = new generation.
+  kGroupGenerationStable,    ///< a = generation, b = member count.
+  kGroupZombieFenced,    ///< Stale commit rejected; a = stale generation.
 };
 
 const char* to_string(ClusterEventKind k) noexcept;

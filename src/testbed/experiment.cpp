@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <chrono>
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "kafka/consumer.hpp"
+#include "kafka/group.hpp"
+#include "kafka/group_consumer.hpp"
+#include "kafka/partitioner.hpp"
 #include "net/netem.hpp"
 #include "obs/profiler.hpp"
 #include "obs/sampler.hpp"
@@ -93,9 +99,16 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   cluster_config.interbroker_link.bandwidth_bps = kLinkBandwidthBps;
   cluster_config.interbroker_link.queue_capacity = kLinkQueueCapacity;
   kafka::Cluster cluster(sim, cluster_config);
-  cluster.create_topic("stream", 1);
+  const int num_partitions = std::max(scenario.partitions, 1);
+  const bool multi = num_partitions > 1;
+  const bool grouped = scenario.group_size > 0;
+  cluster.create_topic("stream", num_partitions);
   auto& leader = cluster.leader_of("stream", 0);
   const std::int32_t partition = cluster.partition_id("stream", 0);
+  std::vector<std::int32_t> partition_ids;
+  for (int p = 0; p < num_partitions; ++p) {
+    partition_ids.push_back(cluster.partition_id("stream", p));
+  }
   const bool replicated = scenario.replication_factor > 1;
 
   // Producer <-> broker links with NetEm impairments on the egress. The
@@ -105,21 +118,49 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   net::Link::Config link_config;
   link_config.bandwidth_bps = kLinkBandwidthBps;
   link_config.queue_capacity = kLinkQueueCapacity;
-  const int num_conns = replicated ? cluster.num_brokers() : 1;
+  // One producer per partition; each gets its own impaired connection(s):
+  // its partition's home broker at rf=1, every broker when replicated
+  // (failover). At partitions == 1 the wiring — names, counts, creation
+  // order — is byte-identical to the pre-group testbed.
   std::vector<std::unique_ptr<net::DuplexLink>> links;
   std::vector<std::unique_ptr<net::NetEm>> netems;
-  for (int i = 0; i < num_conns; ++i) {
-    links.push_back(std::make_unique<net::DuplexLink>(
-        sim, link_config,
-        std::make_shared<net::ConstantDelay>(kBaseLanDelay),
-        std::make_shared<net::NoLoss>(),
-        std::make_shared<net::ConstantDelay>(kBaseLanDelay),
-        std::make_shared<net::NoLoss>(),
-        "prod-broker" + std::to_string(i)));
-    netems.push_back(std::make_unique<net::NetEm>(
-        sim, *links.back(), net::NetEm::Direction::kForward, kBaseLanDelay));
-    netems.back()->apply(kBaseLanDelay + scenario.network_delay,
-                         scenario.packet_loss);
+  std::vector<std::unique_ptr<tcp::Pair>> conns;
+  std::vector<std::vector<std::size_t>> producer_conns(
+      static_cast<std::size_t>(num_partitions));
+  for (int p = 0; p < num_partitions; ++p) {
+    const int home = std::max(cluster.current_leader(partition_ids[p]), 0);
+    const int fanout = replicated ? cluster.num_brokers() : 1;
+    for (int i = 0; i < fanout; ++i) {
+      const int broker_index = replicated ? i : home;
+      std::string link_name;
+      std::string conn_name;
+      if (!multi) {
+        link_name = "prod-broker" + std::to_string(i);
+        conn_name = i == 0 ? std::string("prod-conn")
+                           : "prod-conn" + std::to_string(i);
+      } else {
+        link_name = "prod" + std::to_string(p) + "-broker" +
+                    std::to_string(broker_index);
+        conn_name = "prod" + std::to_string(p) + "-conn" +
+                    std::to_string(broker_index);
+      }
+      links.push_back(std::make_unique<net::DuplexLink>(
+          sim, link_config,
+          std::make_shared<net::ConstantDelay>(kBaseLanDelay),
+          std::make_shared<net::NoLoss>(),
+          std::make_shared<net::ConstantDelay>(kBaseLanDelay),
+          std::make_shared<net::NoLoss>(), link_name));
+      netems.push_back(std::make_unique<net::NetEm>(
+          sim, *links.back(), net::NetEm::Direction::kForward,
+          kBaseLanDelay));
+      netems.back()->apply(kBaseLanDelay + scenario.network_delay,
+                           scenario.packet_loss);
+      conns.push_back(std::make_unique<tcp::Pair>(
+          sim, tcp_config(scenario.semantics), *links.back(), conn_name));
+      cluster.broker(broker_index).attach(conns.back()->server);
+      producer_conns[static_cast<std::size_t>(p)].push_back(conns.size() -
+                                                            1);
+    }
   }
   net::DuplexLink& link = *links.front();
 
@@ -160,17 +201,14 @@ ExperimentResult run_experiment(const Scenario& scenario) {
       case FaultAction::Kind::kBrokerResume:
         sim.at(f.at, [&cluster, b = f.broker] { cluster.resume_broker(b); });
         break;
+      case FaultAction::Kind::kConsumerCrash:
+      case FaultAction::Kind::kConsumerRestart:
+      case FaultAction::Kind::kConsumerPause:
+      case FaultAction::Kind::kGroupScaleOut:
+        break;  // Wired up below, once the group members exist.
     }
   }
 
-  std::vector<std::unique_ptr<tcp::Pair>> conns;
-  for (int i = 0; i < num_conns; ++i) {
-    conns.push_back(std::make_unique<tcp::Pair>(
-        sim, tcp_config(scenario.semantics), *links[static_cast<std::size_t>(i)],
-        i == 0 ? std::string("prod-conn")
-               : "prod-conn" + std::to_string(i)));
-    cluster.broker(i).attach(conns.back()->server);
-  }
   tcp::Pair& conn = *conns.front();
 
   // Source: full load tracks serialization speed; otherwise the given rate.
@@ -197,15 +235,37 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   }
   kafka::Source source(sim, source_config);
 
-  kafka::Producer producer(sim, producer_config(scenario), conn.client,
-                           source, partition);
-  if (replicated) {
-    std::vector<tcp::Endpoint*> endpoints;
-    for (auto& c : conns) endpoints.push_back(&c->client);
-    producer.enable_failover(std::move(endpoints),
-                             [&cluster](std::int32_t p) {
-                               return cluster.current_leader(p);
-                             });
+  // One producer per partition. At partitions == 1 the router is bypassed
+  // entirely and the producer consumes the source directly, exactly as the
+  // pre-group testbed did. Idempotent producer ids are distinct per
+  // partition producer, so each (producer, partition) sequence space
+  // stands alone.
+  std::unique_ptr<kafka::PartitionRouter> router;
+  if (multi) {
+    router = std::make_unique<kafka::PartitionRouter>(source, num_partitions,
+                                                      scenario.partitioner);
+  }
+  std::vector<std::unique_ptr<kafka::Producer>> producers;
+  for (int p = 0; p < num_partitions; ++p) {
+    auto pc = producer_config(scenario);
+    if (pc.producer_id != 0) {
+      pc.producer_id += static_cast<std::uint64_t>(p);
+    }
+    kafka::RecordSource& upstream =
+        multi ? static_cast<kafka::RecordSource&>(router->lane(p))
+              : static_cast<kafka::RecordSource&>(source);
+    const auto& pconns = producer_conns[static_cast<std::size_t>(p)];
+    producers.push_back(std::make_unique<kafka::Producer>(
+        sim, pc, conns[pconns.front()]->client, upstream,
+        partition_ids[static_cast<std::size_t>(p)]));
+    if (replicated) {
+      std::vector<tcp::Endpoint*> endpoints;
+      for (const auto ci : pconns) endpoints.push_back(&conns[ci]->client);
+      producers.back()->enable_failover(std::move(endpoints),
+                                        [&cluster](std::int32_t pr) {
+                                          return cluster.current_leader(pr);
+                                        });
+    }
   }
 
   // Message-lifecycle trace (Fig. 2 transitions with cause + timestamp) for
@@ -234,23 +294,25 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   // Acked-key bitmap: what the application believes was delivered. Compared
   // against the committed census at the end — the no-acked-loss invariant.
   std::vector<std::uint8_t> acked(scenario.num_messages, 0);
-  producer.on_send_attempt = [&](const kafka::Record& r, int attempt) {
-    tracker.on_send_attempt(r.key, attempt);
-    trace.record(sim.now(), r.key,
-                 attempt <= 1 ? obs::TraceEvent::kSendAttempt
-                              : obs::TraceEvent::kRetry,
-                 attempt);
-  };
-  producer.on_record_expired = [&](const kafka::Record& r) {
-    trace.record(sim.now(), r.key, obs::TraceEvent::kExpired);
-  };
-  producer.on_record_failed = [&](const kafka::Record& r) {
-    trace.record(sim.now(), r.key, obs::TraceEvent::kFailed, r.attempts);
-  };
-  producer.on_record_acked = [&](const kafka::Record& r) {
-    if (r.key < acked.size()) acked[r.key] = 1;
-    trace.record(sim.now(), r.key, obs::TraceEvent::kAcked, r.attempts);
-  };
+  for (auto& pr : producers) {
+    pr->on_send_attempt = [&](const kafka::Record& r, int attempt) {
+      tracker.on_send_attempt(r.key, attempt);
+      trace.record(sim.now(), r.key,
+                   attempt <= 1 ? obs::TraceEvent::kSendAttempt
+                                : obs::TraceEvent::kRetry,
+                   attempt);
+    };
+    pr->on_record_expired = [&](const kafka::Record& r) {
+      trace.record(sim.now(), r.key, obs::TraceEvent::kExpired);
+    };
+    pr->on_record_failed = [&](const kafka::Record& r) {
+      trace.record(sim.now(), r.key, obs::TraceEvent::kFailed, r.attempts);
+    };
+    pr->on_record_acked = [&](const kafka::Record& r) {
+      if (r.key < acked.size()) acked[r.key] = 1;
+      trace.record(sim.now(), r.key, obs::TraceEvent::kAcked, r.attempts);
+    };
+  }
   obs::Histogram delivery_latency =
       sim.metrics().histogram("delivery_latency_us");
   std::uint64_t stale = 0;
@@ -264,18 +326,18 @@ ExperimentResult run_experiment(const Scenario& scenario) {
     std::int64_t base = -1;
     std::int64_t count = 1;
   };
-  std::vector<OffsetWatch> offsets(
-      static_cast<std::size_t>(cluster.num_brokers()));
+  std::map<std::pair<int, std::int32_t>, OffsetWatch> offsets;
   std::uint64_t elections_seen = 0;
   for (int b = 0; b < cluster.num_brokers(); ++b) {
-    cluster.broker(b).on_append = [&, b](const kafka::Record& r,
+    cluster.broker(b).on_append = [&, b](std::int32_t part,
+                                         const kafka::Record& r,
                                          std::int64_t offset) {
       ++result.appends_observed;
       if (cluster.stats().elections != elections_seen) {
         elections_seen = cluster.stats().elections;
-        for (auto& watch : offsets) watch = OffsetWatch{};
+        offsets.clear();
       }
-      auto& w = offsets[static_cast<std::size_t>(b)];
+      auto& w = offsets[{b, part}];
       const bool fresh_after_election =
           replicated && w.base == -1 && offset > 0;
       if (offset == w.base) {
@@ -308,16 +370,161 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   };
   if (scenario.sample_interval > 0) sim.after(0, sampler_tick);
 
+  // ---- consumer group: members consume live during production ------------
+  // Each member owns one clean LAN connection per broker (the faults under
+  // study are member faults and producer-side network faults, as in the
+  // paper). Delivery accounting feeds the group-semantics invariants:
+  // per-key delivery counts, and per-(partition, generation) offset maps
+  // remembering who delivered each offset (member, incarnation). A repeat
+  // within one generation is a fencing violation — two owners, or a live
+  // member repeating itself — unless it is the same member redelivering
+  // after a crash wiped its delivery state (a static member that bounces
+  // inside the session timeout rejoins without a generation bump, so its
+  // at-least-once redelivery window legitimately shares the generation).
+  // Repeats across generations are the ordinary rebalance signature.
+  std::unique_ptr<kafka::GroupCoordinator> coordinator;
+  std::vector<std::unique_ptr<net::DuplexLink>> member_links;
+  std::vector<std::unique_ptr<tcp::Pair>> member_conns;
+  std::vector<std::unique_ptr<kafka::GroupConsumer>> members;
+  std::vector<std::uint32_t> delivered_count;
+  std::map<std::pair<std::int32_t, std::int32_t>,
+           std::map<std::int64_t, std::pair<int, std::uint64_t>>>
+      generation_offsets;
+  if (grouped) {
+    kafka::GroupCoordinator::Config gc;
+    gc.strategy = scenario.group_strategy;
+    gc.session_timeout = scenario.group_session_timeout;
+    gc.partitions = partition_ids;
+    coordinator = std::make_unique<kafka::GroupCoordinator>(sim, gc);
+    delivered_count.assign(scenario.num_messages, 0);
+
+    int scale_outs = 0;
+    for (const auto& f : scenario.faults) {
+      if (f.kind == FaultAction::Kind::kGroupScaleOut) ++scale_outs;
+    }
+    const int total_members = scenario.group_size + scale_outs;
+    for (int m = 0; m < total_members; ++m) {
+      std::vector<tcp::Endpoint*> eps;
+      for (int b = 0; b < cluster.num_brokers(); ++b) {
+        member_links.push_back(std::make_unique<net::DuplexLink>(
+            sim, link_config,
+            std::make_shared<net::ConstantDelay>(kBaseLanDelay),
+            std::make_shared<net::NoLoss>(),
+            std::make_shared<net::ConstantDelay>(kBaseLanDelay),
+            std::make_shared<net::NoLoss>(),
+            "member" + std::to_string(m) + "-broker" + std::to_string(b)));
+        member_conns.push_back(std::make_unique<tcp::Pair>(
+            sim, tcp_config(scenario.semantics), *member_links.back(),
+            "member" + std::to_string(m) + "-conn" + std::to_string(b)));
+        cluster.broker(b).attach(member_conns.back()->server);
+        eps.push_back(&member_conns.back()->client);
+      }
+      kafka::GroupConsumer::Config mc;
+      mc.name = "member" + std::to_string(m);
+      if (scenario.group_static_membership) {
+        mc.instance_id = "inst-" + std::to_string(m);
+      }
+      mc.commit_mode = scenario.group_commit_mode;
+      mc.process_time = scenario.group_process_time;
+      mc.heartbeat_interval = scenario.group_heartbeat_interval;
+      members.push_back(std::make_unique<kafka::GroupConsumer>(
+          sim, mc, *coordinator, std::move(eps),
+          [&cluster](std::int32_t pr) {
+            return cluster.current_leader(pr);
+          }));
+      members.back()->on_fetched = [&](const kafka::FetchedRecord& r,
+                                       std::int32_t /*part*/) {
+        ++result.group_records_fetched;
+        trace.record(sim.now(), r.key, obs::TraceEvent::kFetched,
+                     static_cast<std::int32_t>(r.offset));
+      };
+      members.back()->on_delivery = [&, m](const kafka::FetchedRecord& r,
+                                           std::int32_t part,
+                                           std::int32_t gen) {
+        ++result.group_records_delivered;
+        const std::pair<int, std::uint64_t> deliverer{
+            m, members[static_cast<std::size_t>(m)]->stats().crashes};
+        auto [slot, fresh] =
+            generation_offsets[{part, gen}].emplace(r.offset, deliverer);
+        if (!fresh) {
+          if (slot->second.first != m ||
+              slot->second.second == deliverer.second) {
+            ++result.group_same_generation_dups;
+          }
+          slot->second = deliverer;
+        }
+        if (r.key >= delivered_count.size()) return;
+        if (delivered_count[r.key]++ == 0) {
+          ++result.group_unique_delivered;
+          trace.record(sim.now(), r.key, obs::TraceEvent::kDelivered);
+        } else {
+          ++result.group_duplicate_deliveries;
+          trace.record(sim.now(), r.key, obs::TraceEvent::kDupDetected);
+        }
+      };
+    }
+    // Initial members join staggered (exercising join-window coalescing);
+    // standby members activate at their kGroupScaleOut times, in schedule
+    // order. Member faults target the members by index.
+    for (int m = 0; m < scenario.group_size; ++m) {
+      sim.at(static_cast<TimePoint>(m) * millis(5),
+             [gm = members[static_cast<std::size_t>(m)].get()] {
+               gm->start();
+             });
+    }
+    int standby = scenario.group_size;
+    for (const auto& f : scenario.faults) {
+      const bool member_in_range =
+          f.member >= 0 && f.member < static_cast<int>(members.size());
+      switch (f.kind) {
+        case FaultAction::Kind::kConsumerCrash:
+          if (member_in_range) {
+            sim.at(f.at, [gm = members[static_cast<std::size_t>(
+                              f.member)].get()] { gm->crash(); });
+          }
+          break;
+        case FaultAction::Kind::kConsumerRestart:
+          if (member_in_range) {
+            sim.at(f.at, [gm = members[static_cast<std::size_t>(
+                              f.member)].get()] { gm->restart(); });
+          }
+          break;
+        case FaultAction::Kind::kConsumerPause:
+          if (member_in_range) {
+            sim.at(f.at, [gm = members[static_cast<std::size_t>(
+                              f.member)].get(),
+                          d = f.delay] { gm->pause_for(d); });
+          }
+          break;
+        case FaultAction::Kind::kGroupScaleOut:
+          if (standby < static_cast<int>(members.size())) {
+            sim.at(f.at, [gm = members[static_cast<std::size_t>(
+                              standby)].get()] { gm->start(); });
+            ++standby;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
   cluster.start();
   source.start();
-  producer.start();
+  for (auto& pr : producers) pr->start();
 
   // Run to completion (with a hard cap), then drain in-flight traffic
   // (including follower catch-up and pending elections).
-  while (!producer.finished() && sim.now() < kMaxSimTime) {
+  const auto producers_finished = [&] {
+    for (const auto& pr : producers) {
+      if (!pr->finished()) return false;
+    }
+    return true;
+  };
+  while (!producers_finished() && sim.now() < kMaxSimTime) {
     sim.run(sim.now() + seconds(1));
   }
-  result.completed = producer.finished();
+  result.completed = producers_finished();
   const TimePoint finish_time = sim.now();
   sim.run(finish_time + kDrainGrace);
 
@@ -327,7 +534,7 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   // observable source-to-consumer. Runs after the fault schedule; fetches
   // never mutate broker logs, and the high watermark only advances, so the
   // census below is unaffected by the extra simulated time.
-  if (scenario.consumer_drain) {
+  if (scenario.consumer_drain && !grouped) {
     const int drain_leader =
         replicated ? cluster.current_leader(partition) : 0;
     std::int64_t drain_target = 0;
@@ -403,6 +610,34 @@ ExperimentResult run_experiment(const Scenario& scenario) {
     }
   }
 
+  // Group drain: keep the simulation running until every partition's group
+  // committed offset reaches its leader's final high watermark (the group
+  // has consumed and committed everything a consumer can ever read), or a
+  // deadline — some chaos schedules legitimately leave the group
+  // short-handed or stalled.
+  const auto leader_hw = [&](int p) -> std::int64_t {
+    const int lb =
+        cluster.current_leader(partition_ids[static_cast<std::size_t>(p)]);
+    if (lb < 0) return 0;
+    const auto* log = cluster.broker(lb).partition(
+        partition_ids[static_cast<std::size_t>(p)]);
+    return log ? log->high_watermark() : 0;
+  };
+  if (grouped) {
+    const auto group_caught_up = [&] {
+      for (int p = 0; p < num_partitions; ++p) {
+        const auto pid = partition_ids[static_cast<std::size_t>(p)];
+        if (coordinator->committed(pid) < leader_hw(p)) return false;
+      }
+      return true;
+    };
+    const TimePoint group_deadline = sim.now() + seconds(60);
+    while (!group_caught_up() && sim.now() < group_deadline) {
+      sim.run(sim.now() + millis(100));
+    }
+    result.group_drained = group_caught_up();
+  }
+
   // Census: the paper's key comparison (committed records only).
   result.census = cluster.census("stream", scenario.num_messages);
   result.p_loss = result.census.p_loss();
@@ -438,6 +673,57 @@ ExperimentResult run_experiment(const Scenario& scenario) {
             acked_lost_keys);
     collect([&](std::uint64_t k) { return counts[k] == 0; }, lost_keys);
   }
+
+  // Group-lost records: keys the committed log holds, whose every
+  // occurrence lies below the group's final committed offset, yet the
+  // application never saw — the at-most-once crash signature
+  // (commit-before-deliver moved the offset past an undelivered tail).
+  // Keys with an occurrence at or above the committed offset are merely
+  // unconsumed (the drain deadline hit), not lost.
+  std::vector<std::uint64_t> group_lost_keys;
+  if (grouped) {
+    struct KeyFate {
+      bool in_log = false;
+      bool reachable = false;
+    };
+    std::vector<KeyFate> fates(scenario.num_messages);
+    for (int p = 0; p < num_partitions; ++p) {
+      const auto pid = partition_ids[static_cast<std::size_t>(p)];
+      const int lb = cluster.current_leader(pid);
+      if (lb < 0) continue;
+      const auto* log = cluster.broker(lb).partition(pid);
+      if (log == nullptr) continue;
+      const std::int64_t hw = log->high_watermark();
+      const std::int64_t committed = coordinator->committed(pid);
+      const auto& entries = log->entries();
+      const auto end = std::min<std::int64_t>(
+          hw, static_cast<std::int64_t>(entries.size()));
+      for (std::int64_t off = 0; off < end; ++off) {
+        const auto key = entries[static_cast<std::size_t>(off)].key;
+        if (key >= scenario.num_messages) continue;
+        fates[key].in_log = true;
+        if (off >= committed) fates[key].reachable = true;
+      }
+    }
+    const auto is_group_lost = [&](std::uint64_t k) {
+      return fates[k].in_log && !fates[k].reachable &&
+             delivered_count[k] == 0;
+    };
+    for (std::uint64_t k = 0; k < scenario.num_messages; ++k) {
+      if (is_group_lost(k)) ++result.group_lost;
+    }
+    constexpr std::size_t kMaxGroupLostKeys = 32;
+    for (int pass = 0; pass < 2 && group_lost_keys.size() < kMaxGroupLostKeys;
+         ++pass) {
+      for (std::uint64_t k = 0;
+           k < scenario.num_messages &&
+           group_lost_keys.size() < kMaxGroupLostKeys;
+           ++k) {
+        if (trace.sampled(k) != (pass == 0)) continue;
+        if (is_group_lost(k)) group_lost_keys.push_back(k);
+      }
+    }
+  }
   result.leader_elections = cluster.stats().elections;
   result.unclean_elections = cluster.stats().unclean_elections;
   result.committed_regressions = cluster.stats().committed_regressions;
@@ -469,14 +755,16 @@ ExperimentResult run_experiment(const Scenario& scenario) {
     result.p99_latency_ms = to_millis(latency.p99());
   }
 
-  const auto& ps = producer.stats();
   result.source_overruns = source.stats().overrun_dropped;
-  result.expired_in_queue = ps.expired;
-  result.connection_resets = ps.connection_resets;
-  result.requests_retried = ps.requests_retried;
-  result.request_timeouts = ps.request_timeouts;
-  result.producer_failovers = ps.failovers;
-  result.producer_not_leader_errors = ps.not_leader_errors;
+  for (const auto& pr : producers) {
+    const auto& ps = pr->stats();
+    result.expired_in_queue += ps.expired;
+    result.connection_resets += ps.connection_resets;
+    result.requests_retried += ps.requests_retried;
+    result.request_timeouts += ps.request_timeouts;
+    result.producer_failovers += ps.failovers;
+    result.producer_not_leader_errors += ps.not_leader_errors;
+  }
   result.batches_deduplicated = leader.stats().batches_deduplicated;
   for (int b = 1; b < cluster.num_brokers(); ++b) {
     result.batches_deduplicated +=
@@ -500,6 +788,7 @@ ExperimentResult run_experiment(const Scenario& scenario) {
       &trace, &sim.tracer(), &sim.timeline());
   result.report.acked_lost_keys = std::move(acked_lost_keys);
   result.report.lost_keys = std::move(lost_keys);
+  result.report.group_lost_keys = std::move(group_lost_keys);
   auto& summary = result.report.summary;
   summary["p_loss"] = result.p_loss;
   summary["p_duplicate"] = result.p_duplicate;
@@ -551,6 +840,65 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   summary["consumer_truncations"] =
       static_cast<double>(result.consumer_truncations);
   summary["consumer_drained"] = result.consumer_drained ? 1.0 : 0.0;
+  // Partition/group keys are emitted only for multi-partition or grouped
+  // runs, so the single-partition summary (and its canonical_json) stays
+  // byte-identical to previous versions.
+  if (multi || grouped) {
+    summary["partitions"] = static_cast<double>(num_partitions);
+    summary["partitioner"] =
+        scenario.partitioner == kafka::PartitionerKind::kKeyed ? 0.0 : 1.0;
+    for (int p = 0; p < num_partitions; ++p) {
+      const auto pid = partition_ids[static_cast<std::size_t>(p)];
+      summary["partition_records_" + std::to_string(p)] =
+          static_cast<double>(leader_hw(p));
+      if (grouped) {
+        summary["partition_committed_" + std::to_string(p)] =
+            static_cast<double>(coordinator->committed(pid));
+      }
+    }
+  }
+  if (grouped) {
+    const auto& gs = coordinator->stats();
+    result.group_generation = coordinator->generation();
+    result.group_rebalances = gs.rebalances;
+    result.group_evictions = gs.evictions;
+    result.group_static_rejoins = gs.static_rejoins;
+    result.group_commits = gs.commits_accepted;
+    result.group_commits_fenced = gs.commits_fenced;
+    result.group_partitions_moved = gs.partitions_moved;
+    summary["group_size"] = static_cast<double>(scenario.group_size);
+    summary["group_commit_mode"] =
+        scenario.group_commit_mode == kafka::CommitMode::kCommitBeforeDeliver
+            ? 0.0
+            : 1.0;
+    summary["group_strategy"] =
+        scenario.group_strategy == kafka::AssignmentStrategy::kEager ? 0.0
+                                                                     : 1.0;
+    summary["group_generation"] = static_cast<double>(result.group_generation);
+    summary["group_rebalances"] = static_cast<double>(result.group_rebalances);
+    summary["group_evictions"] = static_cast<double>(result.group_evictions);
+    summary["group_static_rejoins"] =
+        static_cast<double>(result.group_static_rejoins);
+    summary["group_commits"] = static_cast<double>(result.group_commits);
+    summary["group_commits_fenced"] =
+        static_cast<double>(result.group_commits_fenced);
+    summary["group_partitions_moved"] =
+        static_cast<double>(result.group_partitions_moved);
+    summary["group_offset_log_entries"] =
+        static_cast<double>(coordinator->offset_log().size());
+    summary["group_records_fetched"] =
+        static_cast<double>(result.group_records_fetched);
+    summary["group_records_delivered"] =
+        static_cast<double>(result.group_records_delivered);
+    summary["group_unique_delivered"] =
+        static_cast<double>(result.group_unique_delivered);
+    summary["group_duplicate_deliveries"] =
+        static_cast<double>(result.group_duplicate_deliveries);
+    summary["group_same_generation_dups"] =
+        static_cast<double>(result.group_same_generation_dups);
+    summary["group_lost"] = static_cast<double>(result.group_lost);
+    summary["group_drained"] = result.group_drained ? 1.0 : 0.0;
+  }
 
   // Perf metadata last, so the wall duration covers the whole run including
   // report building. Allocation counters tick whether or not the profiler

@@ -85,6 +85,30 @@ struct ExperimentResult {
   std::uint64_t consumer_truncations = 0; ///< Position re-pointed downward.
   bool consumer_drained = false;          ///< Reached the drain target.
 
+  // Consumer-group stage (group_size > 0; all zero otherwise).
+  std::uint64_t group_records_fetched = 0;
+  std::uint64_t group_records_delivered = 0;   ///< Incl. re-deliveries.
+  std::uint64_t group_unique_delivered = 0;    ///< Distinct keys delivered.
+  std::uint64_t group_duplicate_deliveries = 0;
+  /// Same (partition, offset) delivered twice within one generation by two
+  /// different members, or repeated by one live member — a fencing
+  /// violation (must be zero on every run). The one legitimate repeat, a
+  /// member redelivering its uncommitted window after a crash wiped its
+  /// delivery state (e.g. a static member bouncing inside the session
+  /// timeout, which bumps no generation), is not counted.
+  std::uint64_t group_same_generation_dups = 0;
+  /// Committed-log keys the group's offset passed over without delivering —
+  /// the at-most-once (commit-before-deliver) crash signature.
+  std::uint64_t group_lost = 0;
+  std::uint64_t group_rebalances = 0;
+  std::uint64_t group_evictions = 0;
+  std::uint64_t group_static_rejoins = 0;
+  std::uint64_t group_commits = 0;
+  std::uint64_t group_commits_fenced = 0;
+  std::uint64_t group_partitions_moved = 0;
+  std::int32_t group_generation = 0;
+  bool group_drained = false;  ///< Committed reached every partition's HW.
+
   /// Structured run artifact: final metric values across every layer,
   /// sampled time series, histogram summaries and the message trace.
   obs::RunReport report;

@@ -31,6 +31,22 @@ std::string FaultAction::describe() const {
       std::snprintf(buf, sizeof(buf), "t=%.2fs broker%d resume",
                     to_seconds(at), broker);
       break;
+    case Kind::kConsumerCrash:
+      std::snprintf(buf, sizeof(buf), "t=%.2fs member%d crash",
+                    to_seconds(at), member);
+      break;
+    case Kind::kConsumerRestart:
+      std::snprintf(buf, sizeof(buf), "t=%.2fs member%d restart",
+                    to_seconds(at), member);
+      break;
+    case Kind::kConsumerPause:
+      std::snprintf(buf, sizeof(buf), "t=%.2fs member%d pause %.0fms",
+                    to_seconds(at), member, to_millis(delay));
+      break;
+    case Kind::kGroupScaleOut:
+      std::snprintf(buf, sizeof(buf), "t=%.2fs group scale-out",
+                    to_seconds(at));
+      break;
   }
   return buf;
 }

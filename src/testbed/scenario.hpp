@@ -8,6 +8,9 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "kafka/group.hpp"
+#include "kafka/group_consumer.hpp"
+#include "kafka/partitioner.hpp"
 #include "kafka/producer.hpp"
 #include "net/loss_model.hpp"
 
@@ -24,6 +27,10 @@ struct FaultAction {
     kBandwidth,       ///< Line-rate change; bandwidth_bps = 0 restores.
     kBrokerFail,      ///< Fail-stop outage of `broker`.
     kBrokerResume,    ///< End of the outage.
+    kConsumerCrash,   ///< Fail-stop of group member `member` (no leave).
+    kConsumerRestart, ///< Crashed member `member` comes back and rejoins.
+    kConsumerPause,   ///< Member `member` freezes for `delay` (GC pause).
+    kGroupScaleOut,   ///< A new member joins the group at `at`.
   };
 
   TimePoint at = 0;  ///< Absolute simulated time.
@@ -33,6 +40,7 @@ struct FaultAction {
   net::GilbertElliottLoss::Params ge{};  ///< kGilbertElliott parameters.
   double bandwidth_bps = 0.0;            ///< kBandwidth target rate.
   int broker = 0;                        ///< kBrokerFail/kBrokerResume.
+  int member = 0;                        ///< kConsumer* target group member.
 
   std::string describe() const;  ///< One-line human-readable summary.
 };
@@ -82,9 +90,33 @@ struct Scenario {
   bool unclean_leader_election = false;    ///< Availability over safety.
 
   /// Timed fault schedule executed on top of the static (D, L) impairment:
-  /// netem steps, bandwidth drops and broker outages. Actions are scheduled
-  /// at their absolute times; order within the vector is irrelevant.
+  /// netem steps, bandwidth drops, broker outages and group-member faults.
+  /// Actions are scheduled at their absolute times; order within the vector
+  /// is irrelevant (kGroupScaleOut actions activate standby members in
+  /// schedule order).
   std::vector<FaultAction> faults;
+
+  // --- multi-partition topics & consumer groups --------------------------------
+  /// Topic partitions; leaders assigned round-robin across brokers. 1 keeps
+  /// the single-partition testbed byte-identical to previous versions.
+  int partitions = 1;
+  /// How the producer routes records to partitions (partitions > 1 only).
+  kafka::PartitionerKind partitioner = kafka::PartitionerKind::kKeyed;
+  /// Consumer-group members consuming live during production. 0 disables
+  /// the group path (the post-run single-consumer drain is used instead).
+  int group_size = 0;
+  /// When members commit relative to delivery — the knob that turns a
+  /// member crash into the paper's at-most-once loss (commit before) or
+  /// at-least-once duplication (commit after).
+  kafka::CommitMode group_commit_mode = kafka::CommitMode::kCommitAfterDeliver;
+  kafka::AssignmentStrategy group_strategy =
+      kafka::AssignmentStrategy::kCooperativeSticky;
+  /// Static membership (group.instance.id): bounced members reclaim their
+  /// assignment without a rebalance.
+  bool group_static_membership = false;
+  Duration group_process_time = micros(500);   ///< Per-record app work.
+  Duration group_session_timeout = millis(400);
+  Duration group_heartbeat_interval = millis(100);
 
   // --- run control ------------------------------------------------------------
   std::uint64_t num_messages = 20000;  ///< N (paper: 1e6; scaled down).

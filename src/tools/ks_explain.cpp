@@ -1,7 +1,7 @@
 // ks_explain: turn a failing chaos seed or a saved run artifact into a
 // human-readable causal narrative for one message key.
 //
-//   ks_explain --seed 0x14b [--profile broker_faults] [--key K]
+//   ks_explain --seed 0x14b [--profile broker_faults|group_faults] [--key K]
 //              [--report out.json] [--perfetto out.perfetto.json]
 //   ks_explain path/to/report.json [--key K]
 //
@@ -32,7 +32,8 @@ using namespace ks;
 int usage() {
   std::fprintf(
       stderr,
-      "usage: ks_explain --seed 0xNNN [--profile broker_faults] [--key K]\n"
+      "usage: ks_explain --seed 0xNNN [--profile broker_faults|group_faults]"
+      " [--key K]\n"
       "                  [--report out.json] [--perfetto out.json]\n"
       "       ks_explain <report.json> [--key K]\n");
   return 2;
@@ -68,6 +69,8 @@ Args parse_args(int argc, char** argv) {
       const std::string_view p = value();
       if (p == "broker_faults") {
         args.profile = chaos::Profile::kBrokerFaults;
+      } else if (p == "group_faults") {
+        args.profile = chaos::Profile::kGroupFaults;
       } else if (p != "default") {
         std::fprintf(stderr, "ks_explain: unknown profile '%.*s'\n",
                      static_cast<int>(p.size()), p.data());

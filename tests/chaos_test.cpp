@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "chaos/harness.hpp"
+#include "obs/explain.hpp"
 #include "testbed/experiment.hpp"
 
 #ifndef KS_CORPUS_DIR
@@ -178,7 +179,157 @@ TEST(Chaos, EnvKnobsOverrideOptions) {
   EXPECT_EQ(*options.single_seed, 0x2au);
   EXPECT_EQ(options.iterations, 7u);
   EXPECT_EQ(options.profile, Profile::kBrokerFaults);
+  ::setenv("KS_CHAOS_PROFILE", "group_faults", 1);
+  EXPECT_EQ(options_from_env().profile, Profile::kGroupFaults);
+  ::unsetenv("KS_CHAOS_PROFILE");
   EXPECT_EQ(options_from_env().profile, Profile::kDefault);
+}
+
+TEST(Chaos, TaggedSeedCorpusParses) {
+  const auto group = load_tagged_seed_corpus(corpus_path(), "group_faults");
+  ASSERT_GE(group.size(), 4u);
+  EXPECT_EQ(group.front(), 0x2cu);
+  EXPECT_TRUE(
+      load_tagged_seed_corpus(corpus_path(), "no_such_profile").empty());
+  EXPECT_TRUE(
+      load_tagged_seed_corpus("/nonexistent/seeds.txt", "group_faults")
+          .empty());
+  // Tagged lines never leak into the bare loader (strtoull on a tag would
+  // otherwise silently yield seed 0).
+  const auto bare = load_seed_corpus(corpus_path());
+  EXPECT_EQ(bare.front(), 0x5EEDFACEu);
+  EXPECT_EQ(std::count(bare.begin(), bare.end(), 0u), 0);
+  for (auto seed : group) {
+    EXPECT_EQ(std::count(bare.begin(), bare.end(), seed), 0)
+        << "tagged seed 0x" << std::hex << seed
+        << " also parsed by the untagged loader";
+  }
+}
+
+// The group-fault soak profile: every seed draws a live consumer group
+// over several partitions, expands differently from its default-profile
+// expansion, covers both commit disciplines, both assignment strategies
+// and static membership, schedules every member-fault kind, and never
+// crashes the whole group permanently (the drain needs a survivor).
+TEST(Chaos, GroupFaultProfileCoversGroupSpace) {
+  int distinct = 0;
+  int commit_before = 0;
+  int sticky = 0;
+  int static_membership = 0;
+  int group_no_loss = 0;
+  std::set<Kind> kinds;
+  for (std::uint64_t i = 0; i < 96; ++i) {
+    const auto seed = scenario_seed(0xC0FFEEu, i);
+    const auto cs = generate_scenario(seed, Profile::kGroupFaults);
+    if (cs.describe() != generate_scenario(seed).describe()) ++distinct;
+    ASSERT_GE(cs.scenario.group_size, 2) << cs.describe();
+    ASSERT_GE(cs.scenario.partitions, 2) << cs.describe();
+    if (cs.scenario.group_commit_mode ==
+        kafka::CommitMode::kCommitBeforeDeliver) {
+      ++commit_before;
+    }
+    if (cs.scenario.group_strategy ==
+        kafka::AssignmentStrategy::kCooperativeSticky) {
+      ++sticky;
+    }
+    if (cs.scenario.group_static_membership) ++static_membership;
+    if (cs.expect_group_no_loss) ++group_no_loss;
+    // The at-least-once delivery class is exactly the commit-after draw.
+    EXPECT_EQ(cs.expect_group_no_loss,
+              cs.scenario.group_commit_mode ==
+                  kafka::CommitMode::kCommitAfterDeliver)
+        << cs.describe();
+    // Survivor floor: members alive at the end of the schedule >= 1.
+    int alive = cs.scenario.group_size;
+    for (const auto& f : cs.scenario.faults) {
+      kinds.insert(f.kind);
+      if (f.kind == Kind::kConsumerCrash) --alive;
+      if (f.kind == Kind::kConsumerRestart) ++alive;
+      if (f.kind == Kind::kGroupScaleOut) ++alive;
+    }
+    EXPECT_GE(alive, 1) << cs.describe();
+  }
+  EXPECT_EQ(distinct, 96);
+  EXPECT_GT(commit_before, 24);
+  EXPECT_LT(commit_before, 72);
+  EXPECT_GT(sticky, 24);
+  EXPECT_GT(static_membership, 8);
+  EXPECT_GT(group_no_loss, 24);
+  EXPECT_TRUE(kinds.count(Kind::kConsumerCrash));
+  EXPECT_TRUE(kinds.count(Kind::kConsumerRestart));
+  EXPECT_TRUE(kinds.count(Kind::kConsumerPause));
+  EXPECT_TRUE(kinds.count(Kind::kGroupScaleOut));
+}
+
+// The group sweep itself: pinned group seeds replayed first, then a
+// randomized pass, all checked against the group invariant library
+// (generation isolation always; no-loss for the commit-after class).
+TEST(Chaos, GroupFaultsSweepHoldsInvariants) {
+  Options options;
+  options.master_seed = 0x6B0B5EED;
+  options.iterations = 48;
+  options.profile = Profile::kGroupFaults;
+  options.corpus = load_tagged_seed_corpus(corpus_path(), "group_faults");
+  options.replay_every = 16;
+
+  const auto report = run(options);
+  for (const auto& failure : report.failures) {
+    ADD_FAILURE() << failure.summary();
+  }
+  EXPECT_TRUE(report.ok());
+  EXPECT_GE(report.corpus_replayed, 4u)
+      << "group_faults seeds missing from " << corpus_path();
+  EXPECT_GE(report.scenarios_run, 48u);
+  EXPECT_GT(report.replay_checks, 0u);
+}
+
+// The Table-I seed pair: one pinned fault schedule, two commit
+// disciplines, opposite delivery semantics. Under commit-before-deliver
+// the member crash loses records the broker had committed (at-most-once);
+// the identical schedule under commit-after-deliver delivers everything,
+// paying only duplicates (at-least-once). Both verdicts must also be
+// narrated by the ks_explain pipeline.
+TEST(Chaos, GroupSemanticsSeedPairPinsTableOne) {
+  const auto cs = generate_scenario(0x2c, Profile::kGroupFaults);
+  ASSERT_GE(cs.scenario.group_size, 2);
+
+  // Arm 1: commit before deliver. The crash window between commit and
+  // delivery turns the rebalance into silent loss.
+  auto before = cs.scenario;
+  before.group_commit_mode = kafka::CommitMode::kCommitBeforeDeliver;
+  const auto lossy = testbed::run_experiment(before);
+  ASSERT_TRUE(lossy.completed);
+  EXPECT_GT(lossy.group_lost, 0u)
+      << "pinned seed no longer loses under commit-before-deliver";
+  EXPECT_EQ(lossy.group_same_generation_dups, 0u);
+  ASSERT_FALSE(lossy.report.group_lost_keys.empty());
+
+  // The narrative machinery picks a group-lost key and tells its story.
+  const auto key = obs::pick_explain_key(lossy.report);
+  ASSERT_TRUE(key.has_value());
+  const auto story = obs::explain_key(lossy.report, *key);
+  EXPECT_NE(story.find("GROUP LOST"), std::string::npos) << story;
+  EXPECT_NE(story.find("commit-before-deliver"), std::string::npos) << story;
+
+  // Arm 2: the same schedule, commit after deliver. Nothing is lost; the
+  // redelivered window shows up as cross-generation duplicates.
+  auto after = cs.scenario;
+  after.group_commit_mode = kafka::CommitMode::kCommitAfterDeliver;
+  const auto dup = testbed::run_experiment(after);
+  ASSERT_TRUE(dup.completed);
+  EXPECT_EQ(dup.group_lost, 0u);
+  EXPECT_TRUE(dup.report.group_lost_keys.empty());
+  EXPECT_GT(dup.group_duplicate_deliveries, 0u)
+      << "pinned seed no longer redelivers under commit-after-deliver";
+  EXPECT_EQ(dup.group_same_generation_dups, 0u);
+  EXPECT_TRUE(dup.group_drained);
+  EXPECT_EQ(dup.group_unique_delivered, lossy.group_unique_delivered +
+                                            lossy.group_lost)
+      << "the two disciplines must disagree by exactly the lost records";
+
+  // Both arms saw real group churn — same schedule, same rebalances.
+  EXPECT_GT(lossy.group_rebalances, 0u);
+  EXPECT_EQ(lossy.group_rebalances, dup.group_rebalances);
 }
 
 // End-to-end failure path: inject a violation (via the extra-invariant

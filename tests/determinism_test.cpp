@@ -94,6 +94,63 @@ TEST(Determinism, ReplicatedFailoverRunIsByteIdentical) {
   EXPECT_EQ(first.producer_failovers, second.producer_failovers);
 }
 
+// The consumer-group stage stacks more RNG consumers on top: partition
+// routing, per-member fetch/process timers, coordinator deadlines, a
+// rebalance triggered by a member crash/restart and a mid-run GC pause.
+// The whole thing — per-partition census, group counters, rebalance
+// timeline events — must still be a pure function of the seed.
+TEST(Determinism, MultiPartitionGroupRunIsByteIdentical) {
+  Scenario sc = make_scenario(0xF00D, kafka::DeliverySemantics::kExactlyOnce);
+  sc.num_messages = 260;
+  sc.source_mode = SourceMode::kOnDemand;
+  sc.message_timeout = seconds(120);
+  sc.partitions = 4;
+  sc.partitioner = kafka::PartitionerKind::kKeyed;
+  sc.group_size = 3;
+  sc.group_commit_mode = kafka::CommitMode::kCommitAfterDeliver;
+  sc.group_strategy = kafka::AssignmentStrategy::kCooperativeSticky;
+
+  FaultAction crash;
+  crash.kind = FaultAction::Kind::kConsumerCrash;
+  crash.member = 1;
+  crash.at = millis(150);
+  sc.faults.push_back(crash);
+  FaultAction restart = crash;
+  restart.kind = FaultAction::Kind::kConsumerRestart;
+  restart.at = millis(900);
+  sc.faults.push_back(restart);
+  FaultAction pause;
+  pause.kind = FaultAction::Kind::kConsumerPause;
+  pause.member = 2;
+  pause.at = millis(400);
+  pause.delay = millis(600);  // Past the session timeout: eviction.
+  sc.faults.push_back(pause);
+
+  const auto first = run_experiment(sc);
+  const auto second = run_experiment(sc);
+  ASSERT_TRUE(first.completed);
+  ASSERT_GT(first.group_rebalances, 0u) << "faults caused no rebalance";
+  EXPECT_EQ(first.report.canonical_json(), second.report.canonical_json());
+  EXPECT_EQ(first.report.perfetto_json(), second.report.perfetto_json());
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_EQ(first.group_unique_delivered, second.group_unique_delivered);
+  EXPECT_EQ(first.group_duplicate_deliveries,
+            second.group_duplicate_deliveries);
+  EXPECT_EQ(first.group_lost, second.group_lost);
+  EXPECT_EQ(first.group_rebalances, second.group_rebalances);
+  EXPECT_EQ(first.group_evictions, second.group_evictions);
+  EXPECT_EQ(first.group_commits, second.group_commits);
+  EXPECT_EQ(first.report.group_lost_keys, second.report.group_lost_keys);
+  // The rebalance story made it into the canonical export: group timeline
+  // events are part of what replays byte-for-byte.
+  bool saw_rebalance_event = false;
+  for (const auto& e : first.report.timeline) {
+    if (e.kind.rfind("group_", 0) == 0) saw_rebalance_event = true;
+  }
+  EXPECT_TRUE(saw_rebalance_event)
+      << "no group_* events in the cluster timeline";
+}
+
 TEST(Determinism, CanonicalJsonExcludesOnlyWallClockMetrics) {
   const auto result =
       run_experiment(make_scenario(42, kafka::DeliverySemantics::kAtLeastOnce));

@@ -1,0 +1,246 @@
+// Property tests for the pure group assignor (GroupCoordinator::
+// compute_assignment): over random member/partition counts and random
+// (including adversarial) previous assignments, the result is always a
+// partition of the partition set — no orphan, no double owner — balanced
+// to within one, and the cooperative-sticky variant moves the provably
+// minimal number of partitions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kafka/group.hpp"
+
+namespace ks::kafka {
+namespace {
+
+using Assignment = std::map<std::string, std::vector<std::int32_t>>;
+
+std::vector<std::string> make_members(int n) {
+  std::vector<std::string> members;
+  for (int i = 0; i < n; ++i) {
+    members.push_back("member-" + std::to_string(i + 10));  // Sorted.
+  }
+  return members;
+}
+
+std::vector<std::int32_t> make_partitions(int p) {
+  std::vector<std::int32_t> partitions;
+  for (int i = 0; i < p; ++i) partitions.push_back(i);
+  return partitions;
+}
+
+/// Partition-of-the-set property: every partition owned exactly once.
+void expect_partitions_the_set(const Assignment& assignment,
+                               const std::vector<std::string>& members,
+                               const std::vector<std::int32_t>& partitions) {
+  std::set<std::int32_t> owned;
+  std::size_t total = 0;
+  for (const auto& m : members) {
+    ASSERT_TRUE(assignment.count(m)) << "member missing from assignment";
+    for (auto p : assignment.at(m)) {
+      EXPECT_TRUE(owned.insert(p).second)
+          << "partition " << p << " has two owners";
+    }
+    total += assignment.at(m).size();
+  }
+  EXPECT_EQ(assignment.size(), members.size());
+  EXPECT_EQ(total, partitions.size()) << "orphaned partitions";
+  for (auto p : partitions) {
+    EXPECT_TRUE(owned.count(p)) << "partition " << p << " unowned";
+  }
+}
+
+void expect_balanced(const Assignment& assignment, std::size_t partitions,
+                     std::size_t members) {
+  const std::size_t lo = partitions / members;
+  const std::size_t hi = lo + (partitions % members == 0 ? 0 : 1);
+  for (const auto& [id, parts] : assignment) {
+    EXPECT_GE(parts.size(), lo) << id;
+    EXPECT_LE(parts.size(), hi) << id;
+  }
+}
+
+/// Random previous assignment, deliberately messy: partitions outside the
+/// valid set, the same partition claimed by several members, members that
+/// are no longer in the group.
+Assignment random_previous(Rng& rng, const std::vector<std::string>& members,
+                           int num_partitions) {
+  Assignment previous;
+  for (const auto& m : members) {
+    if (rng.bernoulli(0.3)) continue;  // Fresh member with no history.
+    auto& prev = previous[m];
+    const int n = static_cast<int>(rng.uniform_int(0, num_partitions + 2));
+    for (int i = 0; i < n; ++i) {
+      prev.push_back(
+          static_cast<std::int32_t>(rng.uniform_int(0, num_partitions + 3)));
+    }
+  }
+  if (rng.bernoulli(0.5)) {
+    previous["member-00-departed"] = {0, 1};  // Owner that left the group.
+  }
+  return previous;
+}
+
+TEST(GroupAssignor, EagerAlwaysPartitionsTheSet) {
+  Rng rng(0xA551611);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 8));
+    const int p = static_cast<int>(rng.uniform_int(0, 32));
+    const auto members = make_members(n);
+    const auto partitions = make_partitions(p);
+    const auto previous = random_previous(rng, members, p);
+    const auto next = GroupCoordinator::compute_assignment(
+        AssignmentStrategy::kEager, members, partitions, previous);
+    expect_partitions_the_set(next, members, partitions);
+    expect_balanced(next, partitions.size(), members.size());
+  }
+}
+
+TEST(GroupAssignor, StickyAlwaysPartitionsTheSet) {
+  Rng rng(0xA551612);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 8));
+    const int p = static_cast<int>(rng.uniform_int(0, 32));
+    const auto members = make_members(n);
+    const auto partitions = make_partitions(p);
+    const auto previous = random_previous(rng, members, p);
+    const auto next = GroupCoordinator::compute_assignment(
+        AssignmentStrategy::kCooperativeSticky, members, partitions,
+        previous);
+    expect_partitions_the_set(next, members, partitions);
+    expect_balanced(next, partitions.size(), members.size());
+  }
+}
+
+TEST(GroupAssignor, AssignorIsDeterministic) {
+  Rng rng(0xA551613);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto members =
+        make_members(static_cast<int>(rng.uniform_int(1, 6)));
+    const auto partitions =
+        make_partitions(static_cast<int>(rng.uniform_int(0, 24)));
+    const auto previous =
+        random_previous(rng, members, static_cast<int>(partitions.size()));
+    for (const auto strategy : {AssignmentStrategy::kEager,
+                                AssignmentStrategy::kCooperativeSticky}) {
+      const auto a = GroupCoordinator::compute_assignment(
+          strategy, members, partitions, previous);
+      const auto b = GroupCoordinator::compute_assignment(
+          strategy, members, partitions, previous);
+      EXPECT_EQ(a, b);
+    }
+  }
+}
+
+/// Partitions moved relative to a well-formed previous assignment: how
+/// many ended up owned by someone other than their previous owner
+/// (orphans from departed members always count as moved).
+std::size_t moved_count(const Assignment& previous, const Assignment& next,
+                        std::size_t total_partitions) {
+  std::size_t retained = 0;
+  for (const auto& [id, parts] : next) {
+    const auto it = previous.find(id);
+    if (it == previous.end()) continue;
+    for (auto p : parts) {
+      if (std::find(it->second.begin(), it->second.end(), p) !=
+          it->second.end()) {
+        ++retained;
+      }
+    }
+  }
+  return total_partitions - retained;
+}
+
+/// Independent lower bound on moves for ANY balanced next assignment:
+/// each member retains at most min(|previous ∩ valid|, quota), with
+/// exactly (P mod N) members allowed the larger quota — maximized by
+/// granting those to the members with the most retainable partitions.
+std::size_t minimal_moves(const Assignment& previous,
+                          const std::vector<std::string>& members,
+                          std::size_t total_partitions) {
+  const std::size_t lo = total_partitions / members.size();
+  const std::size_t remainder = total_partitions % members.size();
+  std::size_t retained_max = 0;
+  std::size_t over_lo = 0;
+  for (const auto& m : members) {
+    const auto it = previous.find(m);
+    const std::size_t prev = it == previous.end() ? 0 : it->second.size();
+    retained_max += std::min(prev, lo);
+    if (prev >= lo + 1) ++over_lo;
+  }
+  retained_max += std::min(remainder, over_lo);
+  return total_partitions - retained_max;
+}
+
+TEST(GroupAssignor, StickyMovesProvablyMinimalOnMembershipChange) {
+  Rng rng(0xA551614);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 7));
+    const int p = static_cast<int>(rng.uniform_int(1, 32));
+    auto members = make_members(n);
+    const auto partitions = make_partitions(p);
+    // A well-formed starting point: the assignor's own output.
+    const auto previous = GroupCoordinator::compute_assignment(
+        AssignmentStrategy::kCooperativeSticky, members, partitions, {});
+
+    // Mutate membership: add a member, remove one, or both.
+    const int mutation = static_cast<int>(rng.uniform_int(0, 2));
+    if (mutation == 0 || mutation == 2) {
+      members.push_back("member-90-joined");
+    }
+    if ((mutation == 1 || mutation == 2) && members.size() > 1) {
+      members.erase(
+          members.begin() +
+          static_cast<std::ptrdiff_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(members.size()) - 1)));
+    }
+    std::sort(members.begin(), members.end());
+
+    const auto next = GroupCoordinator::compute_assignment(
+        AssignmentStrategy::kCooperativeSticky, members, partitions,
+        previous);
+    expect_partitions_the_set(next, members, partitions);
+    expect_balanced(next, partitions.size(), members.size());
+    EXPECT_EQ(moved_count(previous, next, partitions.size()),
+              minimal_moves(previous, members, partitions.size()))
+        << "trial " << trial << ": sticky moved more than necessary (N="
+        << members.size() << " P=" << p << ")";
+  }
+}
+
+TEST(GroupAssignor, StickyIsANoOpWhenMembershipIsUnchanged) {
+  Rng rng(0xA551615);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto members =
+        make_members(static_cast<int>(rng.uniform_int(1, 8)));
+    const auto partitions =
+        make_partitions(static_cast<int>(rng.uniform_int(0, 32)));
+    const auto previous = GroupCoordinator::compute_assignment(
+        AssignmentStrategy::kCooperativeSticky, members, partitions, {});
+    const auto next = GroupCoordinator::compute_assignment(
+        AssignmentStrategy::kCooperativeSticky, members, partitions,
+        previous);
+    EXPECT_EQ(moved_count(previous, next, partitions.size()), 0u);
+  }
+}
+
+TEST(GroupAssignor, EagerRangesAreContiguousAndOrdered) {
+  const auto members = make_members(3);
+  const auto next = GroupCoordinator::compute_assignment(
+      AssignmentStrategy::kEager, members, make_partitions(8), {});
+  // Range assignment: sorted partitions dealt out in contiguous chunks,
+  // the first (P mod N) members taking the larger share.
+  EXPECT_EQ(next.at("member-10"),
+            (std::vector<std::int32_t>{0, 1, 2}));
+  EXPECT_EQ(next.at("member-11"),
+            (std::vector<std::int32_t>{3, 4, 5}));
+  EXPECT_EQ(next.at("member-12"), (std::vector<std::int32_t>{6, 7}));
+}
+
+}  // namespace
+}  // namespace ks::kafka

@@ -141,7 +141,9 @@ TEST(Broker, OnAppendObserverFires) {
   config.messages = 50;
   Rig rig(config);
   std::set<Key> seen;
-  rig.broker.on_append = [&](const Record& r, std::int64_t offset) {
+  rig.broker.on_append = [&](std::int32_t partition, const Record& r,
+                             std::int64_t offset) {
+    EXPECT_EQ(partition, 0);
     EXPECT_GE(offset, 0);
     seen.insert(r.key);
   };

@@ -1,0 +1,365 @@
+// Consumer-group coordinator tests: the join/sync/heartbeat protocol,
+// generation fencing of zombie commits, session-timeout eviction, eager vs
+// cooperative-sticky revocation, static membership, and the compacted
+// `__consumer_offsets`-style commit log.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "kafka/group.hpp"
+#include "sim/simulation.hpp"
+
+namespace ks::kafka {
+namespace {
+
+using Assignment = std::vector<std::int32_t>;
+
+GroupCoordinator::Config make_config(int partitions,
+                                     AssignmentStrategy strategy) {
+  GroupCoordinator::Config cfg;
+  cfg.strategy = strategy;
+  for (int p = 0; p < partitions; ++p) cfg.partitions.push_back(p);
+  return cfg;
+}
+
+/// Join with callbacks that record every revocation/assignment.
+struct MemberLog {
+  std::string id;
+  std::vector<std::pair<std::int32_t, Assignment>> revoked;
+  std::vector<std::pair<std::int32_t, Assignment>> assigned;
+
+  std::string join(GroupCoordinator& coord,
+                   const std::string& instance_id = "") {
+    GroupCoordinator::MemberCallbacks cbs;
+    cbs.on_revoked = [this](std::int32_t gen, const Assignment& parts) {
+      revoked.emplace_back(gen, parts);
+    };
+    cbs.on_assigned = [this](std::int32_t gen, const Assignment& parts) {
+      assigned.emplace_back(gen, parts);
+    };
+    id = coord.join(instance_id, std::move(cbs));
+    return id;
+  }
+};
+
+TEST(GroupCoordinator, JoinSyncHeartbeatHappyPath) {
+  sim::Simulation sim(1);
+  GroupCoordinator coord(sim,
+                         make_config(4, AssignmentStrategy::kEager));
+  EXPECT_EQ(coord.state(), GroupCoordinator::State::kEmpty);
+
+  MemberLog a;
+  MemberLog b;
+  MemberLog c;
+  a.join(coord);
+  b.join(coord);
+  c.join(coord);
+  EXPECT_EQ(coord.state(), GroupCoordinator::State::kPreparingRebalance);
+  sim.run_for(millis(100));  // Past the join window.
+
+  EXPECT_EQ(coord.state(), GroupCoordinator::State::kStable);
+  EXPECT_EQ(coord.member_count(), 3u);
+  EXPECT_EQ(coord.generation(), 1);
+  ASSERT_EQ(a.assigned.size(), 1u);
+  ASSERT_EQ(b.assigned.size(), 1u);
+  ASSERT_EQ(c.assigned.size(), 1u);
+
+  // The three assignments partition {0,1,2,3}: no orphan, no double-owner.
+  std::set<std::int32_t> owned;
+  std::size_t total = 0;
+  for (const auto* m : {&a, &b, &c}) {
+    for (auto p : m->assigned.back().second) owned.insert(p);
+    total += m->assigned.back().second.size();
+  }
+  EXPECT_EQ(total, 4u);
+  EXPECT_EQ(owned, (std::set<std::int32_t>{0, 1, 2, 3}));
+
+  // Heartbeats while stable are accepted.
+  EXPECT_EQ(coord.heartbeat(a.id, coord.generation()), ErrorCode::kNone);
+  EXPECT_EQ(coord.heartbeat(b.id, coord.generation()), ErrorCode::kNone);
+  EXPECT_GE(coord.stats().heartbeats, 2u);
+}
+
+TEST(GroupCoordinator, HeartbeatSignalsRebalanceInProgress) {
+  sim::Simulation sim(2);
+  GroupCoordinator coord(sim, make_config(2, AssignmentStrategy::kEager));
+  MemberLog a;
+  a.join(coord);
+  sim.run_for(millis(100));
+  ASSERT_EQ(coord.state(), GroupCoordinator::State::kStable);
+
+  MemberLog b;
+  b.join(coord);  // Opens a join window: the group is rebalancing.
+  EXPECT_EQ(coord.heartbeat(a.id, coord.generation()),
+            ErrorCode::kRebalanceInProgress);
+  sim.run_for(millis(100));
+  EXPECT_EQ(coord.state(), GroupCoordinator::State::kStable);
+  EXPECT_EQ(coord.heartbeat(a.id, coord.generation()), ErrorCode::kNone);
+}
+
+TEST(GroupCoordinator, HeartbeatFromUnknownMemberIsRejected) {
+  sim::Simulation sim(3);
+  GroupCoordinator coord(sim, make_config(1, AssignmentStrategy::kEager));
+  EXPECT_EQ(coord.heartbeat("member-99", 0), ErrorCode::kUnknownMemberId);
+}
+
+TEST(GroupCoordinator, CommitRoundTripAndAppendOnlyLog) {
+  sim::Simulation sim(4);
+  GroupCoordinator coord(sim, make_config(2, AssignmentStrategy::kEager));
+  MemberLog a;
+  a.join(coord);
+  sim.run_for(millis(100));
+
+  EXPECT_EQ(coord.committed(0), 0);
+  EXPECT_EQ(coord.commit(a.id, coord.generation(), 0, 5), ErrorCode::kNone);
+  EXPECT_EQ(coord.commit(a.id, coord.generation(), 0, 9), ErrorCode::kNone);
+  EXPECT_EQ(coord.commit(a.id, coord.generation(), 1, 3), ErrorCode::kNone);
+  EXPECT_EQ(coord.committed(0), 9);
+  EXPECT_EQ(coord.committed(1), 3);
+
+  // Append-only: superseded commits are retained until compaction.
+  ASSERT_EQ(coord.offset_log().size(), 3u);
+  EXPECT_EQ(coord.offset_log()[0].offset, 5);
+  EXPECT_EQ(coord.offset_log()[1].offset, 9);
+  EXPECT_EQ(coord.stats().commits_accepted, 3u);
+}
+
+TEST(GroupCoordinator, OffsetLogCompactionKeepsLatestPerPartition) {
+  sim::Simulation sim(5);
+  GroupCoordinator coord(sim, make_config(3, AssignmentStrategy::kEager));
+  MemberLog a;
+  a.join(coord);
+  sim.run_for(millis(100));
+
+  for (std::int64_t off = 1; off <= 10; ++off) {
+    ASSERT_EQ(coord.commit(a.id, coord.generation(), 0, off),
+              ErrorCode::kNone);
+    ASSERT_EQ(coord.commit(a.id, coord.generation(), 1, off * 2),
+              ErrorCode::kNone);
+  }
+  ASSERT_EQ(coord.offset_log().size(), 20u);
+  const auto removed = coord.compact_offsets();
+  EXPECT_EQ(removed, 18u);
+  ASSERT_EQ(coord.offset_log().size(), 2u);
+  // The compacted view and the committed() answers agree before and after.
+  EXPECT_EQ(coord.committed(0), 10);
+  EXPECT_EQ(coord.committed(1), 20);
+  const auto compacted = coord.compacted_offsets();
+  EXPECT_EQ(compacted.at(0), 10);
+  EXPECT_EQ(compacted.at(1), 20);
+  // Compacting an already-compacted log removes nothing.
+  EXPECT_EQ(coord.compact_offsets(), 0u);
+}
+
+TEST(GroupCoordinator, ZombieCommitIsFencedAfterEviction) {
+  sim::Simulation sim(6);
+  GroupCoordinator coord(sim, make_config(2, AssignmentStrategy::kEager));
+  MemberLog a;
+  MemberLog b;
+  a.join(coord);
+  b.join(coord);
+  sim.run_for(millis(100));
+  const auto gen = coord.generation();
+  ASSERT_EQ(coord.commit(a.id, gen, 0, 4), ErrorCode::kNone);
+
+  // Only b heartbeats; a's session expires and it is evicted.
+  for (int i = 1; i <= 10; ++i) {
+    sim.at(sim.now() + millis(i * 100),
+           [&coord, &b] { coord.heartbeat(b.id, coord.generation()); });
+  }
+  sim.run_for(millis(1100));
+  EXPECT_EQ(coord.stats().evictions, 1u);
+  EXPECT_FALSE(coord.has_member(a.id));
+  EXPECT_TRUE(coord.has_member(b.id));
+
+  // The zombie wakes and tries to move the committed offset: fenced, and
+  // the committed offset is unchanged.
+  EXPECT_EQ(coord.commit(a.id, gen, 0, 8), ErrorCode::kUnknownMemberId);
+  EXPECT_EQ(coord.committed(0), 4);
+  EXPECT_GE(coord.stats().commits_fenced, 1u);
+  EXPECT_EQ(coord.heartbeat(a.id, gen), ErrorCode::kUnknownMemberId);
+}
+
+TEST(GroupCoordinator, StaleGenerationCommitIsFenced) {
+  sim::Simulation sim(7);
+  GroupCoordinator coord(sim, make_config(2, AssignmentStrategy::kEager));
+  MemberLog a;
+  a.join(coord);
+  sim.run_for(millis(100));
+  const auto old_gen = coord.generation();
+
+  MemberLog b;
+  b.join(coord);
+  sim.run_for(millis(100));
+  ASSERT_GT(coord.generation(), old_gen);
+
+  // A commit stamped with the superseded generation must not land, even
+  // though the member itself is still in the group.
+  EXPECT_EQ(coord.commit(a.id, old_gen, 0, 7), ErrorCode::kIllegalGeneration);
+  EXPECT_EQ(coord.committed(0), 0);
+  EXPECT_EQ(coord.stats().commits_fenced, 1u);
+  EXPECT_EQ(coord.commit(a.id, coord.generation(), 0, 7), ErrorCode::kNone);
+  EXPECT_EQ(coord.committed(0), 7);
+}
+
+TEST(GroupCoordinator, SessionTimeoutEvictionReassignsPartitions) {
+  sim::Simulation sim(8);
+  GroupCoordinator coord(sim, make_config(4, AssignmentStrategy::kEager));
+  MemberLog a;
+  MemberLog b;
+  a.join(coord);
+  b.join(coord);
+  sim.run_for(millis(100));
+  ASSERT_EQ(coord.member_count(), 2u);
+  EXPECT_EQ(coord.assignment_of(a.id).size(), 2u);
+
+  // Keep a alive; let b go silent past the 400 ms session timeout.
+  for (int i = 1; i <= 12; ++i) {
+    sim.at(sim.now() + millis(i * 100),
+           [&coord, &a] { coord.heartbeat(a.id, coord.generation()); });
+  }
+  sim.run_for(millis(1300));
+  EXPECT_EQ(coord.member_count(), 1u);
+  EXPECT_EQ(coord.stats().evictions, 1u);
+  // The survivor owns everything after the eviction rebalance.
+  EXPECT_EQ(coord.assignment_of(a.id).size(), 4u);
+}
+
+TEST(GroupCoordinator, EagerRebalanceRevokesEverything) {
+  sim::Simulation sim(9);
+  GroupCoordinator coord(sim, make_config(4, AssignmentStrategy::kEager));
+  MemberLog a;
+  a.join(coord);
+  sim.run_for(millis(100));
+  ASSERT_EQ(coord.assignment_of(a.id).size(), 4u);
+
+  MemberLog b;
+  b.join(coord);
+  sim.run_for(millis(100));
+
+  // Eager: a's entire assignment was revoked up front, then rebuilt.
+  ASSERT_EQ(a.revoked.size(), 1u);
+  EXPECT_EQ(a.revoked.front().second.size(), 4u);
+  EXPECT_EQ(coord.assignment_of(a.id).size(), 2u);
+  EXPECT_EQ(coord.assignment_of(b.id).size(), 2u);
+}
+
+TEST(GroupCoordinator, CooperativeStickyRevokesOnlyMovedPartitions) {
+  sim::Simulation sim(10);
+  GroupCoordinator coord(
+      sim, make_config(4, AssignmentStrategy::kCooperativeSticky));
+  MemberLog a;
+  a.join(coord);
+  sim.run_for(millis(100));
+  const auto before = coord.assignment_of(a.id);
+  ASSERT_EQ(before.size(), 4u);
+  const auto moved_before = coord.stats().partitions_moved;
+
+  MemberLog b;
+  b.join(coord);
+  sim.run_for(millis(100));
+
+  // Cooperative: a gave up exactly the two partitions b now owns and kept
+  // the rest — it was never revoked wholesale.
+  ASSERT_EQ(a.revoked.size(), 1u);
+  EXPECT_EQ(a.revoked.front().second.size(), 2u);
+  const auto kept = coord.assignment_of(a.id);
+  EXPECT_EQ(kept.size(), 2u);
+  for (auto p : kept) {
+    EXPECT_TRUE(std::find(before.begin(), before.end(), p) != before.end());
+  }
+  EXPECT_EQ(coord.assignment_of(b.id).size(), 2u);
+  EXPECT_EQ(coord.stats().partitions_moved - moved_before, 2u);
+}
+
+TEST(GroupCoordinator, StaticMembershipRejoinsWithoutRebalance) {
+  sim::Simulation sim(11);
+  GroupCoordinator coord(
+      sim, make_config(4, AssignmentStrategy::kCooperativeSticky));
+  MemberLog a;
+  MemberLog b;
+  a.join(coord, "inst-a");
+  b.join(coord, "inst-b");
+  sim.run_for(millis(100));
+  const auto gen = coord.generation();
+  const auto rebalances = coord.stats().rebalances;
+  const auto assignment = coord.assignment_of(a.id);
+  ASSERT_EQ(assignment.size(), 2u);
+
+  // Bounce a: same instance id reclaims the same member id and assignment
+  // with no generation bump and no rebalance.
+  MemberLog a2;
+  const auto id2 = a2.join(coord, "inst-a");
+  EXPECT_EQ(id2, a.id);
+  EXPECT_EQ(coord.generation(), gen);
+  EXPECT_EQ(coord.stats().rebalances, rebalances);
+  EXPECT_EQ(coord.stats().static_rejoins, 1u);
+  // The returning member was told its (unchanged) assignment again.
+  ASSERT_EQ(a2.assigned.size(), 1u);
+  EXPECT_EQ(a2.assigned.front().second, assignment);
+  EXPECT_TRUE(a2.revoked.empty());
+}
+
+TEST(GroupCoordinator, DynamicRejoinTriggersRebalance) {
+  sim::Simulation sim(12);
+  GroupCoordinator coord(sim, make_config(2, AssignmentStrategy::kEager));
+  MemberLog a;
+  a.join(coord);
+  sim.run_for(millis(100));
+  const auto gen = coord.generation();
+  const auto rebalances = coord.stats().rebalances;
+
+  MemberLog b;
+  b.join(coord);  // Dynamic: a fresh member id and a new generation.
+  sim.run_for(millis(100));
+  EXPECT_NE(b.id, a.id);
+  EXPECT_GT(coord.generation(), gen);
+  EXPECT_GT(coord.stats().rebalances, rebalances);
+}
+
+TEST(GroupCoordinator, LeaveShrinksTheGroup) {
+  sim::Simulation sim(13);
+  GroupCoordinator coord(sim, make_config(4, AssignmentStrategy::kEager));
+  MemberLog a;
+  MemberLog b;
+  a.join(coord);
+  b.join(coord);
+  sim.run_for(millis(100));
+  ASSERT_EQ(coord.member_count(), 2u);
+
+  coord.leave(b.id);
+  sim.run_for(millis(100));
+  EXPECT_EQ(coord.member_count(), 1u);
+  EXPECT_EQ(coord.stats().leaves, 1u);
+  EXPECT_EQ(coord.assignment_of(a.id).size(), 4u);
+
+  coord.leave(a.id);
+  sim.run_for(millis(100));
+  EXPECT_EQ(coord.state(), GroupCoordinator::State::kEmpty);
+  EXPECT_EQ(coord.member_count(), 0u);
+}
+
+TEST(GroupCoordinator, JoinWindowCoalescesMembershipChanges) {
+  sim::Simulation sim(14);
+  GroupCoordinator coord(sim, make_config(6, AssignmentStrategy::kEager));
+  MemberLog a;
+  MemberLog b;
+  MemberLog c;
+  // All three join within one 40 ms window: one rebalance, one generation.
+  a.join(coord);
+  sim.at(millis(5), [&] { b.join(coord); });
+  sim.at(millis(10), [&] { c.join(coord); });
+  sim.run_for(millis(200));
+  EXPECT_EQ(coord.generation(), 1);
+  EXPECT_EQ(coord.stats().rebalances, 1u);
+  EXPECT_EQ(coord.assignment_of(a.id).size(), 2u);
+  EXPECT_EQ(coord.assignment_of(b.id).size(), 2u);
+  EXPECT_EQ(coord.assignment_of(c.id).size(), 2u);
+}
+
+}  // namespace
+}  // namespace ks::kafka
