@@ -1,0 +1,102 @@
+// Crash-recovery ablation: the same torn power loss under three flush
+// disciplines (Kafka's OS-cache-only default, a flush.messages threshold,
+// fsync-per-append). The recovery scan rebuilds the log after the hard
+// restart; the discipline decides how much of the acked tail survives and
+// what the synchronous flushes cost in throughput — the durability /
+// throughput trade Sec. V attributes to acks and log.flush.*.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_core/registry.hpp"
+#include "testbed/experiment.hpp"
+
+namespace {
+
+using namespace ks;
+
+void run_recovery_scan(bench::BenchContext& ctx) {
+  const auto n = bench::messages_per_run(8000);
+
+  std::printf("# Recovery scan — torn power loss at t=100ms, hard restart "
+              "at t=280ms, RF=1\n# (at-least-once, on-demand source), "
+              "messages per run: %llu\n\n",
+              static_cast<unsigned long long>(n));
+
+  struct Policy {
+    const char* name;
+    std::uint64_t flush_messages;
+    Duration flush_interval;
+  };
+  const Policy policies[] = {
+      {"os-cache", 0, 0},
+      {"flush.messages=32", 32, 0},
+      {"flush.ms=20", 0, millis(20)},
+      {"fsync-per-append", 1, 0},
+  };
+
+  bench::Table table({"policy", "flushes", "recovered", "discarded",
+                      "P_acked_lost", "msg/s"});
+  int policy_index = 0;
+  for (const auto& policy : policies) {
+    testbed::Scenario sc;
+    sc.num_messages = n;
+    sc.message_size = 200;
+    sc.source_mode = testbed::SourceMode::kOnDemand;
+    sc.semantics = kafka::DeliverySemantics::kAtLeastOnce;
+    sc.message_timeout = seconds(120);
+    sc.flush_messages = policy.flush_messages;
+    sc.flush_interval = policy.flush_interval;
+    testbed::FaultAction cut;
+    cut.kind = testbed::FaultAction::Kind::kPowerLoss;
+    cut.at = millis(100);
+    cut.torn_write = true;
+    testbed::FaultAction back;
+    back.kind = testbed::FaultAction::Kind::kPowerRestore;
+    back.at = millis(280);
+    sc.faults = {cut, back};
+
+    const int reps = bench::repeats();
+    std::vector<double> flushes, recovered, discarded, acked_lost, thru;
+    for (int rep = 0; rep < reps; ++rep) {
+      sc.seed = 70001 + static_cast<std::uint64_t>(rep) * 7919;
+      const auto r = testbed::run_experiment(sc);
+      flushes.push_back(static_cast<double>(r.log_flushes));
+      recovered.push_back(static_cast<double>(r.records_recovered));
+      discarded.push_back(static_cast<double>(r.records_discarded));
+      acked_lost.push_back(static_cast<double>(r.acked_lost) /
+                           static_cast<double>(n));
+      thru.push_back(r.duration_s > 0
+                         ? static_cast<double>(n) / r.duration_s
+                         : 0.0);
+      ctx.account(r.duration_s, r.events, 1);
+    }
+    const auto flush_stat = bench::stat_of(flushes);
+    const auto rec_stat = bench::stat_of(recovered);
+    const auto disc_stat = bench::stat_of(discarded);
+    const auto lost_stat = bench::stat_of(acked_lost);
+    const auto thru_stat = bench::stat_of(thru);
+    ctx.point({{"policy", static_cast<double>(policy_index)}},
+              {{"log_flushes", flush_stat},
+               {"records_recovered", rec_stat},
+               {"records_discarded", disc_stat},
+               {"p_acked_lost", lost_stat},
+               {"throughput_msg_s", thru_stat}});
+    table.row({policy.name, bench::fmt("%.0f", flush_stat.mean),
+               bench::fmt("%.0f", rec_stat.mean),
+               bench::fmt("%.0f", disc_stat.mean), bench::pct(lost_stat.mean),
+               bench::fmt("%.0f", thru_stat.mean)});
+    ++policy_index;
+  }
+  table.print();
+  std::printf("\nOS-cache-only loses the acked tail to the crash; tighter "
+              "flush thresholds shrink the discarded suffix at a growing "
+              "synchronous-flush cost, and fsync-per-append recovers "
+              "everything the producer was acked for (at RF=1 prices).\n");
+}
+
+KS_BENCH_REGISTER("recovery_scan",
+                  "Crash recovery: flush discipline vs post-restart survival",
+                  run_recovery_scan);
+
+}  // namespace

@@ -21,12 +21,15 @@ CTEST_TIMEOUT="${KS_CTEST_TIMEOUT:-300}"
 
 # Failing chaos scenarios drop their RunReport + Perfetto trace here (the
 # failure output prints the exact paths and the ks_explain invocation).
+# Disk-fault sweeps (KS_CHAOS_PROFILE=disk_faults) write through the same
+# directory, so failed recovery/power-loss seeds land here too.
 export KS_CHAOS_ARTIFACT_DIR="${KS_CHAOS_ARTIFACT_DIR:-${PWD}/build/chaos-artifacts}"
 
 report_chaos_artifacts() {
   # Only on failure: passing runs still exercise the injected-violation
   # harness test, whose artifacts are expected and not worth shouting about.
-  # Those expected artifacts are removed on success so repeated runs don't
+  # Those expected artifacts — and any storage/recovery dumps from the
+  # disk-fault sweep — are removed on success so repeated runs don't
   # accumulate stale files that would muddy a later failure listing.
   if [ "$1" -ne 0 ]; then
     if compgen -G "${KS_CHAOS_ARTIFACT_DIR}/*" >/dev/null 2>&1; then

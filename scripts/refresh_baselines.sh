@@ -19,11 +19,12 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 # The pinned subset: fast, deterministic benches covering a census table,
-# two figure sweeps, an ablation and the consumer-group partition-scaling
-# sweep — enough surface to catch both timing and result regressions
-# without the slow ANN-training pipelines.
+# two figure sweeps, an ablation, the consumer-group partition-scaling
+# sweep and the crash-recovery flush-discipline ablation — enough surface
+# to catch both timing and result regressions without the slow
+# ANN-training pipelines.
 SUBSET=(table1_states fig4_message_size fig6_polling ablation_semantics
-        scaling_partitions)
+        scaling_partitions recovery_scan)
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}" --target ks_bench

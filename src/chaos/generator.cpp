@@ -41,6 +41,7 @@ const char* to_string(Profile profile) noexcept {
     case Profile::kDefault: return "default";
     case Profile::kBrokerFaults: return "broker_faults";
     case Profile::kGroupFaults: return "group_faults";
+    case Profile::kDiskFaults: return "disk_faults";
   }
   return "?";
 }
@@ -52,15 +53,17 @@ ChaosScenario generate_scenario(std::uint64_t chaos_seed, Profile profile) {
   // different profile is an unrelated scenario (the repro line names both).
   // Each non-default profile mixes with its own constant, so adding a
   // profile never re-deals an existing one's seeds.
+  const std::uint64_t profile_salt =
+      profile == Profile::kBrokerFaults  ? 0xB20CE2FA17C0DE5ULL
+      : profile == Profile::kGroupFaults ? 0x6E2D5EC75B4D9E3FULL
+      : profile == Profile::kDiskFaults  ? 0xD15CFA17B0E57A1DULL
+                                         : 0;
   Rng rng(profile == Profile::kDefault
               ? chaos_seed
-              : SplitMix64(chaos_seed ^
-                           (profile == Profile::kBrokerFaults
-                                ? 0xB20CE2FA17C0DE5ULL
-                                : 0x6E2D5EC75B4D9E3FULL))
-                    .next());
+              : SplitMix64(chaos_seed ^ profile_salt).next());
   const bool broker_profile = profile == Profile::kBrokerFaults;
   const bool group_profile = profile == Profile::kGroupFaults;
+  const bool disk_profile = profile == Profile::kDiskFaults;
   Scenario& sc = cs.scenario;
   sc.seed = rng.next_u64();
 
@@ -102,11 +105,30 @@ ChaosScenario generate_scenario(std::uint64_t chaos_seed, Profile profile) {
   // code paths; the default profile keeps a majority of unreplicated
   // (paper-baseline) runs. The group profile keeps the broker side plain
   // (RF=1, no broker outages) so every anomaly it finds is the group's.
-  if (!group_profile && rng.bernoulli(broker_profile ? 0.90 : 0.35)) {
+  // The disk profile splits roughly evenly: unreplicated runs show what a
+  // power loss erases, replicated runs show replication covering for it.
+  if (!group_profile &&
+      rng.bernoulli(broker_profile ? 0.90 : disk_profile ? 0.50 : 0.35)) {
     sc.replication_factor = rng.bernoulli(0.7) ? 3 : 2;
     sc.min_insync_replicas =
         rng.bernoulli(0.5) ? 1 : std::min(2, sc.replication_factor);
     sc.unclean_leader_election = rng.bernoulli(0.25);
+  }
+
+  // --- durable-storage dimensions (disk profile only) -----------------------
+  if (disk_profile) {
+    // Flush discipline: OS-cache-only (Kafka's recommended default), a
+    // flush.messages threshold, or a flush.ms interval.
+    const double fr = rng.uniform01();
+    if (fr < 0.45) {
+      sc.flush_messages =
+          static_cast<std::uint64_t>(rng.uniform_int(1, 32));
+    } else if (fr < 0.70) {
+      sc.flush_interval = millis(rng.uniform_int(5, 60));
+    }
+    // Power outages knock the sole broker out for a while at RF=1; give
+    // the producer a budget that survives the longest restore gap below.
+    sc.message_timeout = millis(rng.uniform_int(1200, 2500));
   }
 
   // --- consumer-group dimensions (group profile only) -----------------------
@@ -134,8 +156,10 @@ ChaosScenario generate_scenario(std::uint64_t chaos_seed, Profile profile) {
   }
 
   // --- benign-recovery class: eventual connectivity => zero loss ------------
-  const bool benign =
-      !group_profile && rng.bernoulli(broker_profile ? 0.12 : 0.22);
+  // The disk profile opts out: a power loss legitimately erases committed
+  // records at RF=1, so no schedule of its faults can promise zero loss.
+  const bool benign = !group_profile && !disk_profile &&
+                      rng.bernoulli(broker_profile ? 0.12 : 0.22);
   if (benign) {
     // acks=1 loses leader-acked-but-unreplicated records to a fail-stop
     // (real Kafka behaviour, demonstrated elsewhere), so the zero-loss
@@ -168,13 +192,23 @@ ChaosScenario generate_scenario(std::uint64_t chaos_seed, Profile profile) {
   // schedule is drawn below — at most one broker down at any moment.
   // Records may still fail or expire; what may never happen is a record
   // acknowledged to the application vanishing from the committed log.
-  const bool durable = !group_profile && !benign &&
-                       rng.bernoulli(broker_profile ? 0.40 : 0.15);
+  const bool durable =
+      !group_profile && !benign &&
+      rng.bernoulli(broker_profile ? 0.40 : disk_profile ? 0.35 : 0.15);
   if (durable) {
     sc.semantics = kafka::DeliverySemantics::kExactlyOnce;
     sc.replication_factor = 3;
     sc.min_insync_replicas = 2;
     sc.unclean_leader_election = false;
+    if (disk_profile) {
+      // Replication alone cannot promise no-acked-loss under power loss:
+      // if the ISR shrinks to the leader alone, the high watermark tracks
+      // the leader's in-memory log and a leader crash erases the
+      // OS-cache-only suffix. fsync-per-append closes that window (the
+      // real Kafka hazard flush.messages=1 exists for).
+      sc.flush_messages = 1;
+      sc.flush_interval = 0;
+    }
     cs.expect_no_acked_loss = true;
   }
   cs.expect_no_duplicates =
@@ -236,6 +270,60 @@ ChaosScenario generate_scenario(std::uint64_t chaos_seed, Profile profile) {
         f.delay = millis(rng.uniform_int(1, 60));
         f.loss = rng.uniform(0.0, 0.15);
         sc.faults.push_back(f);
+      }
+    }
+    return cs;
+  }
+
+  if (disk_profile) {
+    // Disk schedules: power-loss crashes with paired hard restarts,
+    // serialized so at most one broker is ever dark (an offline partition
+    // with no restart in sight would just stall the run), latent bit-flip
+    // corruption armed shortly before a crash so the restart's recovery
+    // scan has to surface it, slow-disk stall windows, and occasional
+    // producer-side netem for background noise.
+    TimePoint outage_free_after = 0;
+    const int num_disk_faults = static_cast<int>(rng.uniform_int(1, 4));
+    for (int i = 0; i < num_disk_faults; ++i) {
+      FaultAction f;
+      f.at = uniform_duration(rng, est_run / 10, window_end);
+      f.broker = sc.replication_factor > 1
+                     ? static_cast<int>(rng.uniform_int(0, 2))
+                     : (rng.bernoulli(0.8)
+                            ? 0
+                            : static_cast<int>(rng.uniform_int(1, 2)));
+      const double roll = rng.uniform01();
+      if (roll < 0.15) {
+        f.broker = 0;
+        f.kind = FaultAction::Kind::kNetem;
+        f.delay = millis(rng.uniform_int(1, 60));
+        f.loss = rng.uniform(0.0, 0.15);
+        sc.faults.push_back(f);
+      } else if (roll < 0.32) {
+        f.kind = FaultAction::Kind::kFlushStall;
+        f.delay = uniform_duration(rng, millis(50), millis(600));
+        sc.faults.push_back(f);
+      } else {
+        // Power loss with a paired hard restart. A latent bit flip may be
+        // planted just before the crash (never in the durable class, where
+        // corrupting a flushed acked batch would legitimately lose it).
+        f.at = std::max(f.at, outage_free_after);
+        if (!durable && rng.bernoulli(0.30)) {
+          FaultAction c;
+          c.kind = FaultAction::Kind::kDiskCorrupt;
+          c.broker = f.broker;
+          c.disk_seed = rng.next_u64();
+          c.at = std::max<TimePoint>(f.at - millis(10), 0);
+          sc.faults.push_back(c);
+        }
+        f.kind = FaultAction::Kind::kPowerLoss;
+        f.torn_write = rng.bernoulli(0.5);
+        sc.faults.push_back(f);
+        FaultAction r = f;
+        r.kind = FaultAction::Kind::kPowerRestore;
+        r.at = f.at + uniform_duration(rng, millis(60), millis(500));
+        sc.faults.push_back(r);
+        outage_free_after = r.at + millis(50);
       }
     }
     return cs;
@@ -358,6 +446,13 @@ std::string ChaosScenario::describe() const {
         to_millis(scenario.group_session_timeout),
         to_millis(scenario.group_process_time),
         expect_group_no_loss ? " [group-no-loss]" : "");
+    out += buf;
+  }
+  if (scenario.flush_messages > 0 || scenario.flush_interval > 0) {
+    std::snprintf(
+        buf, sizeof(buf), "\n    disk: flush.messages=%llu flush.ms=%.0f",
+        static_cast<unsigned long long>(scenario.flush_messages),
+        to_millis(scenario.flush_interval));
     out += buf;
   }
   for (const auto& f : scenario.faults) {

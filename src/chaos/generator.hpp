@@ -27,8 +27,11 @@ namespace ks::chaos {
 /// subsystem: multi-partition topics, a 2-3 member group, and a schedule of
 /// member crashes, heartbeat pauses (some past the session timeout),
 /// restarts and scale-outs, with only light producer-side netem
-/// (KS_CHAOS_PROFILE=group_faults).
-enum class Profile { kDefault, kBrokerFaults, kGroupFaults };
+/// (KS_CHAOS_PROFILE=group_faults). kDiskFaults targets the durable-storage
+/// subsystem: randomized flush knobs, power-loss crashes with paired hard
+/// restarts (recovery scans), torn writes, latent bit-flip corruption and
+/// slow-disk stall windows (KS_CHAOS_PROFILE=disk_faults).
+enum class Profile { kDefault, kBrokerFaults, kGroupFaults, kDiskFaults };
 
 /// A generated scenario plus the invariant expectations the generator can
 /// promise by construction (checked by the invariant library).

@@ -37,10 +37,16 @@ bool is_restore(const testbed::FaultAction& f) {
     // generator's survivor floor may count on — never shrink those away.
     case Kind::kConsumerRestart:
     case Kind::kGroupScaleOut: return true;
+    // A hard restart revives a powered-off broker (its power loss may have
+    // been shrunk away; restarting an up broker is a no-op).
+    case Kind::kPowerRestore: return true;
     case Kind::kGilbertElliott:
     case Kind::kBrokerFail:
     case Kind::kConsumerCrash:
-    case Kind::kConsumerPause: return false;
+    case Kind::kConsumerPause:
+    case Kind::kPowerLoss:
+    case Kind::kDiskCorrupt:
+    case Kind::kFlushStall: return false;
   }
   return false;
 }
@@ -278,9 +284,10 @@ Options options_from_env(Options base) {
   if (const char* profile = std::getenv("KS_CHAOS_PROFILE");
       profile != nullptr && *profile != '\0') {
     const std::string_view name(profile);
-    base.profile = name == "broker_faults" ? Profile::kBrokerFaults
-                   : name == "group_faults" ? Profile::kGroupFaults
-                                            : Profile::kDefault;
+    base.profile = name == "broker_faults"   ? Profile::kBrokerFaults
+                   : name == "group_faults"  ? Profile::kGroupFaults
+                   : name == "disk_faults"   ? Profile::kDiskFaults
+                                             : Profile::kDefault;
   }
   return base;
 }

@@ -16,6 +16,14 @@
 //  - no-acked-loss: in the durable-delivery class (acks=all, RF=3,
 //    min.insync=2, clean elections, one broker down at a time) an
 //    acknowledged record must survive every fail-stop in the schedule.
+//  - durable-recovery-prefix: every hard-restart recovery scan truncates
+//    exactly at the ground-truth survivable prefix (CRC scan vs. the
+//    power-loss/torn/corrupt fault flags) and rebuilds the in-memory log
+//    to match the surviving records.
+//  - no-acked-loss-under-power-loss: the durable-disk class (acks=all,
+//    RF=3, min.insync=2, clean elections, fsync-per-append) must deliver
+//    every acked record through any schedule of power losses, torn writes
+//    and hard restarts.
 //  - replica-prefix-consistency / hw-monotonicity / clean-election-only:
 //    with unclean elections disabled, committed log prefixes agree across
 //    replicas, the committed offset never regresses, and every election
@@ -60,6 +68,9 @@ void check_offset_contiguity(const testbed::ExperimentResult& result,
 void check_replication(const ChaosScenario& cs,
                        const testbed::ExperimentResult& result,
                        std::vector<Violation>& out);
+void check_storage(const ChaosScenario& cs,
+                   const testbed::ExperimentResult& result,
+                   std::vector<Violation>& out);
 void check_group(const ChaosScenario& cs,
                  const testbed::ExperimentResult& result,
                  std::vector<Violation>& out);

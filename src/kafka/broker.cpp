@@ -13,6 +13,7 @@ Broker::Broker(sim::Simulation& sim, Config config)
     : sim_(sim),
       config_(config),
       modulator_(sim, config.regime),
+      storage_device_(config.storage),
       isr_scan_timer_(sim) {
   // A regime flip back to Good should immediately resume request service.
   modulator_.on_change([this](sim::Regime) { pump(); });
@@ -33,9 +34,22 @@ Broker::Broker(sim::Simulation& sim, Config config)
       metrics.counter("kafka_broker_replica_fetches_total", labels);
   m_truncated_records_ =
       metrics.counter("kafka_broker_truncated_records_total", labels);
+  m_log_flushes_ = metrics.counter("kafka_broker_log_flushes_total", labels);
+  m_flushed_bytes_ =
+      metrics.counter("kafka_broker_flushed_bytes_total", labels);
+  m_recovery_scans_ =
+      metrics.counter("kafka_broker_recovery_scans_total", labels);
+  m_records_recovered_ =
+      metrics.counter("kafka_broker_records_recovered_total", labels);
+  m_records_discarded_ =
+      metrics.counter("kafka_broker_records_discarded_total", labels);
+  m_corrupt_batches_ =
+      metrics.counter("kafka_broker_corrupt_batches_total", labels);
   m_bad_regime_ = metrics.gauge("kafka_broker_bad_regime", labels);
   m_parked_acks_ = metrics.gauge("kafka_broker_parked_acks", labels);
   m_hw_lag_ = metrics.histogram("kafka_broker_hw_lag_us", labels);
+  m_recovery_scan_us_ =
+      metrics.histogram("kafka_broker_recovery_scan_us", labels);
   m_busy_ = metrics.gauge("kafka_broker_busy", labels);
   m_down_ = metrics.gauge("kafka_broker_down", labels);
   m_replication_lag_ =
@@ -50,6 +64,13 @@ Broker::Broker(sim::Simulation& sim, Config config)
     m_isr_expands_.set(stats_.isr_expands);
     m_replica_fetches_.set(stats_.replica_fetches_served);
     m_truncated_records_.set(stats_.truncated_records);
+    m_log_flushes_.set(storage_device_.stats().flushes);
+    m_flushed_bytes_.set(
+        static_cast<std::uint64_t>(storage_device_.stats().flushed_bytes));
+    m_recovery_scans_.set(stats_.recovery_scans);
+    m_records_recovered_.set(stats_.records_recovered);
+    m_records_discarded_.set(stats_.records_discarded);
+    m_corrupt_batches_.set(stats_.corrupt_batches);
     m_bad_regime_.set(modulator_.good() ? 0.0 : 1.0);
     m_busy_.set(busy_ ? 1.0 : 0.0);
     m_down_.set(down_ ? 1.0 : 0.0);
@@ -80,11 +101,86 @@ void Broker::resume() {
   pump();
 }
 
+std::int64_t Broker::power_loss(bool torn_write) {
+  down_ = true;
+  powered_off_ = true;
+  ++stats_.power_losses;
+  std::int64_t dropped = 0;
+  for (auto& [pid, st] : partitions_) {
+    // Parked acks and fetch sessions die with the process: no response is
+    // ever sent (the producer's request simply times out).
+    for (auto& p : st->pending_acks) {
+      sim_.tracer().end(
+          sim_.now(), p.span,
+          -static_cast<std::int64_t>(ErrorCode::kNotLeaderForPartition));
+    }
+    st->pending_acks.clear();
+    st->fetch_outstanding = false;
+    st->fetch_timer->cancel();
+    dropped += st->log->crash_power_loss(sim_.now(), torn_write);
+  }
+  return dropped;
+}
+
+Duration Broker::recover_storage() {
+  Duration total = 0;
+  for (auto& [pid, st] : partitions_) {
+    if (!st->log->durable()) continue;
+    RecoveryResult rr;
+    st->log->recover_from_storage(sim_.now(), &rr);
+    ++stats_.recovery_scans;
+    stats_.records_recovered += static_cast<std::uint64_t>(rr.recovered_records);
+    stats_.records_discarded += static_cast<std::uint64_t>(rr.discarded_records);
+    stats_.torn_tails += rr.torn_tail ? 1 : 0;
+    stats_.corrupt_batches += static_cast<std::uint64_t>(rr.corrupt_batches);
+    stats_.recovery_scan_time += rr.scan_duration;
+    stats_.recovery_prefix_violations += st->log->verify_recovery();
+    m_recovery_scan_us_.observe(rr.scan_duration);
+    sim_.timeline().record(sim_.now(), obs::ClusterEventKind::kRecoveryScan,
+                           config_.id, pid, rr.recovered_records,
+                           rr.discarded_records);
+    if (rr.torn_tail) {
+      sim_.timeline().record(sim_.now(),
+                             obs::ClusterEventKind::kTornTailTruncated,
+                             config_.id, pid, rr.torn_records,
+                             rr.recovered_end);
+    }
+    if (rr.corrupt_batches > 0) {
+      sim_.timeline().record(sim_.now(),
+                             obs::ClusterEventKind::kCorruptBatchDropped,
+                             config_.id, pid, rr.corrupt_batches,
+                             rr.recovered_end);
+    }
+    total += rr.scan_duration;
+  }
+  powered_off_ = false;
+  return total;
+}
+
+bool Broker::corrupt_disk(std::uint64_t pick) {
+  // Deterministically spread the flip across the partitions that have
+  // anything on disk.
+  std::vector<PartitionLog*> durable;
+  for (auto& [pid, st] : partitions_) {
+    if (st->log->durable() && st->log->storage()->end_offset() > 0) {
+      durable.push_back(st->log.get());
+    }
+  }
+  if (durable.empty()) return false;
+  auto* log = durable[pick % durable.size()];
+  return log->storage()->corrupt_batch(pick / 7u);
+}
+
+void Broker::stall_flushes(Duration window) {
+  storage_device_.stall(sim_.now() + window);
+}
+
 Broker::PartitionState& Broker::state_of(std::int32_t partition) {
   auto& slot = partitions_[partition];
   if (!slot) {
     slot = std::make_unique<PartitionState>();
     slot->log = std::make_unique<PartitionLog>();
+    slot->log->enable_storage(&storage_device_);
     slot->leader = true;
     slot->leader_id = config_.id;
     slot->fetch_timer = std::make_unique<sim::Timer>(sim_);
@@ -187,6 +283,13 @@ void Broker::serve_produce(tcp::Endpoint* endpoint,
   // Copy the request shared_ptr into the completion so the records stay
   // alive through the service delay.
   sim_.after(d, [this, endpoint, append_span, payload = std::move(payload)] {
+    if (powered_off_) {
+      // The power went out mid-service: the request dies with the process
+      // (unlike fail()'s state-preserving fail-stop, which lets in-flight
+      // work complete against the intact in-memory log).
+      busy_ = false;
+      return;
+    }
     obs::ProfScope prof(obs::ProfKey::kBrokerProduce);
     const auto& request =
         std::get<ProduceRequest>(static_cast<const Frame*>(payload.get())->body);
@@ -297,8 +400,20 @@ void Broker::serve_produce(tcp::Endpoint* endpoint,
               result.base_offset);
     }
     sim_.tracer().end(sim_.now(), append_span, result.base_offset);
-    busy_ = false;
-    pump();
+    const Duration fsync = log.take_flush_cost();
+    if (fsync > 0) {
+      // flush.messages / flush.ms fired: the log flush blocks the request
+      // thread before the next request is served. The durability point is
+      // the append above (batches are marked flushed there), so an ack
+      // already sent can never precede durability.
+      sim_.after(fsync, [this] {
+        busy_ = false;
+        pump();
+      });
+    } else {
+      busy_ = false;
+      pump();
+    }
   });
 }
 
@@ -408,6 +523,10 @@ void Broker::serve_fetch(tcp::Endpoint* endpoint,
   const Duration d = service_time(base);
   sim_.after(d, [this, endpoint, fetch_span,
                  response = std::move(response)]() mutable {
+    if (powered_off_) {
+      busy_ = false;
+      return;
+    }
     ++stats_.fetch_requests;
     sim_.tracer().end(sim_.now(), fetch_span,
                       static_cast<std::int64_t>(response.records.size()));
@@ -750,7 +869,8 @@ void Broker::handle_replica_fetch_response(const FetchResponse& response) {
     if (r.offset != st.log->log_end_offset()) continue;  // Stale overlap.
     st.log->append_replicated(LogEntry{r.offset, r.key, r.value_size,
                                        r.append_time, r.leader_epoch,
-                                       r.producer_id, r.sequence});
+                                       r.producer_id, r.sequence},
+                              sim_.now());
     ++stats_.replica_records_appended;
     // Instant span marking the record's replication onto this follower.
     tracer.end(sim_.now(),
@@ -759,6 +879,9 @@ void Broker::handle_replica_fetch_response(const FetchResponse& response) {
                             r.offset));
   }
   st.log->advance_high_watermark(response.high_watermark);
+  // Follower flushes happen off the request thread; the cost is absorbed
+  // by the fetch cadence rather than charged to a service queue.
+  st.log->take_flush_cost();
 
   if (!response.records.empty()) {
     follower_fetch(response.partition);

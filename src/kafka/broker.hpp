@@ -28,6 +28,7 @@
 #include "common/types.hpp"
 #include "kafka/log.hpp"
 #include "kafka/protocol.hpp"
+#include "kafka/storage.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "sim/modulator.hpp"
@@ -68,6 +69,10 @@ class Broker {
     Duration replica_fetch_timeout = millis(150);
     /// Pause between follower session reconnect attempts.
     Duration replica_reconnect_backoff = millis(50);
+
+    /// Durable-storage model shared by every partition directory on this
+    /// broker. Default knobs add no service time and no randomness.
+    StorageConfig storage;
   };
 
   struct Stats {
@@ -86,6 +91,17 @@ class Broker {
     std::uint64_t isr_expands = 0;
     std::uint64_t follower_truncations = 0;
     std::uint64_t truncated_records = 0;  ///< Entries dropped by truncations.
+    // ---- durable storage / crash recovery ----
+    std::uint64_t power_losses = 0;
+    std::uint64_t recovery_scans = 0;       ///< Per-partition scans run.
+    std::uint64_t records_recovered = 0;
+    std::uint64_t records_discarded = 0;    ///< Lost to the crash, total.
+    std::uint64_t torn_tails = 0;
+    std::uint64_t corrupt_batches = 0;
+    /// Recovery scans that disagreed with storage ground truth — any
+    /// nonzero value is a recovery bug (durable-recovery-prefix).
+    std::uint64_t recovery_prefix_violations = 0;
+    Duration recovery_scan_time = 0;        ///< Modeled scan time, summed.
   };
 
   Broker(sim::Simulation& sim, Config config);
@@ -101,6 +117,35 @@ class Broker {
   void fail();
   void resume();
   bool is_down() const noexcept { return down_; }
+
+  /// Hard crash (power cut), distinct from fail(): besides going down, all
+  /// volatile state is lost — in-memory logs, producer dedup state, parked
+  /// acks, fetch sessions. Disk keeps what was flushed or written back,
+  /// possibly with a torn tail on each partition's in-flight batch.
+  /// Returns the records dropped from disk across partitions.
+  std::int64_t power_loss(bool torn_write);
+  bool powered_off() const noexcept { return powered_off_; }
+
+  /// Recovery scan on hard restart: rebuild every partition log from its
+  /// storage's surviving prefix (CRC validation, torn-tail truncation,
+  /// dedup + HW-checkpoint rebuild), record timeline events and return the
+  /// total modeled scan time. The broker stays down; callers resume() it
+  /// once the scan time has elapsed.
+  Duration recover_storage();
+
+  /// Latent bit-flip fault: corrupt one durable batch on one partition,
+  /// both chosen deterministically from `pick`. Detected (and truncated)
+  /// only by the next recovery scan.
+  bool corrupt_disk(std::uint64_t pick);
+
+  /// Slow/stalled-disk fault: flushes until now + `window` cost
+  /// storage.stall_factor more.
+  void stall_flushes(Duration window);
+
+  StorageDevice& storage_device() noexcept { return storage_device_; }
+  const StorageDevice& storage_device() const noexcept {
+    return storage_device_;
+  }
 
   /// Create (or get) the log for a partition hosted on this broker. A
   /// standalone partition (no become_leader/become_follower call) is led by
@@ -224,6 +269,10 @@ class Broker {
   std::size_t next_connection_ = 0;
   bool busy_ = false;
   bool down_ = false;
+  /// Down by power loss: in-flight service completions are dropped (the
+  /// process is gone), unlike fail()'s state-preserving fail-stop.
+  bool powered_off_ = false;
+  StorageDevice storage_device_;
   std::uint64_t next_replica_request_id_ = 1;
   sim::Timer isr_scan_timer_;
   bool isr_scan_armed_ = false;
@@ -234,9 +283,12 @@ class Broker {
   obs::Counter m_bytes_appended_, m_deduplicated_;
   obs::Counter m_isr_shrinks_, m_isr_expands_, m_replica_fetches_;
   obs::Counter m_truncated_records_;
+  obs::Counter m_log_flushes_, m_flushed_bytes_;
+  obs::Counter m_recovery_scans_, m_records_recovered_, m_records_discarded_;
+  obs::Counter m_corrupt_batches_;
   obs::Gauge m_bad_regime_, m_busy_, m_down_, m_replication_lag_;
   obs::Gauge m_parked_acks_;
-  obs::Histogram m_hw_lag_;
+  obs::Histogram m_hw_lag_, m_recovery_scan_us_;
   obs::CollectorHandle metrics_collector_;
 };
 

@@ -204,12 +204,66 @@ void Cluster::fail_broker(int index) {
 }
 
 void Cluster::resume_broker(int index) {
-  brokers_.at(static_cast<std::size_t>(index))->resume();
+  auto& broker = *brokers_.at(static_cast<std::size_t>(index));
+  if (broker.powered_off()) {
+    // A power-lost broker cannot simply resume: its volatile state is
+    // gone and the disk must be scanned first.
+    restart_broker(index);
+    return;
+  }
+  broker.resume();
   alive_[static_cast<std::size_t>(index)] = true;
   sim_.timeline().record(sim_.now(), obs::ClusterEventKind::kBrokerResume,
                          index);
   if (config_.replication_factor <= 1) return;
   handle_broker_recovery(index);
+}
+
+void Cluster::power_off_broker(int index, bool torn_write) {
+  auto& broker = *brokers_.at(static_cast<std::size_t>(index));
+  if (broker.powered_off()) return;  // Already off; nothing left to lose.
+  const std::int64_t dropped = broker.power_loss(torn_write);
+  alive_[static_cast<std::size_t>(index)] = false;
+  ++stats_.power_losses;
+  sim_.timeline().record(sim_.now(), obs::ClusterEventKind::kPowerLoss, index,
+                         -1, dropped, torn_write ? 1 : 0);
+  if (config_.replication_factor <= 1) return;
+  sim_.after(config_.leader_detect_delay,
+             [this, index] { handle_broker_failure(index); });
+}
+
+void Cluster::restart_broker(int index) {
+  auto& broker = *brokers_.at(static_cast<std::size_t>(index));
+  if (!broker.is_down()) return;
+  if (!broker.powered_off()) {
+    resume_broker(index);
+    return;
+  }
+  ++stats_.hard_restarts;
+  // The recovery scan's bookkeeping runs now (kRecoveryScan & friends land
+  // at restart time); the broker stays down for the modeled scan duration
+  // before it serves again and rejoins behind the ISR.
+  const Duration scan = broker.recover_storage();
+  sim_.after(scan, [this, index] {
+    auto& b = *brokers_.at(static_cast<std::size_t>(index));
+    if (b.powered_off()) return;  // Lost power again mid-scan.
+    b.resume();
+    alive_[static_cast<std::size_t>(index)] = true;
+    // a=1 marks a hard restart (recovered from disk), unlike a fail-stop
+    // resume whose log survived intact.
+    sim_.timeline().record(sim_.now(), obs::ClusterEventKind::kBrokerResume,
+                           index, -1, 1);
+    if (config_.replication_factor <= 1) return;
+    handle_broker_recovery(index);
+  });
+}
+
+void Cluster::corrupt_broker_disk(int index, std::uint64_t pick) {
+  brokers_.at(static_cast<std::size_t>(index))->corrupt_disk(pick);
+}
+
+void Cluster::stall_broker_flushes(int index, Duration window) {
+  brokers_.at(static_cast<std::size_t>(index))->stall_flushes(window);
 }
 
 void Cluster::handle_broker_failure(int index) {

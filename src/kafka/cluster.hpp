@@ -67,6 +67,10 @@ class Cluster {
     std::uint64_t committed_regressions = 0;
     std::uint64_t isr_shrinks = 0;
     std::uint64_t isr_expands = 0;
+    // ---- durable storage / crash recovery ----
+    std::uint64_t power_losses = 0;   ///< Hard crashes injected.
+    /// Hard restarts: recovery scan run, broker resumed behind the ISR.
+    std::uint64_t hard_restarts = 0;
   };
 
   /// Key-census result: the paper's measurement of P_l and P_d. Counts
@@ -121,6 +125,27 @@ class Cluster {
   /// Bring a broker back: it resumes service and rejoins as follower (or
   /// is elected if its partitions went offline).
   void resume_broker(int index);
+
+  /// Hard crash (power cut), distinct from fail_broker's state-preserving
+  /// fail-stop: the broker's volatile state is wiped on the spot and only
+  /// the flushed/written-back disk prefix survives — with `torn_write`,
+  /// plus a partially-written tail batch. Detection and elections proceed
+  /// exactly as for a fail-stop.
+  void power_off_broker(int index, bool torn_write);
+
+  /// Hard restart after a power loss: run the recovery scan (CRC
+  /// validation, torn-tail truncation, dedup/HW rebuild), hold the broker
+  /// down for the modeled scan time, then resume it — rejoining behind the
+  /// ISR and catching up via replication. Falls back to resume_broker for
+  /// a broker that is merely fail-stopped.
+  void restart_broker(int index);
+
+  /// Latent bit-flip on a broker's disk (deterministic from `pick`);
+  /// surfaces only at that broker's next recovery scan.
+  void corrupt_broker_disk(int index, std::uint64_t pick);
+
+  /// Slow/stalled-disk window on a broker: flushes cost stall_factor more.
+  void stall_broker_flushes(int index, Duration window);
 
   /// Current leader broker index for a partition, or -1 while offline.
   int current_leader(std::int32_t partition) const;

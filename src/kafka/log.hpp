@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -14,6 +15,10 @@
 #include "kafka/record.hpp"
 
 namespace ks::kafka {
+
+class SegmentedLog;
+class StorageDevice;
+struct RecoveryResult;
 
 struct LogEntry {
   std::int64_t offset = 0;
@@ -30,6 +35,11 @@ struct LogEntry {
 
 class PartitionLog {
  public:
+  PartitionLog();
+  ~PartitionLog();
+  PartitionLog(const PartitionLog&) = delete;
+  PartitionLog& operator=(const PartitionLog&) = delete;
+
   struct AppendResult {
     ErrorCode error = ErrorCode::kNone;
     std::int64_t base_offset = -1;
@@ -48,8 +58,10 @@ class PartitionLog {
   /// Follower-side append of one entry copied from the leader. The entry
   /// must land exactly at the log end (replication is a prefix copy);
   /// producer dedup state is updated so the replica can serve idempotent
-  /// producers after an election.
-  void append_replicated(const LogEntry& entry);
+  /// producers after an election. `local_write_time` is the follower's own
+  /// clock at the write (storage writeback aging), not the entry's
+  /// original leader-side append_time.
+  void append_replicated(const LogEntry& entry, TimePoint local_write_time = 0);
 
   /// Records in [offset, offset + max_records).
   std::span<const LogEntry> read(std::int64_t offset,
@@ -83,6 +95,38 @@ class PartitionLog {
   /// state rebuilt after an election).
   std::int64_t last_sequence_of(std::uint64_t producer_id) const;
 
+  // ---- durable storage (see kafka/storage.hpp) ----------------------------
+
+  /// Shadow this log with a SegmentedLog on `device`. Must be called while
+  /// the log is empty. With default flush knobs the shadow is pure
+  /// bookkeeping (no service time, no randomness).
+  void enable_storage(StorageDevice* device);
+  bool durable() const noexcept { return storage_ != nullptr; }
+  SegmentedLog* storage() noexcept { return storage_.get(); }
+  const SegmentedLog* storage() const noexcept { return storage_.get(); }
+
+  /// Synchronous-flush cost accrued by appends since the last take (the
+  /// broker charges it to its request thread before serving on).
+  Duration take_flush_cost() noexcept {
+    const Duration d = pending_flush_cost_;
+    pending_flush_cost_ = 0;
+    return d;
+  }
+
+  /// Power cut: all volatile state is gone (entries, producer dedup, high
+  /// watermark); storage keeps what was flushed or written back, possibly
+  /// with a torn tail batch. Returns the records dropped from disk.
+  std::int64_t crash_power_loss(TimePoint now, bool torn_write);
+
+  /// Recovery scan after a hard restart: rebuild entries, producer dedup
+  /// state and the high-watermark checkpoint from storage's surviving
+  /// prefix. Fills `*out` with the scan accounting.
+  void recover_from_storage(TimePoint now, RecoveryResult* out);
+
+  /// Cross-check the rebuilt log against storage ground truth; nonzero is
+  /// a recovery bug (the `durable-recovery-prefix` invariant input).
+  std::uint64_t verify_recovery() const;
+
   Bytes size_bytes() const noexcept { return size_bytes_; }
   const std::vector<LogEntry>& entries() const noexcept { return entries_; }
   std::uint64_t deduplicated_batches() const noexcept { return deduped_; }
@@ -104,6 +148,8 @@ class PartitionLog {
   std::int64_t high_watermark_ = 0;
   std::uint64_t truncations_ = 0;
   std::int64_t truncated_entries_ = 0;
+  std::unique_ptr<SegmentedLog> storage_;
+  Duration pending_flush_cost_ = 0;
 };
 
 }  // namespace ks::kafka

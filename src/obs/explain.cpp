@@ -54,7 +54,11 @@ std::string describe_timeline_entry(const RunReport::TimelineEntry& e) {
     return fmt("broker %d fail-stop", e.broker);
   }
   if (e.kind == "broker_resume") {
-    return fmt("broker %d resumed (log intact)", e.broker);
+    return e.a != 0
+               ? fmt("broker %d back up after hard restart (log rebuilt "
+                     "from the recovery scan)",
+                     e.broker)
+               : fmt("broker %d resumed (log intact)", e.broker);
   }
   if (e.kind == "failure_detected") {
     return fmt("controller detected broker %d failure", e.broker);
@@ -107,6 +111,32 @@ std::string describe_timeline_entry(const RunReport::TimelineEntry& e) {
   }
   if (e.kind == "fault_injected") {
     return "fault injected: " + e.note;
+  }
+  if (e.kind == "power_loss") {
+    return fmt("broker %d POWER LOSS: %lld records erased from disk%s",
+               e.broker, static_cast<long long>(e.a),
+               e.b != 0 ? " (torn tail batch left behind)" : "");
+  }
+  if (e.kind == "recovery_scan") {
+    return fmt(
+        "broker %d recovery scan on partition %d: %lld records "
+        "recovered, %lld discarded",
+        e.broker, e.partition, static_cast<long long>(e.a),
+        static_cast<long long>(e.b));
+  }
+  if (e.kind == "torn_tail_truncated") {
+    return fmt(
+        "broker %d partition %d: torn tail batch failed CRC, %lld "
+        "records truncated (log end now %lld)",
+        e.broker, e.partition, static_cast<long long>(e.a),
+        static_cast<long long>(e.b));
+  }
+  if (e.kind == "corrupt_batch_dropped") {
+    return fmt(
+        "broker %d partition %d: %lld corrupt batch%s failed CRC, "
+        "dropped (log end now %lld)",
+        e.broker, e.partition, static_cast<long long>(e.a),
+        e.a == 1 ? "" : "es", static_cast<long long>(e.b));
   }
   if (e.kind == "group_member_joined") {
     return fmt("group member %s joined (%lld member%s)", e.note.c_str(),
@@ -230,11 +260,26 @@ std::string explain_key(const RunReport& report, std::uint64_t key) {
     out += fmt("  ... (+%zu more lines)\n", lines.size() - kMaxLines);
   }
 
+  bool power_loss_seen = false;
+  bool unclean_seen = false;
+  for (const auto& e : report.timeline) {
+    if (e.kind == "power_loss") power_loss_seen = true;
+    if (e.kind == "leader_elected" && e.b == 0) unclean_seen = true;
+  }
+
   out += "verdict: ";
   if (contains(report.acked_lost_keys, key)) {
-    out +=
-        "ACKED BUT LOST - the producer received a positive ack, but the "
-        "record is absent from the committed log at end of run";
+    if (power_loss_seen && !unclean_seen) {
+      out +=
+          "DISK LOST - the producer received a positive ack, but a power "
+          "loss erased the record from the only disk that held it before "
+          "it was flushed or replicated (the acks=1 / min.insync=1 "
+          "durability gap)";
+    } else {
+      out +=
+          "ACKED BUT LOST - the producer received a positive ack, but the "
+          "record is absent from the committed log at end of run";
+    }
   } else if (contains(report.lost_keys, key)) {
     if (expired) {
       out += "LOST - expired before a successful send";

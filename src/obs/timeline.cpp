@@ -35,6 +35,11 @@ const char* to_string(ClusterEventKind k) noexcept {
     case ClusterEventKind::kGroupGenerationStable:
       return "group_generation_stable";
     case ClusterEventKind::kGroupZombieFenced: return "group_zombie_fenced";
+    case ClusterEventKind::kPowerLoss: return "power_loss";
+    case ClusterEventKind::kRecoveryScan: return "recovery_scan";
+    case ClusterEventKind::kTornTailTruncated: return "torn_tail_truncated";
+    case ClusterEventKind::kCorruptBatchDropped:
+      return "corrupt_batch_dropped";
   }
   return "?";
 }

@@ -44,6 +44,11 @@ enum class ClusterEventKind : std::uint8_t {
   kGroupPartitionsAssigned,  ///< a = assigned count, b = new generation.
   kGroupGenerationStable,    ///< a = generation, b = member count.
   kGroupZombieFenced,    ///< Stale commit rejected; a = stale generation.
+  // ---- durable storage / crash recovery ----
+  kPowerLoss,            ///< Hard crash; a = records lost from disk, b = torn.
+  kRecoveryScan,         ///< Restart scan; a = recovered, b = discarded.
+  kTornTailTruncated,    ///< a = torn records dropped, b = recovered LEO.
+  kCorruptBatchDropped,  ///< a = corrupt batches, b = recovered LEO.
 };
 
 const char* to_string(ClusterEventKind k) noexcept;

@@ -91,6 +91,9 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   cluster_config.broker.regime.mean_bad = kBrokerMeanBad;
   cluster_config.broker.replica_lag_time_max = kReplicaLagTimeMax;
   cluster_config.broker.replica_fetch_interval = kReplicaFetchInterval;
+  cluster_config.broker.storage.flush_messages =
+      static_cast<std::int64_t>(scenario.flush_messages);
+  cluster_config.broker.storage.flush_interval = scenario.flush_interval;
   cluster_config.replication_factor = scenario.replication_factor;
   cluster_config.min_insync_replicas = scenario.min_insync_replicas;
   cluster_config.unclean_leader_election = scenario.unclean_leader_election;
@@ -102,6 +105,18 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   const int num_partitions = std::max(scenario.partitions, 1);
   const bool multi = num_partitions > 1;
   const bool grouped = scenario.group_size > 0;
+  // Storage summary keys are emitted only for runs that exercise the disk
+  // model (flush knobs or disk faults), keeping every pre-existing
+  // scenario's canonical_json byte-identical.
+  const bool disk_run =
+      scenario.flush_messages > 0 || scenario.flush_interval > 0 ||
+      std::any_of(scenario.faults.begin(), scenario.faults.end(),
+                  [](const FaultAction& f) {
+                    return f.kind == FaultAction::Kind::kPowerLoss ||
+                           f.kind == FaultAction::Kind::kPowerRestore ||
+                           f.kind == FaultAction::Kind::kDiskCorrupt ||
+                           f.kind == FaultAction::Kind::kFlushStall;
+                  });
   cluster.create_topic("stream", num_partitions);
   auto& leader = cluster.leader_of("stream", 0);
   const std::int32_t partition = cluster.partition_id("stream", 0);
@@ -175,7 +190,11 @@ ExperimentResult run_experiment(const Scenario& scenario) {
     // line message fates up against the fault schedule.
     sim.at(f.at, [&sim, f] {
       const bool broker_fault = f.kind == FaultAction::Kind::kBrokerFail ||
-                                f.kind == FaultAction::Kind::kBrokerResume;
+                                f.kind == FaultAction::Kind::kBrokerResume ||
+                                f.kind == FaultAction::Kind::kPowerLoss ||
+                                f.kind == FaultAction::Kind::kPowerRestore ||
+                                f.kind == FaultAction::Kind::kDiskCorrupt ||
+                                f.kind == FaultAction::Kind::kFlushStall;
       sim.timeline().record(sim.now(), obs::ClusterEventKind::kFaultInjected,
                             broker_fault ? f.broker : -1, -1, 0, 0,
                             f.describe());
@@ -200,6 +219,24 @@ ExperimentResult run_experiment(const Scenario& scenario) {
         break;
       case FaultAction::Kind::kBrokerResume:
         sim.at(f.at, [&cluster, b = f.broker] { cluster.resume_broker(b); });
+        break;
+      case FaultAction::Kind::kPowerLoss:
+        sim.at(f.at, [&cluster, b = f.broker, torn = f.torn_write] {
+          cluster.power_off_broker(b, torn);
+        });
+        break;
+      case FaultAction::Kind::kPowerRestore:
+        sim.at(f.at, [&cluster, b = f.broker] { cluster.restart_broker(b); });
+        break;
+      case FaultAction::Kind::kDiskCorrupt:
+        sim.at(f.at, [&cluster, b = f.broker, pick = f.disk_seed] {
+          cluster.corrupt_broker_disk(b, pick);
+        });
+        break;
+      case FaultAction::Kind::kFlushStall:
+        sim.at(f.at, [&cluster, b = f.broker, w = f.delay] {
+          cluster.stall_broker_flushes(b, w);
+        });
         break;
       case FaultAction::Kind::kConsumerCrash:
       case FaultAction::Kind::kConsumerRestart:
@@ -321,25 +358,31 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   // batch must start exactly at base + batch_record_count (contiguous,
   // monotone log). Leader changes legitimately move the append point (a
   // new leader starts from its replicated log end; a re-elected one from
-  // its truncated end), so elections reset the watch.
+  // its truncated end), so elections reset the watch — as do hard
+  // restarts, whose recovery scan can truncate the log end backward even
+  // at replication_factor == 1.
   struct OffsetWatch {
     std::int64_t base = -1;
     std::int64_t count = 1;
   };
   std::map<std::pair<int, std::int32_t>, OffsetWatch> offsets;
   std::uint64_t elections_seen = 0;
+  std::uint64_t hard_restarts_seen = 0;
   for (int b = 0; b < cluster.num_brokers(); ++b) {
     cluster.broker(b).on_append = [&, b](std::int32_t part,
                                          const kafka::Record& r,
                                          std::int64_t offset) {
       ++result.appends_observed;
-      if (cluster.stats().elections != elections_seen) {
+      if (cluster.stats().elections != elections_seen ||
+          cluster.stats().hard_restarts != hard_restarts_seen) {
         elections_seen = cluster.stats().elections;
+        hard_restarts_seen = cluster.stats().hard_restarts;
         offsets.clear();
       }
       auto& w = offsets[{b, part}];
       const bool fresh_after_election =
-          replicated && w.base == -1 && offset > 0;
+          (replicated || hard_restarts_seen > 0) && w.base == -1 &&
+          offset > 0;
       if (offset == w.base) {
         ++w.count;  // Another record of the same batch.
       } else {
@@ -734,6 +777,18 @@ ExperimentResult run_experiment(const Scenario& scenario) {
     result.follower_truncations +=
         cluster.broker(b).stats().follower_truncations;
   }
+  result.power_losses = cluster.stats().power_losses;
+  result.hard_restarts = cluster.stats().hard_restarts;
+  for (int b = 0; b < cluster.num_brokers(); ++b) {
+    const auto& bs = cluster.broker(b).stats();
+    result.recovery_scans += bs.recovery_scans;
+    result.records_recovered += bs.records_recovered;
+    result.records_discarded += bs.records_discarded;
+    result.torn_tails += bs.torn_tails;
+    result.corrupt_batches += bs.corrupt_batches;
+    result.recovery_prefix_violations += bs.recovery_prefix_violations;
+    result.log_flushes += cluster.broker(b).storage_device().stats().flushes;
+  }
 
   // KPI inputs.
   result.service_rate_mu =
@@ -840,6 +895,22 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   summary["consumer_truncations"] =
       static_cast<double>(result.consumer_truncations);
   summary["consumer_drained"] = result.consumer_drained ? 1.0 : 0.0;
+  if (disk_run) {
+    summary["flush_messages"] = static_cast<double>(scenario.flush_messages);
+    summary["flush_interval_ms"] = to_millis(scenario.flush_interval);
+    summary["power_losses"] = static_cast<double>(result.power_losses);
+    summary["hard_restarts"] = static_cast<double>(result.hard_restarts);
+    summary["recovery_scans"] = static_cast<double>(result.recovery_scans);
+    summary["records_recovered"] =
+        static_cast<double>(result.records_recovered);
+    summary["records_discarded"] =
+        static_cast<double>(result.records_discarded);
+    summary["torn_tails"] = static_cast<double>(result.torn_tails);
+    summary["corrupt_batches"] = static_cast<double>(result.corrupt_batches);
+    summary["recovery_prefix_violations"] =
+        static_cast<double>(result.recovery_prefix_violations);
+    summary["log_flushes"] = static_cast<double>(result.log_flushes);
+  }
   // Partition/group keys are emitted only for multi-partition or grouped
   // runs, so the single-partition summary (and its canonical_json) stays
   // byte-identical to previous versions.

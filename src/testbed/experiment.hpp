@@ -78,6 +78,20 @@ struct ExperimentResult {
   std::uint64_t producer_failovers = 0;
   std::uint64_t producer_not_leader_errors = 0;
 
+  // Durable storage & crash recovery (all zero without disk faults and
+  // flush knobs — the storage layer is pure bookkeeping then).
+  std::uint64_t power_losses = 0;      ///< Hard crashes injected.
+  std::uint64_t hard_restarts = 0;     ///< Recovery scans + rejoins.
+  std::uint64_t recovery_scans = 0;    ///< Per-partition scans run.
+  std::uint64_t records_recovered = 0;
+  std::uint64_t records_discarded = 0; ///< Lost to crashes, total.
+  std::uint64_t torn_tails = 0;
+  std::uint64_t corrupt_batches = 0;
+  /// Recovery scans disagreeing with storage ground truth — any nonzero
+  /// value is a recovery bug (the durable-recovery-prefix invariant).
+  std::uint64_t recovery_prefix_violations = 0;
+  std::uint64_t log_flushes = 0;       ///< Synchronous flushes performed.
+
   // Consumer drain stage (source-to-consumer Fig. 2 visibility).
   std::uint64_t consumer_records = 0;     ///< Records read back, incl. dups.
   std::uint64_t consumer_delivered = 0;   ///< Unique keys delivered.

@@ -47,6 +47,23 @@ std::string FaultAction::describe() const {
       std::snprintf(buf, sizeof(buf), "t=%.2fs group scale-out",
                     to_seconds(at));
       break;
+    case Kind::kPowerLoss:
+      std::snprintf(buf, sizeof(buf), "t=%.2fs broker%d power-loss%s",
+                    to_seconds(at), broker, torn_write ? " torn" : "");
+      break;
+    case Kind::kPowerRestore:
+      std::snprintf(buf, sizeof(buf), "t=%.2fs broker%d power-restore",
+                    to_seconds(at), broker);
+      break;
+    case Kind::kDiskCorrupt:
+      std::snprintf(buf, sizeof(buf),
+                    "t=%.2fs broker%d disk-corrupt 0x%llx", to_seconds(at),
+                    broker, static_cast<unsigned long long>(disk_seed));
+      break;
+    case Kind::kFlushStall:
+      std::snprintf(buf, sizeof(buf), "t=%.2fs broker%d flush-stall %.0fms",
+                    to_seconds(at), broker, to_millis(delay));
+      break;
   }
   return buf;
 }

@@ -31,16 +31,25 @@ struct FaultAction {
     kConsumerRestart, ///< Crashed member `member` comes back and rejoins.
     kConsumerPause,   ///< Member `member` freezes for `delay` (GC pause).
     kGroupScaleOut,   ///< A new member joins the group at `at`.
+    kPowerLoss,       ///< Hard crash of `broker`: volatile state wiped,
+                      ///< unflushed disk suffix lost (torn tail if
+                      ///< `torn_write`).
+    kPowerRestore,    ///< Hard restart: recovery scan, then rejoin.
+    kDiskCorrupt,     ///< Latent bit-flip on `broker`'s disk (`disk_seed`).
+    kFlushStall,      ///< Slow/stalled disk on `broker` for `delay`.
   };
 
   TimePoint at = 0;  ///< Absolute simulated time.
   Kind kind = Kind::kNetem;
-  Duration delay = 0;   ///< Injected one-way delay (kNetem/kGilbertElliott).
+  Duration delay = 0;   ///< Injected one-way delay (kNetem/kGilbertElliott);
+                        ///< stall window (kFlushStall).
   double loss = 0.0;    ///< Bernoulli loss rate (kNetem).
   net::GilbertElliottLoss::Params ge{};  ///< kGilbertElliott parameters.
   double bandwidth_bps = 0.0;            ///< kBandwidth target rate.
-  int broker = 0;                        ///< kBrokerFail/kBrokerResume.
+  int broker = 0;                        ///< kBrokerFail/kBrokerResume/disk.
   int member = 0;                        ///< kConsumer* target group member.
+  bool torn_write = false;               ///< kPowerLoss: tear the tail batch.
+  std::uint64_t disk_seed = 0;           ///< kDiskCorrupt: bit-flip picker.
 
   std::string describe() const;  ///< One-line human-readable summary.
 };
@@ -88,6 +97,14 @@ struct Scenario {
   int replication_factor = 1;
   int min_insync_replicas = 1;             ///< acks=all durability gate.
   bool unclean_leader_election = false;    ///< Availability over safety.
+
+  // --- durable storage (disk-fault ablation) -----------------------------------
+  /// Synchronous-flush thresholds for the broker's segmented log, mirroring
+  /// Kafka's log.flush.interval.messages / log.flush.interval.ms. Both 0 =
+  /// OS-cache-only writeback (Kafka's default), which a power loss can
+  /// erase; flush_messages = 1 is fsync-per-append.
+  std::uint64_t flush_messages = 0;
+  Duration flush_interval = 0;
 
   /// Timed fault schedule executed on top of the static (D, L) impairment:
   /// netem steps, bandwidth drops, broker outages and group-member faults.

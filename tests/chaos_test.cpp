@@ -332,6 +332,152 @@ TEST(Chaos, GroupSemanticsSeedPairPinsTableOne) {
   EXPECT_EQ(lossy.group_rebalances, dup.group_rebalances);
 }
 
+// The disk-fault soak profile: every seed expands differently from its
+// default-profile expansion, the schedules are dominated by power-loss
+// crashes with paired hard restarts, the flush knobs actually vary, and
+// the durable class pins the safe configuration (fsync-per-append +
+// acks=all + RF=3) with no latent corruption injected on top.
+TEST(Chaos, DiskFaultProfileShapesScenarios) {
+  int distinct = 0;
+  int flush_knobs = 0;
+  int durable = 0;
+  int power_runs = 0;
+  int torn = 0;
+  std::set<Kind> kinds;
+  for (std::uint64_t i = 0; i < 96; ++i) {
+    const auto seed = scenario_seed(0xC0FFEEu, i);
+    const auto cs = generate_scenario(seed, Profile::kDiskFaults);
+    if (cs.describe() != generate_scenario(seed).describe()) ++distinct;
+    if (cs.scenario.flush_messages > 0 || cs.scenario.flush_interval > 0) {
+      ++flush_knobs;
+    }
+    if (cs.expect_no_acked_loss) {
+      ++durable;
+      // The guarantee has two legs: replication AND fsync-per-append
+      // (an OS-cache-only leader that crashes after ISR shrink loses
+      // acked data legitimately — that is the gap, not a durable run).
+      EXPECT_EQ(cs.scenario.flush_messages, 1u) << cs.describe();
+      EXPECT_EQ(cs.scenario.replication_factor, 3) << cs.describe();
+      EXPECT_EQ(cs.scenario.min_insync_replicas, 2) << cs.describe();
+      EXPECT_FALSE(cs.scenario.unclean_leader_election) << cs.describe();
+      EXPECT_EQ(cs.scenario.semantics,
+                kafka::DeliverySemantics::kExactlyOnce);
+    }
+    int losses = 0;
+    int restores = 0;
+    for (const auto& f : cs.scenario.faults) {
+      kinds.insert(f.kind);
+      if (f.kind == Kind::kPowerLoss) {
+        ++losses;
+        if (f.torn_write) ++torn;
+      }
+      if (f.kind == Kind::kPowerRestore) ++restores;
+      // A corrupted flushed batch is legitimately lost even under the
+      // safe configuration, so the durable class excludes corruption.
+      if (cs.expect_no_acked_loss) {
+        EXPECT_NE(f.kind, Kind::kDiskCorrupt) << cs.describe();
+      }
+    }
+    // Every crash restarts: a powered-off broker never strands the run.
+    EXPECT_EQ(losses, restores) << cs.describe();
+    if (losses > 0) ++power_runs;
+  }
+  EXPECT_EQ(distinct, 96);
+  EXPECT_GT(flush_knobs, 32);
+  EXPECT_GT(durable, 8);
+  EXPECT_GT(power_runs, 40);
+  EXPECT_GT(torn, 8);
+  EXPECT_TRUE(kinds.count(Kind::kPowerLoss));
+  EXPECT_TRUE(kinds.count(Kind::kPowerRestore));
+  EXPECT_TRUE(kinds.count(Kind::kFlushStall));
+  EXPECT_TRUE(kinds.count(Kind::kDiskCorrupt));
+}
+
+// The disk sweep itself: pinned disk seeds replayed first, then a
+// randomized pass, all checked against the invariant library (including
+// durable-recovery-prefix on every run and no-acked-loss-under-power-loss
+// for the durable class).
+TEST(Chaos, DiskFaultsSweepHoldsInvariants) {
+  Options options;
+  options.master_seed = 0xD15C5EED;
+  options.iterations = 48;
+  options.profile = Profile::kDiskFaults;
+  options.corpus = load_tagged_seed_corpus(corpus_path(), "disk_faults");
+  options.replay_every = 16;
+
+  const auto report = run(options);
+  for (const auto& failure : report.failures) {
+    ADD_FAILURE() << failure.summary();
+  }
+  EXPECT_TRUE(report.ok());
+  EXPECT_GE(report.corpus_replayed, 4u)
+      << "disk_faults seeds missing from " << corpus_path();
+  EXPECT_GE(report.scenarios_run, 48u);
+  EXPECT_GT(report.replay_checks, 0u);
+}
+
+// The guarantee-boundary pair: one pinned power-loss schedule, two broker
+// configurations. With RF=1 and OS-cache-only flushing the crash erases
+// records the producer had already been acked for — narrated end-to-end
+// as DISK LOST. The identical schedule under acks=all + RF=3 +
+// fsync-per-append delivers every acked record through the crash and the
+// recovery scan. Both arms must replay byte-identically.
+TEST(Chaos, PowerLossSeedPairPinsGuaranteeBoundary) {
+  testbed::Scenario base;
+  base.source_mode = testbed::SourceMode::kOnDemand;
+  base.semantics = kafka::DeliverySemantics::kAtLeastOnce;
+  base.num_messages = 8000;
+  base.seed = 0xD15CBEEF;
+  testbed::FaultAction cut;
+  cut.kind = Kind::kPowerLoss;
+  cut.at = millis(100);
+  cut.broker = 0;
+  cut.torn_write = true;
+  testbed::FaultAction back;
+  back.kind = Kind::kPowerRestore;
+  back.at = millis(280);
+  back.broker = 0;
+  base.faults = {cut, back};
+
+  // Arm 1: the durability gap. acks=1, one replica, Kafka's default
+  // OS-cache-only flush discipline: the power loss erases the acked tail.
+  const auto lossy = testbed::run_experiment(base);
+  ASSERT_TRUE(lossy.completed);
+  EXPECT_GT(lossy.power_losses, 0u);
+  EXPECT_GT(lossy.hard_restarts, 0u);
+  EXPECT_GT(lossy.acked_lost, 0u)
+      << "pinned schedule no longer loses acked records at RF=1";
+  ASSERT_FALSE(lossy.report.acked_lost_keys.empty());
+  const auto key = obs::pick_explain_key(lossy.report);
+  ASSERT_TRUE(key.has_value());
+  const auto story = obs::explain_key(lossy.report, *key);
+  EXPECT_NE(story.find("DISK LOST"), std::string::npos) << story;
+  EXPECT_NE(story.find("POWER LOSS"), std::string::npos) << story;
+
+  // Arm 2: the safe configuration closes the gap. Same fault schedule;
+  // acks=all over three replicas plus fsync-per-append.
+  auto safe = base;
+  safe.semantics = kafka::DeliverySemantics::kExactlyOnce;
+  safe.replication_factor = 3;
+  safe.min_insync_replicas = 2;
+  safe.flush_messages = 1;
+  const auto durable = testbed::run_experiment(safe);
+  ASSERT_TRUE(durable.completed);
+  EXPECT_GT(durable.power_losses, 0u);
+  EXPECT_GT(durable.hard_restarts, 0u);
+  EXPECT_EQ(durable.acked_lost, 0u)
+      << "acks=all + RF=3 + fsync lost an acked record through the crash";
+  EXPECT_TRUE(durable.report.acked_lost_keys.empty());
+  EXPECT_EQ(durable.recovery_prefix_violations, 0u);
+
+  // Both arms are replay-deterministic: the crash-recovery path draws no
+  // hidden randomness.
+  EXPECT_EQ(lossy.report.canonical_json(),
+            testbed::run_experiment(base).report.canonical_json());
+  EXPECT_EQ(durable.report.canonical_json(),
+            testbed::run_experiment(safe).report.canonical_json());
+}
+
 // End-to-end failure path: inject a violation (via the extra-invariant
 // hook), check the harness pins the seed, prints a KS_CHAOS_SEED repro
 // line, and shrinks the fault schedule to a smaller still-violating one.

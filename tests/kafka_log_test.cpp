@@ -90,6 +90,84 @@ TEST(PartitionLog, IdempotencePerProducer) {
   EXPECT_EQ(log.log_end_offset(), 4);
 }
 
+TEST(PartitionLog, ReadEdgeCases) {
+  PartitionLog log;
+  log.append(records(0, 4), 0);
+  EXPECT_EQ(log.read(0, 0).size(), 0u);    // Zero-budget fetch.
+  EXPECT_EQ(log.read(4, 1).size(), 0u);    // Exactly at the log end.
+  EXPECT_EQ(log.read(-100, 8).size(), 0u); // Far-negative offset.
+  EXPECT_EQ(log.read(1000, 8).size(), 0u); // Far beyond the end.
+  // An in-range read is never silently extended past the end.
+  EXPECT_EQ(log.read(3, 1000).size(), 1u);
+}
+
+TEST(PartitionLog, TruncateClampsNegativeAndBeyondEnd) {
+  PartitionLog log;
+  log.append(records(0, 5), 0);
+  log.truncate_to(1000);  // At/after the end: no-op, not an extension.
+  EXPECT_EQ(log.log_end_offset(), 5);
+  EXPECT_EQ(log.truncations(), 0u);
+  log.truncate_to(-3);  // Negative clamps to zero: drop everything.
+  EXPECT_EQ(log.log_end_offset(), 0);
+  EXPECT_EQ(log.truncations(), 1u);
+  EXPECT_EQ(log.truncated_entries(), 5);
+  EXPECT_EQ(log.size_bytes(), 0);
+}
+
+TEST(PartitionLog, ReadSpanningTruncationSeesOnlySurvivors) {
+  PartitionLog log;
+  log.append(records(0, 10), 0);
+  log.truncate_to(6);
+  // A read across the old tail stops at the new end; a read entirely in
+  // the truncated range finds nothing.
+  EXPECT_EQ(log.read(4, 10).size(), 2u);
+  EXPECT_EQ(log.read(4, 10)[1].offset, 5);
+  EXPECT_EQ(log.read(6, 4).size(), 0u);
+  EXPECT_EQ(log.read(8, 4).size(), 0u);
+}
+
+TEST(PartitionLog, TruncateRewindsReplicatedHighWatermark) {
+  PartitionLog log;
+  log.enable_replication();
+  log.append(records(0, 8), 0);
+  log.advance_high_watermark(6);
+  log.truncate_to(4);
+  EXPECT_EQ(log.high_watermark(), 4);
+  // The watermark never re-advances past the shortened end on its own.
+  log.advance_high_watermark(100);
+  EXPECT_EQ(log.high_watermark(), 4);
+}
+
+TEST(PartitionLog, TruncateBelowProducerSequenceReopensIt) {
+  PartitionLog log;
+  log.append(records(0, 3), 0, /*producer_id=*/7, /*base_sequence=*/0);
+  log.append(records(3, 2), 0, 7, 3);
+  EXPECT_EQ(log.last_sequence_of(7), 4);
+  // Truncation below the producer's last batch rebuilds its dedup state
+  // from the survivors: the truncated batch's retry must append again
+  // (it is gone from the log), while the surviving batch still dedups.
+  log.truncate_to(3);
+  EXPECT_EQ(log.last_sequence_of(7), 2);
+  auto surviving_retry = log.append(records(0, 3), 0, 7, 0);
+  EXPECT_TRUE(surviving_retry.deduplicated);
+  auto truncated_retry = log.append(records(3, 2), 0, 7, 3);
+  EXPECT_FALSE(truncated_retry.deduplicated);
+  EXPECT_EQ(truncated_retry.base_offset, 3);
+  EXPECT_EQ(log.log_end_offset(), 5);
+}
+
+TEST(PartitionLog, TruncateToZeroForgetsProducerEntirely) {
+  PartitionLog log;
+  log.append(records(0, 2), 0, 9, 0);
+  log.truncate_to(0);
+  EXPECT_EQ(log.last_sequence_of(9), -1);
+  // With no surviving state the retry is indistinguishable from a first
+  // send and appends cleanly — exactly Kafka's UNKNOWN_PRODUCER_ID reset.
+  auto retry = log.append(records(0, 2), 0, 9, 0);
+  EXPECT_FALSE(retry.deduplicated);
+  EXPECT_EQ(log.log_end_offset(), 2);
+}
+
 TEST(PartitionLog, NonIdempotentAppendsDuplicates) {
   PartitionLog log;
   log.append(records(0, 2), 0);
