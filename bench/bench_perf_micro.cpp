@@ -9,6 +9,7 @@
 
 #include "ann/network.hpp"
 #include "common/rng.hpp"
+#include "obs/health.hpp"
 #include "obs/profiler.hpp"
 #include "obs/span.hpp"
 #include "sim/event_queue.hpp"
@@ -146,6 +147,32 @@ void BM_PipelineProfilerOverhead(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2000);
 }
 BENCHMARK(BM_PipelineProfilerOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PipelineHealthOverhead(benchmark::State& state) {
+  // Online health monitor toggled on the same pipeline: arg 0 disables it
+  // (every hot-path hook reduces to one pointer test), arg 1 runs the
+  // probe tick + latency capture at the default 60ms interval. The delta
+  // bounds the enabled cost; the disabled path is additionally asserted
+  // in main() (<=1%).
+  const bool monitored = state.range(0) != 0;
+  for (auto _ : state) {
+    testbed::Scenario sc;
+    sc.num_messages = 2000;
+    sc.broker_regimes = false;
+    sc.seed = 42;
+    sc.sample_interval = 0;
+    sc.trace_sample_every = ~0ULL;
+    sc.spans_enabled = false;
+    sc.health_enabled = monitored;
+    const auto r = testbed::run_experiment(sc);
+    benchmark::DoNotOptimize(r.health_ticks);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_PipelineHealthOverhead)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
@@ -290,11 +317,69 @@ bool disabled_profiler_path_within_budget() {
   return true;
 }
 
+// Same bound for the health monitor: with health disabled the experiment
+// holds a null HealthMonitor pointer and every hot-path hook (ack-time
+// stamp, first-delivery latency capture) is one pointer test. Measure
+// that test against a pointer the optimizer cannot prove null.
+bool disabled_health_path_within_budget() {
+  using clock = std::chrono::steady_clock;
+  const auto seconds_between = [](clock::time_point a, clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+
+  obs::HealthMonitor* monitor = nullptr;
+  benchmark::DoNotOptimize(monitor);
+  constexpr int kChecks = 1 << 21;
+  std::int64_t taken = 0;
+  const auto t0 = clock::now();
+  for (int i = 0; i < kChecks; ++i) {
+    if (monitor != nullptr) {
+      monitor->observe_latency(0, i);
+      ++taken;
+    }
+    benchmark::DoNotOptimize(taken);
+  }
+  const auto t1 = clock::now();
+  const double check_s = seconds_between(t0, t1) / kChecks;
+
+  testbed::Scenario sc;
+  sc.num_messages = 4000;
+  sc.broker_regimes = false;
+  sc.seed = 42;
+  sc.sample_interval = 0;
+  sc.trace_sample_every = ~0ULL;
+  sc.spans_enabled = false;
+  sc.health_enabled = false;
+  sc.consumer_drain = false;
+  const auto t2 = clock::now();
+  const auto result = testbed::run_experiment(sc);
+  const auto t3 = clock::now();
+  benchmark::DoNotOptimize(result.census.delivered);
+  const double record_s =
+      seconds_between(t2, t3) / static_cast<double>(sc.num_messages);
+
+  // One hook on the ack path and one on the delivery path per record.
+  constexpr double kHooksPerRecord = 2.0;
+  const double ratio = check_s * kHooksPerRecord / record_s;
+  std::printf("health self-check: disabled hook %.1fns, hot loop "
+              "%.0fns/record, overhead %.3f%% (budget 1%%)\n",
+              check_s * 1e9, record_s * 1e9, ratio * 100.0);
+  if (ratio > 0.01) {
+    std::fprintf(stderr,
+                 "FAIL: disabled health path costs %.3f%% of the hot "
+                 "produce loop (budget 1%%)\n",
+                 ratio * 100.0);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (!disabled_span_path_within_budget()) return 1;
   if (!disabled_profiler_path_within_budget()) return 1;
+  if (!disabled_health_path_within_budget()) return 1;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

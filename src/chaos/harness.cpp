@@ -9,6 +9,7 @@
 #include <string_view>
 
 #include "obs/explain.hpp"
+#include "obs/health.hpp"
 
 namespace ks::chaos {
 
@@ -154,6 +155,11 @@ std::string write_failure_artifacts(std::uint64_t chaos_seed,
   const std::string base = std::string(dir) + "/" + name;
   if (!report.write_json(base + "_report.json")) return {};
   report.write_perfetto(base + ".perfetto.json");
+  // Health rendering (verdicts, alert ledger, sparkline trends) next to
+  // the raw report, so a CI failure shows the run's health at a glance.
+  if (std::ofstream health(base + "_health.txt"); health) {
+    health << obs::render_health_text(report);
+  }
   return base + "_report.json";
 }
 

@@ -296,6 +296,84 @@ void check_group(const ChaosScenario& cs,
   }
 }
 
+void check_health(const ChaosScenario& cs,
+                  const testbed::ExperimentResult& result,
+                  std::vector<Violation>& out) {
+  if (!cs.scenario.health_enabled || result.health_ticks == 0) return;
+  const auto& health = result.report.health;
+
+  // Precision: with no scheduled faults and no packet loss, nothing in the
+  // run can stop a group's commits for whole windows — any lag alert on
+  // such a run is a false positive.
+  if (cs.scenario.faults.empty() && cs.scenario.packet_loss == 0.0 &&
+      result.health_lag_alerts != 0) {
+    out.push_back(
+        {"health-precision",
+         fmt("%llu lag alert(s) raised on a fault-free, loss-free run",
+             static_cast<unsigned long long>(result.health_lag_alerts))});
+  }
+
+  // Recall: a permanent member crash (no later restart of that member)
+  // that froze actively-committing partitions must be caught while the
+  // evidence stands — a lag_stall/lag_stop alert whose open interval
+  // intersects [crash, crash + session_timeout + a few evaluation
+  // windows]. The experiment records the ground truth (warm_backlog:
+  // lag on still-frozen, previously-committing partitions measured
+  // stall_ticks windows after the crash — exactly the evidence the STALL
+  // rule needs) straight off cluster/coordinator state, independent of
+  // the monitor under test.
+  if (cs.scenario.group_size == 0) return;
+  const std::int64_t interval = static_cast<std::int64_t>(health.interval_us);
+  const std::int64_t grace =
+      static_cast<std::int64_t>(cs.scenario.group_session_timeout) +
+      8 * interval;
+  std::vector<bool> consumed(result.group_crash_backlogs.size(), false);
+  for (const auto& f : cs.scenario.faults) {
+    if (f.kind != testbed::FaultAction::Kind::kConsumerCrash) continue;
+    bool restarted = false;
+    for (const auto& g : cs.scenario.faults) {
+      if (g.kind == testbed::FaultAction::Kind::kConsumerRestart &&
+          g.member == f.member && g.at > f.at) {
+        restarted = true;
+      }
+    }
+    if (restarted) continue;
+    // Ground-truth record for this crash (matched by injection time; the
+    // experiment only records crashes of in-range members).
+    const testbed::ExperimentResult::CrashBacklog* truth = nullptr;
+    for (std::size_t i = 0; i < result.group_crash_backlogs.size(); ++i) {
+      if (!consumed[i] && result.group_crash_backlogs[i].at == f.at) {
+        consumed[i] = true;
+        truth = &result.group_crash_backlogs[i];
+        break;
+      }
+    }
+    if (truth == nullptr || truth->warm_backlog == 0) continue;
+    const std::int64_t deadline = static_cast<std::int64_t>(f.at) + grace;
+    bool caught = false;
+    for (const auto& a : health.alerts) {
+      if (a.detector != "lag_stall" && a.detector != "lag_stop") continue;
+      const bool opened_in_time = a.opened_us <= deadline;
+      const bool still_relevant =
+          a.resolved_us == -1 || a.resolved_us >= static_cast<std::int64_t>(f.at);
+      if (opened_in_time && still_relevant) {
+        caught = true;
+        break;
+      }
+    }
+    if (!caught) {
+      out.push_back(
+          {"health-recall",
+           fmt("member %d crashed for good at %.3fs with %lld unconsumed "
+               "records on actively-committing partitions, but no "
+               "lag_stall/lag_stop alert was open by %.3fs",
+               f.member, to_seconds(f.at),
+               static_cast<long long>(truth->warm_backlog),
+               to_seconds(static_cast<TimePoint>(deadline)))});
+    }
+  }
+}
+
 void check_trace_legality(const obs::RunReport& report,
                           std::vector<Violation>& out) {
   // The ring dropped entries => per-key sequences may be truncated and
@@ -334,6 +412,7 @@ std::vector<Violation> check_invariants(
   check_replication(cs, result, out);
   check_storage(cs, result, out);
   check_group(cs, result, out);
+  check_health(cs, result, out);
   check_trace_legality(result.report, out);
   return out;
 }

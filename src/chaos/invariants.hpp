@@ -74,6 +74,16 @@ void check_storage(const ChaosScenario& cs,
 void check_group(const ChaosScenario& cs,
                  const testbed::ExperimentResult& result,
                  std::vector<Violation>& out);
+/// Scores the online health monitor against ground truth. Recall: a group
+/// member crashed without a later restart, leaving actively-committing
+/// partitions frozen with lag still outstanding stall_ticks windows later
+/// (warm_backlog > 0 in the experiment's crash record), must raise a
+/// lag_stall/lag_stop alert within a bounded window of the crash.
+/// Precision: a run with no scheduled faults and no packet loss must
+/// raise no lag alert at all.
+void check_health(const ChaosScenario& cs,
+                  const testbed::ExperimentResult& result,
+                  std::vector<Violation>& out);
 void check_trace_legality(const obs::RunReport& report,
                           std::vector<Violation>& out);
 

@@ -25,7 +25,7 @@ Broker::Broker(sim::Simulation& sim, Config config)
   m_records_appended_ =
       metrics.counter("kafka_broker_records_appended_total", labels);
   m_bytes_appended_ =
-      metrics.counter("kafka_broker_bytes_appended_total", labels);
+      metrics.counter("kafka_broker_appended_bytes_total", labels);
   m_deduplicated_ =
       metrics.counter("kafka_broker_batches_deduplicated_total", labels);
   m_isr_shrinks_ = metrics.counter("kafka_broker_isr_shrinks_total", labels);
@@ -93,6 +93,14 @@ Broker::Broker(sim::Simulation& sim, Config config)
 }
 
 void Broker::start() { modulator_.start(); }
+
+std::int64_t Broker::parked_acks() const noexcept {
+  std::int64_t parked = 0;
+  for (const auto& [id, st] : partitions_) {
+    parked += static_cast<std::int64_t>(st->pending_acks.size());
+  }
+  return parked;
+}
 
 void Broker::fail() { down_ = true; }
 

@@ -142,6 +142,11 @@ class Broker {
   /// storage.stall_factor more.
   void stall_flushes(Duration window);
 
+  /// acks=all produce responses currently parked awaiting the high
+  /// watermark, summed across hosted partitions (health-probe input; the
+  /// same sum the metrics collector publishes as a gauge).
+  std::int64_t parked_acks() const noexcept;
+
   StorageDevice& storage_device() noexcept { return storage_device_; }
   const StorageDevice& storage_device() const noexcept {
     return storage_device_;

@@ -22,7 +22,7 @@ Link::Link(sim::Simulation& sim, Config config,
   const obs::Labels labels{{"link", name_}};
   m_offered_ = metrics.counter("link_packets_offered_total", labels);
   m_delivered_ = metrics.counter("link_packets_delivered_total", labels);
-  m_bytes_delivered_ = metrics.counter("link_bytes_delivered_total", labels);
+  m_bytes_delivered_ = metrics.counter("link_delivered_bytes_total", labels);
   m_dropped_queue_ = metrics.counter(
       "link_packets_dropped_total",
       {{"link", name_}, {"cause", "queue_overflow"}});

@@ -177,6 +177,20 @@ std::string describe_timeline_entry(const RunReport::TimelineEntry& e) {
         e.note.c_str(), static_cast<long long>(e.a),
         static_cast<long long>(e.b));
   }
+  if (e.kind == "health_alert") {
+    std::string subject;
+    if (e.partition >= 0) subject = fmt(" on partition %d", e.partition);
+    if (e.broker >= 0) subject += fmt(" on broker %d", e.broker);
+    return fmt("HEALTH ALERT %s%s (detected after %lld windows)",
+               e.note.c_str(), subject.c_str(), static_cast<long long>(e.a));
+  }
+  if (e.kind == "health_resolve") {
+    std::string subject;
+    if (e.partition >= 0) subject = fmt(" on partition %d", e.partition);
+    if (e.broker >= 0) subject += fmt(" on broker %d", e.broker);
+    return fmt("health alert %s%s resolved (open %.0fms)", e.note.c_str(),
+               subject.c_str(), static_cast<double>(e.a) / 1000.0);
+  }
   std::string out = e.kind;
   if (!e.note.empty()) out += ": " + e.note;
   return out;
@@ -307,6 +321,28 @@ std::string explain_key(const RunReport& report, std::uint64_t key) {
     out += "no terminal event recorded";
   }
   out += ".\n";
+
+  // Health alerts still open at end of run give the verdict its
+  // cluster-level context (a standing STALL/STOP explains a group-lost or
+  // undelivered record better than the trace alone).
+  std::string open_text;
+  std::size_t open_count = 0;
+  for (const auto& a : report.health.alerts) {
+    if (a.resolved_us != -1) continue;
+    ++open_count;
+    if (!open_text.empty()) open_text += ", ";
+    open_text += a.detector;
+    if (a.partition >= 0) {
+      open_text += fmt(" (partition %d)", a.partition);
+    } else if (a.broker >= 0) {
+      open_text += fmt(" (broker %d)", a.broker);
+    }
+  }
+  if (open_count > 0) {
+    out += fmt("health: %zu alert%s still open at end of run: ", open_count,
+               open_count == 1 ? "" : "s") +
+           open_text + ".\n";
+  }
   return out;
 }
 

@@ -193,6 +193,102 @@ std::string RunReport::json_impl(bool include_perf) const {
   w.end_array();
   w.end_object();
 
+  w.key("health");
+  w.begin_object();
+  w.key("enabled");
+  w.value(health.enabled);
+  w.key("interval_us");
+  w.value(health.interval_us);
+  w.key("ticks");
+  w.value(health.ticks);
+  w.key("series");
+  w.begin_array();
+  for (const auto& s : health.series) {
+    w.begin_object();
+    w.key("name");
+    w.value(s.name);
+    w.key("interval_us");
+    w.value(s.interval_us);
+    w.key("dropped");
+    w.value(s.dropped);
+    w.key("t_us");
+    w.begin_array();
+    for (const auto t : s.t) w.value(t);
+    w.end_array();
+    w.key("count");
+    w.begin_array();
+    for (const auto c : s.count) w.value(c);
+    w.end_array();
+    w.key("min");
+    w.begin_array();
+    for (const auto v : s.min) w.value(v);
+    w.end_array();
+    w.key("max");
+    w.begin_array();
+    for (const auto v : s.max) w.value(v);
+    w.end_array();
+    w.key("sum");
+    w.begin_array();
+    for (const auto v : s.sum) w.value(v);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("sketches");
+  w.begin_array();
+  for (const auto& s : health.sketches) {
+    w.begin_object();
+    w.key("name");
+    w.value(s.name);
+    w.key("count");
+    w.value(s.count);
+    w.key("buckets");
+    w.begin_array();
+    for (const auto b : s.buckets) w.value(b);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("alerts");
+  w.begin_array();
+  for (const auto& a : health.alerts) {
+    w.begin_object();
+    w.key("detector");
+    w.value(a.detector);
+    w.key("partition");
+    w.value(a.partition);
+    w.key("broker");
+    w.value(a.broker);
+    w.key("opened_us");
+    w.value(a.opened_us);
+    w.key("resolved_us");
+    w.value(a.resolved_us);
+    w.key("windows");
+    w.value(a.windows);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("verdicts");
+  w.begin_array();
+  for (const auto& v : health.verdicts) {
+    w.begin_object();
+    w.key("partition");
+    w.value(v.partition);
+    w.key("verdict");
+    w.value(v.verdict);
+    w.key("worst");
+    w.value(v.worst);
+    w.key("lag");
+    w.value(v.lag);
+    w.key("committed");
+    w.value(v.committed);
+    w.key("hw");
+    w.value(v.hw);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
   if (include_perf) {
     w.key("perf");
     w.begin_object();

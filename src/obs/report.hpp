@@ -88,9 +88,64 @@ struct RunReport {
     std::vector<Section> sections;
   };
 
+  /// Online health monitor output (see obs/health.hpp). Everything here is
+  /// sim-time-driven, so unlike perf the whole section lives inside
+  /// canonical_json() — replay byte-identity includes the detector's
+  /// verdicts and alert ledger.
+  struct Health {
+    bool enabled = false;
+    std::uint64_t interval_us = 0;  ///< Probe/evaluation tick.
+    std::uint64_t ticks = 0;        ///< Evaluation ticks run.
+
+    /// One probe series: fixed-interval windows, parallel arrays. Window
+    /// start times are t_us; gaps mean no probe landed in that window.
+    struct Series {
+      std::string name;
+      std::uint64_t interval_us = 0;
+      std::uint64_t dropped = 0;
+      std::vector<std::int64_t> t;
+      std::vector<std::uint64_t> count;
+      std::vector<double> min;
+      std::vector<double> max;
+      std::vector<double> sum;
+    };
+    std::vector<Series> series;
+
+    /// Fixed-bucket latency sketch (bounds: obs/timeseries.hpp).
+    struct Sketch {
+      std::string name;
+      std::uint64_t count = 0;
+      std::vector<std::uint64_t> buckets;
+    };
+    std::vector<Sketch> sketches;
+
+    /// Alert ledger, open order. resolved_us == -1: open at run end.
+    struct Alert {
+      std::string detector;
+      std::int32_t partition = -1;
+      std::int32_t broker = -1;
+      std::int64_t opened_us = 0;
+      std::int64_t resolved_us = -1;
+      std::uint64_t windows = 0;  ///< Ticks from onset to detection.
+    };
+    std::vector<Alert> alerts;
+
+    /// Final per-partition lag verdicts (grouped runs only).
+    struct Verdict {
+      std::int32_t partition = -1;
+      std::string verdict;  ///< Verdict at run end.
+      std::string worst;    ///< Worst verdict seen during the run.
+      std::int64_t lag = 0;
+      std::int64_t committed = 0;
+      std::int64_t hw = 0;
+    };
+    std::vector<Verdict> verdicts;
+  };
+
   /// Run-level scalars (p_loss, duration_s, ...), keyed by name; insertion
   /// order is irrelevant, a map keeps the JSON deterministic.
   std::map<std::string, double> summary;
+  Health health;
   Perf perf;
   std::vector<Metric> metrics;
   std::vector<HistogramSummary> histograms;

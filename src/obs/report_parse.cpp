@@ -110,6 +110,76 @@ void parse_key_list(const JsonValue& obj, const char* name,
   }
 }
 
+void parse_health(const JsonValue& obj, RunReport& report) {
+  auto& h = report.health;
+  h.enabled = obj.bool_or("enabled");
+  h.interval_us = obj.uint_or("interval_us");
+  h.ticks = obj.uint_or("ticks");
+  const auto ints = [](const JsonValue* arr, std::vector<std::int64_t>& out) {
+    if (arr == nullptr || !arr->is_array()) return;
+    for (const auto& v : arr->array) {
+      out.push_back(v.integral ? v.integer
+                               : static_cast<std::int64_t>(v.number));
+    }
+  };
+  const auto uints = [](const JsonValue* arr,
+                        std::vector<std::uint64_t>& out) {
+    if (arr == nullptr || !arr->is_array()) return;
+    for (const auto& v : arr->array) {
+      out.push_back(v.integral ? v.uinteger
+                               : static_cast<std::uint64_t>(v.number));
+    }
+  };
+  const auto nums = [](const JsonValue* arr, std::vector<double>& out) {
+    if (arr == nullptr || !arr->is_array()) return;
+    for (const auto& v : arr->array) out.push_back(v.number);
+  };
+  if (const auto* series = obj.find("series");
+      series != nullptr && series->is_array()) {
+    for (const auto& s : series->array) {
+      RunReport::Health::Series entry;
+      entry.name = s.str_or("name");
+      entry.interval_us = s.uint_or("interval_us");
+      entry.dropped = s.uint_or("dropped");
+      ints(s.find("t_us"), entry.t);
+      uints(s.find("count"), entry.count);
+      nums(s.find("min"), entry.min);
+      nums(s.find("max"), entry.max);
+      nums(s.find("sum"), entry.sum);
+      h.series.push_back(std::move(entry));
+    }
+  }
+  if (const auto* sketches = obj.find("sketches");
+      sketches != nullptr && sketches->is_array()) {
+    for (const auto& s : sketches->array) {
+      RunReport::Health::Sketch entry;
+      entry.name = s.str_or("name");
+      entry.count = s.uint_or("count");
+      uints(s.find("buckets"), entry.buckets);
+      h.sketches.push_back(std::move(entry));
+    }
+  }
+  if (const auto* alerts = obj.find("alerts");
+      alerts != nullptr && alerts->is_array()) {
+    for (const auto& a : alerts->array) {
+      h.alerts.push_back(RunReport::Health::Alert{
+          a.str_or("detector"),
+          static_cast<std::int32_t>(a.int_or("partition")),
+          static_cast<std::int32_t>(a.int_or("broker")), a.int_or("opened_us"),
+          a.int_or("resolved_us"), a.uint_or("windows")});
+    }
+  }
+  if (const auto* verdicts = obj.find("verdicts");
+      verdicts != nullptr && verdicts->is_array()) {
+    for (const auto& v : verdicts->array) {
+      h.verdicts.push_back(RunReport::Health::Verdict{
+          static_cast<std::int32_t>(v.int_or("partition")),
+          v.str_or("verdict"), v.str_or("worst"), v.int_or("lag"),
+          v.int_or("committed"), v.int_or("hw")});
+    }
+  }
+}
+
 void parse_perf(const JsonValue& obj, RunReport& report) {
   report.perf.wall_us = obj.uint_or("wall_us");
   report.perf.peak_rss_kb = obj.int_or("peak_rss_kb");
@@ -176,6 +246,10 @@ std::optional<RunReport> report_from_json(std::string_view text) {
     parse_key_list(*anomalies, "acked_lost_keys", report.acked_lost_keys);
     parse_key_list(*anomalies, "lost_keys", report.lost_keys);
     parse_key_list(*anomalies, "group_lost_keys", report.group_lost_keys);
+  }
+  if (const auto* health = doc->find("health");
+      health != nullptr && health->is_object()) {
+    parse_health(*health, report);
   }
   if (const auto* perf = doc->find("perf");
       perf != nullptr && perf->is_object()) {

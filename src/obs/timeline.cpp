@@ -40,6 +40,8 @@ const char* to_string(ClusterEventKind k) noexcept {
     case ClusterEventKind::kTornTailTruncated: return "torn_tail_truncated";
     case ClusterEventKind::kCorruptBatchDropped:
       return "corrupt_batch_dropped";
+    case ClusterEventKind::kHealthAlertOpen: return "health_alert";
+    case ClusterEventKind::kHealthAlertResolved: return "health_resolve";
   }
   return "?";
 }

@@ -49,6 +49,9 @@ enum class ClusterEventKind : std::uint8_t {
   kRecoveryScan,         ///< Restart scan; a = recovered, b = discarded.
   kTornTailTruncated,    ///< a = torn records dropped, b = recovered LEO.
   kCorruptBatchDropped,  ///< a = corrupt batches, b = recovered LEO.
+  // ---- online health monitor (note = detector name) ----
+  kHealthAlertOpen,      ///< a = ticks from onset to detection.
+  kHealthAlertResolved,  ///< a = open duration (us).
 };
 
 const char* to_string(ClusterEventKind k) noexcept;

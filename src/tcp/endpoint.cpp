@@ -28,9 +28,9 @@ Endpoint::Endpoint(sim::Simulation& sim, Config config, net::Link& tx,
   m_fast_retransmits_ = metrics.counter("tcp_fast_retransmits_total", labels);
   m_rto_events_ = metrics.counter("tcp_rto_events_total", labels);
   m_resets_ = metrics.counter("tcp_resets_total", labels);
-  m_bytes_acked_ = metrics.counter("tcp_bytes_acked_total", labels);
+  m_bytes_acked_ = metrics.counter("tcp_acked_bytes_total", labels);
   m_cwnd_ = metrics.gauge("tcp_cwnd_bytes", labels);
-  m_outstanding_ = metrics.gauge("tcp_bytes_outstanding", labels);
+  m_outstanding_ = metrics.gauge("tcp_outstanding_bytes", labels);
   metrics_collector_ = metrics.add_collector([this] {
     m_segments_.set(stats_.segments_sent);
     m_retransmissions_.set(stats_.retransmissions);

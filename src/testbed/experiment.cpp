@@ -16,6 +16,7 @@
 #include "kafka/group_consumer.hpp"
 #include "kafka/partitioner.hpp"
 #include "net/netem.hpp"
+#include "obs/health.hpp"
 #include "obs/profiler.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
@@ -125,6 +126,19 @@ ExperimentResult run_experiment(const Scenario& scenario) {
     partition_ids.push_back(cluster.partition_id("stream", p));
   }
   const bool replicated = scenario.replication_factor > 1;
+
+  // Current leader's high watermark, by partition id and by topic index.
+  // Used by the drain loops, the summary, the health probes and the crash
+  // ground-truth capture below.
+  const auto hw_of = [&cluster](std::int32_t pid) -> std::int64_t {
+    const int lb = cluster.current_leader(pid);
+    if (lb < 0) return 0;
+    const auto* log = cluster.broker(lb).partition(pid);
+    return log ? log->high_watermark() : 0;
+  };
+  const auto leader_hw = [&](int p) -> std::int64_t {
+    return hw_of(partition_ids[static_cast<std::size_t>(p)]);
+  };
 
   // Producer <-> broker links with NetEm impairments on the egress. The
   // unreplicated baseline wires broker 0 only (byte-identical to the
@@ -326,6 +340,23 @@ ExperimentResult run_experiment(const Scenario& scenario) {
     trace.record(sim.now(), r.key, obs::TraceEvent::kOverrun);
   };
 
+  // Online health monitor: sim-time probes feed Burrow-style lag verdicts
+  // and rule-based alerting (obs/health.hpp). Created here so the producer
+  // ack hook below can stamp ack times; the probe tick itself is scheduled
+  // once the group (if any) exists. Null when disabled — every hot-path
+  // hook is then a single pointer test.
+  std::unique_ptr<obs::HealthMonitor> health;
+  std::vector<TimePoint> ack_time;
+  if (scenario.health_enabled) {
+    obs::HealthConfig health_config;
+    if (scenario.health_interval > 0) {
+      health_config.interval = scenario.health_interval;
+    }
+    health =
+        std::make_unique<obs::HealthMonitor>(health_config, &sim.timeline());
+    ack_time.assign(scenario.num_messages, 0);
+  }
+
   // Message-state tracking (Fig. 2 / Table I) and delivery-latency capture.
   kafka::MessageStateTracker tracker(scenario.num_messages);
   // Acked-key bitmap: what the application believes was delivered. Compared
@@ -347,6 +378,7 @@ ExperimentResult run_experiment(const Scenario& scenario) {
     };
     pr->on_record_acked = [&](const kafka::Record& r) {
       if (r.key < acked.size()) acked[r.key] = 1;
+      if (health && r.key < ack_time.size()) ack_time[r.key] = sim.now();
       trace.record(sim.now(), r.key, obs::TraceEvent::kAcked, r.attempts);
     };
   }
@@ -499,6 +531,9 @@ ExperimentResult run_experiment(const Scenario& scenario) {
         if (r.key >= delivered_count.size()) return;
         if (delivered_count[r.key]++ == 0) {
           ++result.group_unique_delivered;
+          if (health && r.key < ack_time.size() && ack_time[r.key] > 0) {
+            health->observe_latency(sim.now(), sim.now() - ack_time[r.key]);
+          }
           trace.record(sim.now(), r.key, obs::TraceEvent::kDelivered);
         } else {
           ++result.group_duplicate_deliveries;
@@ -522,8 +557,47 @@ ExperimentResult run_experiment(const Scenario& scenario) {
       switch (f.kind) {
         case FaultAction::Kind::kConsumerCrash:
           if (member_in_range) {
-            sim.at(f.at, [gm = members[static_cast<std::size_t>(
-                              f.member)].get()] { gm->crash(); });
+            // Before the crash lands, record its ground-truth backlog: the
+            // unconsumed records on the partitions this member owns, read
+            // straight off cluster + coordinator state (independent of the
+            // health monitor, which the chaos harness scores against it).
+            sim.at(f.at, [&, gm = members[static_cast<std::size_t>(
+                                  f.member)].get()] {
+              std::int64_t backlog = 0;
+              // Partitions whose commits were live when the freeze began:
+              // these feed the post-crash probe below, which measures the
+              // evidence the detector's fast STALL path actually sees.
+              std::vector<std::pair<std::int32_t, std::int64_t>> warm_pids;
+              for (const auto pid :
+                   coordinator->assignment_of(gm->member_id())) {
+                const std::int64_t committed = coordinator->committed(pid);
+                backlog += std::max<std::int64_t>(0, hw_of(pid) - committed);
+                if (committed > 0) warm_pids.emplace_back(pid, committed);
+              }
+              const auto idx = result.group_crash_backlogs.size();
+              result.group_crash_backlogs.push_back(
+                  ExperimentResult::CrashBacklog{sim.now(), backlog, 0});
+              gm->crash();
+              // The STALL rule fires on lag > 0 at a tick where commits
+              // have been frozen stall_ticks windows — so the obligating
+              // evidence is the lag stall_ticks intervals AFTER the crash
+              // (producers keep appending; lag at the crash instant is
+              // often still zero), counted only on partitions whose
+              // committed offset is still frozen at that point.
+              const obs::HealthConfig hc =
+                  health ? health->config() : obs::HealthConfig{};
+              sim.after(
+                  static_cast<Duration>(hc.stall_ticks) * hc.interval,
+                  [&result, &coordinator, &hw_of, idx,
+                   warm_pids = std::move(warm_pids)] {
+                    std::int64_t warm = 0;
+                    for (const auto& [pid, frozen] : warm_pids) {
+                      if (coordinator->committed(pid) != frozen) continue;
+                      warm += std::max<std::int64_t>(0, hw_of(pid) - frozen);
+                    }
+                    result.group_crash_backlogs[idx].warm_backlog = warm;
+                  });
+            });
           }
           break;
         case FaultAction::Kind::kConsumerRestart:
@@ -551,6 +625,56 @@ ExperimentResult run_experiment(const Scenario& scenario) {
       }
     }
   }
+
+  // Health probe tick: read cluster/coordinator/producer state, push plain
+  // numbers at the monitor, evaluate. Purely observational — nothing here
+  // mutates model state, so enabling the monitor cannot change a run's
+  // message fates (only its report/timeline contents).
+  std::uint64_t health_last_retries = 0;
+  std::function<void()> health_tick = [&] {
+    const TimePoint t = sim.now();
+    health->begin_tick(t);
+    for (const auto pid : partition_ids) {
+      if (grouped) {
+        health->observe_partition(pid, coordinator->committed(pid),
+                                  hw_of(pid),
+                                  coordinator->member_count() > 0);
+      }
+      if (replicated) {
+        const auto& ref = cluster.partition_ref(pid);
+        health->observe_isr(pid, static_cast<std::int64_t>(ref.isr.size()),
+                            static_cast<std::int64_t>(ref.replicas.size()));
+      }
+    }
+    for (int b = 0; b < cluster.num_brokers(); ++b) {
+      auto& broker = cluster.broker(b);
+      std::int64_t hw_sum = 0;
+      std::int64_t replica_lag = 0;
+      for (const auto pid : partition_ids) {
+        const auto* log = broker.partition(pid);
+        if (log == nullptr) continue;
+        hw_sum += log->high_watermark();
+        if (replicated && cluster.current_leader(pid) != b) {
+          replica_lag +=
+              std::max<std::int64_t>(0, hw_of(pid) - log->high_watermark());
+        }
+      }
+      health->observe_broker(b, broker.parked_acks(), hw_sum);
+      if (replicated) health->observe_replica_lag(b, replica_lag);
+    }
+    double in_flight = 0.0;
+    std::uint64_t retries = 0;
+    for (const auto& pr : producers) {
+      in_flight += static_cast<double>(pr->in_flight_requests());
+      retries += pr->stats().requests_retried;
+    }
+    health->observe_producer(
+        in_flight, static_cast<double>(retries - health_last_retries));
+    health_last_retries = retries;
+    health->evaluate(t);
+    sim.after(health->config().interval, health_tick);
+  };
+  if (health) sim.after(0, health_tick);
 
   cluster.start();
   source.start();
@@ -634,6 +758,9 @@ ExperimentResult run_experiment(const Scenario& scenario) {
         if (!seen[r.key]) {
           seen[r.key] = 1;
           ++result.consumer_delivered;
+          if (health && r.key < ack_time.size() && ack_time[r.key] > 0) {
+            health->observe_latency(sim.now(), sim.now() - ack_time[r.key]);
+          }
           trace.record(sim.now(), r.key, obs::TraceEvent::kDelivered);
         } else {
           ++result.consumer_duplicates;
@@ -658,14 +785,6 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   // has consumed and committed everything a consumer can ever read), or a
   // deadline — some chaos schedules legitimately leave the group
   // short-handed or stalled.
-  const auto leader_hw = [&](int p) -> std::int64_t {
-    const int lb =
-        cluster.current_leader(partition_ids[static_cast<std::size_t>(p)]);
-    if (lb < 0) return 0;
-    const auto* log = cluster.broker(lb).partition(
-        partition_ids[static_cast<std::size_t>(p)]);
-    return log ? log->high_watermark() : 0;
-  };
   if (grouped) {
     const auto group_caught_up = [&] {
       for (int p = 0; p < num_partitions; ++p) {
@@ -844,6 +963,18 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   result.report.acked_lost_keys = std::move(acked_lost_keys);
   result.report.lost_keys = std::move(lost_keys);
   result.report.group_lost_keys = std::move(group_lost_keys);
+  if (health) {
+    result.report.health = health->export_health();
+    result.health_ticks = health->ticks();
+    result.health_alerts_opened = health->alerts_opened();
+    result.health_alerts_resolved = health->alerts_resolved();
+    for (const auto& a : health->alerts()) {
+      if (a.detector == obs::HealthDetector::kLagStall ||
+          a.detector == obs::HealthDetector::kLagStop) {
+        ++result.health_lag_alerts;
+      }
+    }
+  }
   auto& summary = result.report.summary;
   summary["p_loss"] = result.p_loss;
   summary["p_duplicate"] = result.p_duplicate;
@@ -969,6 +1100,18 @@ ExperimentResult run_experiment(const Scenario& scenario) {
         static_cast<double>(result.group_same_generation_dups);
     summary["group_lost"] = static_cast<double>(result.group_lost);
     summary["group_drained"] = result.group_drained ? 1.0 : 0.0;
+  }
+  // Health keys only when the monitor ran, so health_enabled = false keeps
+  // the summary (and its canonical_json) byte-identical to a build without
+  // the monitor.
+  if (health) {
+    summary["health_ticks"] = static_cast<double>(result.health_ticks);
+    summary["health_alerts_opened"] =
+        static_cast<double>(result.health_alerts_opened);
+    summary["health_alerts_resolved"] =
+        static_cast<double>(result.health_alerts_resolved);
+    summary["health_lag_alerts"] =
+        static_cast<double>(result.health_lag_alerts);
   }
 
   // Perf metadata last, so the wall duration covers the whole run including

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hpp"
 #include "kafka/cluster.hpp"
@@ -122,6 +123,33 @@ struct ExperimentResult {
   std::uint64_t group_partitions_moved = 0;
   std::int32_t group_generation = 0;
   bool group_drained = false;  ///< Committed reached every partition's HW.
+
+  // Online health monitor (health_enabled; zero otherwise).
+  std::uint64_t health_ticks = 0;
+  std::uint64_t health_alerts_opened = 0;
+  std::uint64_t health_alerts_resolved = 0;
+  /// Lag alerts specifically (lag_stall + lag_stop) — the precision/recall
+  /// subject: chaos scores these against the crash ground truth below.
+  std::uint64_t health_lag_alerts = 0;
+
+  /// Ground truth for detector recall, recorded straight off
+  /// cluster/coordinator state — independent of the monitor under test.
+  struct CrashBacklog {
+    TimePoint at = 0;       ///< Crash injection time.
+    /// Backlog (HW - committed, clamped at 0) summed over the partitions
+    /// the member owned, at the crash instant.
+    std::int64_t backlog = 0;
+    /// The evidence the detector's fast STALL path sees: lag measured
+    /// stall_ticks evaluation intervals AFTER the crash (producers keep
+    /// appending, so lag at the crash instant is often still zero),
+    /// restricted to partitions whose commits were live at the crash
+    /// (committed > 0) and still frozen at the probe. Only this obligates
+    /// a bounded-window alert; cold partitions are governed by the (much
+    /// longer) cold-start grace, and a fast rebalance that resumes
+    /// commits before the probe discharges the obligation.
+    std::int64_t warm_backlog = 0;
+  };
+  std::vector<CrashBacklog> group_crash_backlogs;
 
   /// Structured run artifact: final metric values across every layer,
   /// sampled time series, histogram summaries and the message trace.

@@ -167,6 +167,14 @@ struct Scenario {
   /// one branch per instrumented site. If the caller (ks_bench) already
   /// enabled the profiler, the run profiles regardless of this knob.
   bool profiler_enabled = false;
+  /// Online health monitor (obs/health.hpp): periodic sim-time probes feed
+  /// Burrow-style lag verdicts and rule-based alerting; the result lands
+  /// in the report's health section. Off => probes never scheduled and the
+  /// per-record latency hook is one predictable branch.
+  bool health_enabled = true;
+  /// Health probe/evaluation tick; 0 falls back to the HealthConfig
+  /// default (60 ms — see obs/health.hpp for the recall-bound rationale).
+  Duration health_interval = 0;
 
   /// Feature vector for the "normal network" model of Fig. 3:
   /// {S, T_o, delta, semantics, B}. (B stays effective even without

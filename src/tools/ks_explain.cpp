@@ -32,8 +32,8 @@ using namespace ks;
 int usage() {
   std::fprintf(
       stderr,
-      "usage: ks_explain --seed 0xNNN [--profile broker_faults|group_faults]"
-      " [--key K]\n"
+      "usage: ks_explain --seed 0xNNN [--profile broker_faults|group_faults|"
+      "disk_faults] [--key K]\n"
       "                  [--report out.json] [--perfetto out.json]\n"
       "       ks_explain <report.json> [--key K]\n");
   return 2;
@@ -71,6 +71,8 @@ Args parse_args(int argc, char** argv) {
         args.profile = chaos::Profile::kBrokerFaults;
       } else if (p == "group_faults") {
         args.profile = chaos::Profile::kGroupFaults;
+      } else if (p == "disk_faults") {
+        args.profile = chaos::Profile::kDiskFaults;
       } else if (p != "default") {
         std::fprintf(stderr, "ks_explain: unknown profile '%.*s'\n",
                      static_cast<int>(p.size()), p.data());

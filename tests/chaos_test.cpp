@@ -16,6 +16,7 @@
 
 #include "chaos/harness.hpp"
 #include "obs/explain.hpp"
+#include "obs/health.hpp"
 #include "testbed/experiment.hpp"
 
 #ifndef KS_CORPUS_DIR
@@ -541,6 +542,137 @@ TEST(Chaos, InjectedViolationReproducesFromSeedAndShrinks) {
       testbed::run_experiment(failure.shrunk.scenario);
   EXPECT_GT(shrunk_result.link_packets_lost, 0u)
       << "shrinker produced a non-violating scenario";
+}
+
+// ---- online health monitor scored against ground truth ---------------------
+
+// The group-faults sweep with the health-recall / health-precision
+// invariants armed (they are part of check_invariants, so every failure
+// surfaces as a seed-reproducible violation). The sweep must also contain
+// real scoring material: crashes that froze actively-committing partitions
+// with backlog (recall subjects) and detector alerts answering them —
+// otherwise the invariant is vacuously green.
+TEST(ChaosHealth, GroupFaultsSweepScoresDetectorAgainstGroundTruth) {
+  Options options;
+  options.master_seed = 0x4EA17B;
+  options.iterations = 48;
+  options.profile = Profile::kGroupFaults;
+  options.corpus = load_tagged_seed_corpus(corpus_path(), "group_faults");
+  options.replay_every = 0;
+
+  std::size_t recall_subjects = 0;
+  std::size_t lag_alerts = 0;
+  std::size_t monitored_runs = 0;
+  options.extra_invariant = [&](const ChaosScenario&,
+                                const testbed::ExperimentResult& result,
+                                std::vector<Violation>&) {
+    if (result.health_ticks > 0) ++monitored_runs;
+    lag_alerts += result.health_lag_alerts;
+    for (const auto& cb : result.group_crash_backlogs) {
+      if (cb.warm_backlog > 0) ++recall_subjects;
+    }
+  };
+
+  const auto report = run(options);
+  for (const auto& failure : report.failures) {
+    ADD_FAILURE() << failure.summary();
+  }
+  EXPECT_TRUE(report.ok());
+  EXPECT_GE(report.scenarios_run, 48u);
+  EXPECT_EQ(monitored_runs, report.scenarios_run)
+      << "health monitor not running under the chaos sweep";
+  EXPECT_GT(recall_subjects, 0u)
+      << "sweep generated no crash with warm backlog; recall untested";
+  EXPECT_GT(lag_alerts, 0u)
+      << "detector never fired across the sweep; recall untested";
+}
+
+// Pinned detector regression: seed 0x2 under group_faults schedules a
+// permanent member crash (no paired restart) that freezes
+// actively-committing partitions. The monitor must raise a lag_stall
+// within the recall window, resolve it once the rebalance hands the
+// partitions to survivors, mirror both edges onto the cluster timeline,
+// and render the episode in the ks_health text body.
+TEST(ChaosHealth, PinnedPermanentCrashSeedRaisesStallThenResolves) {
+  const auto cs = generate_scenario(0x2, Profile::kGroupFaults);
+  bool permanent_crash = false;
+  for (const auto& f : cs.scenario.faults) {
+    if (f.kind != Kind::kConsumerCrash) continue;
+    bool restarted = false;
+    for (const auto& g : cs.scenario.faults) {
+      if (g.kind == Kind::kConsumerRestart && g.member == f.member &&
+          g.at > f.at) {
+        restarted = true;
+      }
+    }
+    if (!restarted) permanent_crash = true;
+  }
+  ASSERT_TRUE(permanent_crash)
+      << "seed 0x2 no longer schedules a permanent member crash";
+
+  const auto result = testbed::run_experiment(cs.scenario);
+  for (const auto& v : check_invariants(cs, result)) {
+    ADD_FAILURE() << v.invariant << ": " << v.detail;
+  }
+
+  // Ground truth first: the crash really had something to detect.
+  bool warm_crash = false;
+  for (const auto& cb : result.group_crash_backlogs) {
+    if (cb.warm_backlog > 0) warm_crash = true;
+  }
+  ASSERT_TRUE(warm_crash)
+      << "seed 0x2's crash no longer leaves warm backlog; re-pin the seed";
+
+  // The detector caught it, and the alert closed after the rebalance.
+  EXPECT_GT(result.health_lag_alerts, 0u);
+  bool stall_resolved = false;
+  for (const auto& a : result.report.health.alerts) {
+    if (a.detector == "lag_stall" && a.resolved_us != -1) {
+      stall_resolved = true;
+    }
+  }
+  EXPECT_TRUE(stall_resolved)
+      << "no lag_stall alert completed an open->resolve lifecycle";
+
+  // Open and resolve edges are on the cluster timeline for ks_explain.
+  bool open_event = false;
+  bool resolve_event = false;
+  for (const auto& e : result.report.timeline) {
+    if (e.kind == "health_alert" && e.note == "lag_stall") open_event = true;
+    if (e.kind == "health_resolve" && e.note == "lag_stall") {
+      resolve_event = true;
+    }
+  }
+  EXPECT_TRUE(open_event);
+  EXPECT_TRUE(resolve_event);
+
+  // The ks_health rendering narrates the episode.
+  const auto text = obs::render_health_text(result.report);
+  EXPECT_NE(text.find("lag_stall"), std::string::npos) << text;
+  EXPECT_NE(text.find("STALL"), std::string::npos) << text;
+  EXPECT_NE(text.find("resolved"), std::string::npos) << text;
+}
+
+// Precision pin: a healthy grouped run — no faults, no loss, live
+// commits — must end with every verdict OK and an empty alert ledger.
+TEST(ChaosHealth, HealthyGroupRunRaisesNoAlerts) {
+  testbed::Scenario s;
+  s.num_messages = 400;
+  s.message_size = 256;
+  s.source_mode = testbed::SourceMode::kOnDemand;
+  s.batch_size = 4;
+  s.partitions = 3;
+  s.group_size = 2;
+  s.seed = 7;
+  const auto result = testbed::run_experiment(s);
+  ASSERT_TRUE(result.completed);
+  EXPECT_GT(result.health_ticks, 0u);
+  EXPECT_EQ(result.health_lag_alerts, 0u);
+  EXPECT_TRUE(result.report.health.alerts.empty());
+  ASSERT_FALSE(result.report.health.verdicts.empty());
+  for (const auto& v : result.report.health.verdicts) {
+    EXPECT_EQ(v.verdict, "OK") << "partition " << v.partition;
+  }
 }
 
 }  // namespace

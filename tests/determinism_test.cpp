@@ -151,6 +151,51 @@ TEST(Determinism, MultiPartitionGroupRunIsByteIdentical) {
       << "no group_* events in the cluster timeline";
 }
 
+// The health section is sim-time-driven and lives inside canonical_json():
+// replay byte-identity covers the detector's series, verdicts and alert
+// ledger. The monitor must also be passive — toggling it cannot change a
+// single message fate or simulated event.
+TEST(Determinism, HealthSectionIsCanonicalAndTheMonitorIsPassive) {
+  Scenario sc = make_scenario(0xBEA7, kafka::DeliverySemantics::kAtLeastOnce);
+  sc.num_messages = 300;
+  sc.source_mode = SourceMode::kOnDemand;
+  sc.partitions = 2;
+  sc.group_size = 2;
+  sc.group_commit_mode = kafka::CommitMode::kCommitAfterDeliver;
+  // A permanent member crash: frozen commits with growing lag, so the
+  // detector has something to say in the canonical export.
+  FaultAction crash;
+  crash.kind = FaultAction::Kind::kConsumerCrash;
+  crash.member = 0;
+  crash.at = millis(200);
+  sc.faults.push_back(crash);
+
+  const auto first = run_experiment(sc);
+  const auto second = run_experiment(sc);
+  ASSERT_GT(first.health_ticks, 0u);
+  ASSERT_GT(first.health_alerts_opened, 0u)
+      << "crash raised no health alert; the canonical comparison would "
+         "cover an empty section";
+  EXPECT_EQ(first.report.canonical_json(), second.report.canonical_json());
+  const auto canonical = first.report.canonical_json();
+  EXPECT_NE(canonical.find("\"health\""), std::string::npos);
+  EXPECT_NE(canonical.find("lag_stall"), std::string::npos);
+
+  // Passivity: the same run with the monitor off reaches identical
+  // message fates (the probe timer adds simulated events, but observes
+  // without mutating, so every model outcome is unchanged).
+  Scenario off = sc;
+  off.health_enabled = false;
+  const auto dark = run_experiment(off);
+  EXPECT_EQ(dark.health_ticks, 0u);
+  EXPECT_EQ(dark.census.delivered, first.census.delivered);
+  EXPECT_EQ(dark.group_unique_delivered, first.group_unique_delivered);
+  EXPECT_EQ(dark.group_duplicate_deliveries,
+            first.group_duplicate_deliveries);
+  EXPECT_EQ(dark.group_commits, first.group_commits);
+  EXPECT_TRUE(dark.report.health.alerts.empty());
+}
+
 TEST(Determinism, CanonicalJsonExcludesOnlyWallClockMetrics) {
   const auto result =
       run_experiment(make_scenario(42, kafka::DeliverySemantics::kAtLeastOnce));

@@ -1,0 +1,167 @@
+// Metric naming lint: every registered metric must follow the repo's
+// Prometheus-style conventions, so dashboards and the bench diff tooling
+// can rely on suffixes to infer semantics:
+//
+//  - lower_snake_case, starts with a letter, no double or trailing
+//    underscores;
+//  - counters end in `_total`;
+//  - histograms end in a unit suffix (`_us`, `_ms`, `_bytes`, `_kb`);
+//  - gauges carry no `_total` (they are not monotone);
+//  - unit tokens (`us`, `ms`, `bytes`, `kb`) appear only as the final
+//    token, or immediately before a final `total` — "tcp_acked_bytes_total"
+//    not "tcp_bytes_acked_total". Ratio metrics (containing `_per_`) are
+//    exempt from placement, e.g. sim_wall_us_per_sim_s.
+//
+// The lint runs over the real registry contents of both an ungrouped and
+// a replicated grouped experiment, so every layer's registrations are
+// covered, and it pins the names that were renamed to fix historical
+// drift.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/report.hpp"
+#include "testbed/experiment.hpp"
+
+namespace ks::testbed {
+namespace {
+
+const std::set<std::string> kUnitTokens = {"us", "ms", "bytes", "kb"};
+
+std::vector<std::string> tokens_of(const std::string& name) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (const char c : name) {
+    if (c == '_') {
+      tokens.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  tokens.push_back(cur);
+  return tokens;
+}
+
+void lint(const std::string& name, obs::MetricKind kind,
+          std::vector<std::string>& problems) {
+  const auto flag = [&](const std::string& why) {
+    problems.push_back(name + ": " + why);
+  };
+
+  if (name.empty() || name.front() < 'a' || name.front() > 'z') {
+    flag("must start with a lowercase letter");
+    return;
+  }
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) {
+      flag("contains a character outside [a-z0-9_]");
+      return;
+    }
+  }
+  if (name.find("__") != std::string::npos) flag("double underscore");
+  if (name.back() == '_') flag("trailing underscore");
+
+  const auto tokens = tokens_of(name);
+  const auto ends_with = [&](const std::string& suffix) {
+    return name.size() > suffix.size() &&
+           name.compare(name.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+  };
+
+  switch (kind) {
+    case obs::MetricKind::kCounter:
+      if (!ends_with("_total")) flag("counter must end in _total");
+      break;
+    case obs::MetricKind::kGauge:
+      if (ends_with("_total")) flag("gauge must not end in _total");
+      break;
+    case obs::MetricKind::kHistogram: {
+      bool unit_suffix = false;
+      for (const auto& unit : kUnitTokens) {
+        if (ends_with("_" + unit)) unit_suffix = true;
+      }
+      if (!unit_suffix) flag("histogram must end in a unit suffix");
+      break;
+    }
+  }
+
+  // Unit-token placement (the drift the renames fixed): a unit token in
+  // the middle of a name reads as a subject, not a unit.
+  if (name.find("_per_") == std::string::npos) {
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (kUnitTokens.count(tokens[i]) == 0) continue;
+      const bool final_token = i == tokens.size() - 1;
+      const bool before_final_total =
+          i == tokens.size() - 2 && tokens.back() == "total";
+      if (!final_token && !before_final_total) {
+        flag("unit token '" + tokens[i] +
+             "' must be the final token (or precede a final _total)");
+      }
+    }
+  }
+}
+
+TEST(MetricNaming, EveryRegisteredMetricFollowsTheConventions) {
+  // Two runs between them register every layer: plain pipeline, then a
+  // replicated cluster with a consumer group (elections, ISR, group lag).
+  std::vector<obs::RunReport::Metric> all;
+  {
+    Scenario sc;
+    sc.num_messages = 50;
+    sc.seed = 3;
+    const auto r = run_experiment(sc);
+    all.insert(all.end(), r.report.metrics.begin(), r.report.metrics.end());
+  }
+  {
+    Scenario sc;
+    sc.num_messages = 50;
+    sc.seed = 3;
+    sc.replication_factor = 3;
+    sc.partitions = 2;
+    sc.group_size = 2;
+    const auto r = run_experiment(sc);
+    all.insert(all.end(), r.report.metrics.begin(), r.report.metrics.end());
+  }
+  ASSERT_FALSE(all.empty());
+
+  std::set<std::string> seen;
+  std::vector<std::string> problems;
+  for (const auto& m : all) {
+    if (!seen.insert(m.name).second) continue;
+    lint(m.name, m.kind, problems);
+  }
+  for (const auto& p : problems) ADD_FAILURE() << p;
+
+  // Pin the renames that fixed historical unit-placement drift.
+  EXPECT_TRUE(seen.count("tcp_acked_bytes_total"));
+  EXPECT_TRUE(seen.count("tcp_outstanding_bytes"));
+  EXPECT_TRUE(seen.count("link_delivered_bytes_total"));
+  EXPECT_TRUE(seen.count("kafka_broker_appended_bytes_total"));
+  EXPECT_FALSE(seen.count("tcp_bytes_acked_total"));
+  EXPECT_FALSE(seen.count("link_bytes_delivered_total"));
+  EXPECT_FALSE(seen.count("kafka_broker_bytes_appended_total"));
+}
+
+TEST(MetricNaming, LintFlagsEachDriftClass) {
+  std::vector<std::string> problems;
+  lint("tcp_bytes_acked_total", obs::MetricKind::kCounter, problems);
+  lint("events", obs::MetricKind::kCounter, problems);
+  lint("queue_depth_total", obs::MetricKind::kGauge, problems);
+  lint("append_latency", obs::MetricKind::kHistogram, problems);
+  lint("bad__name_total", obs::MetricKind::kCounter, problems);
+  EXPECT_EQ(problems.size(), 5u);
+  // And the exemptions hold.
+  problems.clear();
+  lint("sim_wall_us_per_sim_s", obs::MetricKind::kGauge, problems);
+  lint("sim_wall_time_us_total", obs::MetricKind::kCounter, problems);
+  lint("kafka_broker_hw_lag_us", obs::MetricKind::kHistogram, problems);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+}  // namespace
+}  // namespace ks::testbed

@@ -141,6 +141,40 @@ TEST(ReportParse, ExperimentReportRoundTripsByteExact) {
   EXPECT_GT(parsed->perf.wall_us, 0u);
 }
 
+TEST(ReportParse, HealthSectionWithAlertsRoundTripsByteExact) {
+  // A grouped run with a permanent member crash populates every part of
+  // the health section: series, sketch, alert ledger, verdicts.
+  testbed::Scenario sc;
+  sc.seed = 13;
+  sc.num_messages = 300;
+  sc.partitions = 2;
+  sc.group_size = 2;
+  testbed::FaultAction crash;
+  crash.kind = testbed::FaultAction::Kind::kConsumerCrash;
+  crash.member = 0;
+  crash.at = millis(200);
+  sc.faults.push_back(crash);
+  const auto result = testbed::run_experiment(sc);
+  ASSERT_FALSE(result.report.health.alerts.empty());
+  ASSERT_FALSE(result.report.health.verdicts.empty());
+
+  const std::string json = result.report.to_json();
+  const auto parsed = report_from_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->to_json(), json);
+  ASSERT_EQ(parsed->health.alerts.size(), result.report.health.alerts.size());
+  EXPECT_EQ(parsed->health.alerts[0].detector,
+            result.report.health.alerts[0].detector);
+  EXPECT_EQ(parsed->health.alerts[0].opened_us,
+            result.report.health.alerts[0].opened_us);
+  ASSERT_EQ(parsed->health.verdicts.size(),
+            result.report.health.verdicts.size());
+  EXPECT_EQ(parsed->health.verdicts[0].verdict,
+            result.report.health.verdicts[0].verdict);
+  EXPECT_EQ(parsed->health.ticks, result.report.health.ticks);
+  EXPECT_EQ(parsed->health.series.size(), result.report.health.series.size());
+}
+
 TEST(ReportParse, RejectsMalformedInput) {
   EXPECT_FALSE(report_from_json("not json").has_value());
   EXPECT_FALSE(report_from_json("[1,2,3]").has_value());

@@ -277,5 +277,49 @@ TEST(Explain, PinnedAckedLossSeedsNameAppendElectionTruncation) {
   EXPECT_NE(combined.find("truncat"), std::string::npos);
 }
 
+// Acceptance: the ks_explain narrative narrates health-alert lifecycle
+// edges from the cluster timeline, and the verdict names alerts still
+// open at the end of the run. Crashing every member for good leaves the
+// partitions unowned with backlog: the monitor must raise lag alerts
+// that never resolve, and the narrative must surface both.
+TEST(Explain, NarrativeCarriesHealthAlertsAndOpenAlertVerdictTail) {
+  testbed::Scenario scenario;
+  scenario.num_messages = 300;
+  scenario.message_size = 256;
+  scenario.source_mode = testbed::SourceMode::kOnDemand;
+  scenario.batch_size = 4;
+  scenario.partitions = 2;
+  scenario.group_size = 2;
+  scenario.seed = 11;
+  scenario.trace_sample_every = 1;
+  scenario.trace_capacity =
+      static_cast<std::size_t>(scenario.num_messages) * 16 + 4096;
+  testbed::FaultAction crash;
+  crash.kind = testbed::FaultAction::Kind::kConsumerCrash;
+  crash.at = millis(500);
+  crash.member = 0;
+  scenario.faults.push_back(crash);
+  crash.at = millis(600);
+  crash.member = 1;
+  scenario.faults.push_back(crash);
+
+  const auto result = testbed::run_experiment(scenario);
+  ASSERT_GT(result.health_ticks, 0u);
+  ASSERT_GT(result.health_lag_alerts, 0u);
+  bool open_at_end = false;
+  for (const auto& a : result.report.health.alerts) {
+    if (a.resolved_us == -1) open_at_end = true;
+  }
+  ASSERT_TRUE(open_at_end)
+      << "total member loss left no alert open at end of run";
+
+  const auto key = pick_explain_key(result.report);
+  ASSERT_TRUE(key.has_value());
+  const auto narrative = explain_key(result.report, *key);
+  SCOPED_TRACE(narrative);
+  EXPECT_NE(narrative.find("HEALTH ALERT"), std::string::npos);
+  EXPECT_NE(narrative.find("still open at end of run"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ks::obs
