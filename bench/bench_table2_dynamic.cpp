@@ -1,16 +1,23 @@
 // Table II: the dynamic-configuration experiment. For each of the three
 // workloads (social media, web access records, game traffic), run the
-// Fig. 9 trace twice — once with the static default configuration and once
-// with the offline schedule produced by stepwise search on the predicted
-// weighted KPI — and report the overall loss and duplicate rates R_l, R_d.
+// Fig. 9 trace three times — with the static default configuration, with
+// the offline-oracle schedule produced by stepwise search on the predicted
+// weighted KPI over the *known* trace, and with the online controller
+// that estimates the condition from live telemetry without ever seeing
+// the trace — and report the overall loss and duplicate rates R_l, R_d.
 //
 // Paper's observations to reproduce: dynamic configuration reduces R_l by
 // a large factor on every workload; R_d stays small (and may tick up when
-// loss is bought down with retries/batching).
+// loss is bought down with retries/batching). The repo's extension: the
+// online arm should recover most of the oracle's R_l reduction — the
+// `oracle_recovery` point records the recovered fraction
+//   (R_l_default - R_l_online) / (R_l_default - R_l_oracle).
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_core/registry.hpp"
 #include "kpi/dynamic_config.hpp"
+#include "kpi/online_controller.hpp"
 #include "testbed/collector.hpp"
 #include "testbed/workloads.hpp"
 
@@ -25,7 +32,7 @@ void run_table2(bench::BenchContext& ctx) {
   auto cconf = full ? testbed::CollectorConfig::full()
                     : testbed::CollectorConfig::quick();
   testbed::Collector collector(cconf);
-  std::printf("# Table II — dynamic configuration vs static default\n");
+  std::printf("# Table II — static default vs offline oracle vs online\n");
   std::printf("# training predictor on %zu + %zu runs...\n",
               collector.normal_grid_size(), collector.abnormal_grid_size());
   std::fflush(stdout);
@@ -52,8 +59,9 @@ void run_table2(bench::BenchContext& ctx) {
   Rng trace_rng(90001);
   const auto trace = net::generate_trace(tconf, trace_rng);
 
-  bench::Table table({"workload", "weights", "R_l default", "R_l dynamic",
-                      "R_d default", "R_d dynamic", "reconfigs"});
+  bench::Table table({"workload", "weights", "R_l default", "R_l oracle",
+                      "R_l online", "R_d default", "R_d oracle", "R_d online",
+                      "recovered", "moves"});
   int workload_index = 0;
   for (const auto& workload : {testbed::social_media(),
                                testbed::web_access_records(),
@@ -70,30 +78,63 @@ void run_table2(bench::BenchContext& ctx) {
         trace, workload, semantics, nullptr, weights, 4242);
     const auto dyn = kpi::run_dynamic_experiment(
         trace, workload, semantics, &schedule, weights, 4242);
+
+    // The online arm: same trace, same seed, but the controller only sees
+    // live telemetry. A fresh driver per run — controller state is run
+    // state. The cooldown matches the oracle's 60 s check interval spirit
+    // but reacts faster; single-step moves keep it from thrashing.
+    kpi::OnlineController::Config occ;
+    occ.interval = seconds(1);
+    occ.cooldown = seconds(15);
+    kpi::OnlineController controller(predictor, workload, semantics, weights,
+                                     /*gamma_requirement=*/0.97, occ);
+    const auto online = kpi::run_dynamic_experiment(
+        trace, workload, semantics, nullptr, weights, 4242, &controller);
+
+    const double oracle_gain =
+        def.overall_loss_rate - dyn.overall_loss_rate;
+    const double online_gain =
+        def.overall_loss_rate - online.overall_loss_rate;
+    // Recovered fraction of the oracle's R_l reduction; clamped into
+    // [0, 2] so a tiny oracle gain cannot blow the point up.
+    const double recovery =
+        oracle_gain > 1e-12
+            ? std::clamp(online_gain / oracle_gain, 0.0, 2.0)
+            : (online_gain >= 0.0 ? 1.0 : 0.0);
+
     ctx.point(
         {{"workload", static_cast<double>(workload_index++)}},
         {{"r_loss_default", {def.overall_loss_rate, 0.0}},
          {"r_loss_dynamic", {dyn.overall_loss_rate, 0.0}},
+         {"r_loss_online", {online.overall_loss_rate, 0.0}},
          {"r_dup_default", {def.overall_duplicate_rate, 0.0}},
          {"r_dup_dynamic", {dyn.overall_duplicate_rate, 0.0}},
-         {"reconfigs", {static_cast<double>(schedule.size()), 0.0}}});
+         {"r_dup_online", {online.overall_duplicate_rate, 0.0}},
+         {"reconfigs", {static_cast<double>(schedule.size()), 0.0}},
+         {"online_reconfigs",
+          {static_cast<double>(online.reconfigurations), 0.0}},
+         {"oracle_recovery", {recovery, 0.0}}});
 
     char wbuf[48];
     std::snprintf(wbuf, sizeof(wbuf), "%.1f,%.1f,%.1f,%.1f",
                   workload.weights[0], workload.weights[1],
                   workload.weights[2], workload.weights[3]);
+    char rbuf[16];
+    std::snprintf(rbuf, sizeof(rbuf), "%.0f%%", recovery * 100.0);
     table.row({workload.name, wbuf, bench::pct(def.overall_loss_rate),
                bench::pct(dyn.overall_loss_rate),
+               bench::pct(online.overall_loss_rate),
                bench::pct(def.overall_duplicate_rate),
                bench::pct(dyn.overall_duplicate_rate),
-               std::to_string(schedule.size())});
+               bench::pct(online.overall_duplicate_rate), rbuf,
+               std::to_string(online.reconfigurations)});
     std::fflush(stdout);
   }
   table.print();
 }
 
 KS_BENCH_REGISTER_SLOW("table2_dynamic",
-                       "Table II: dynamic configuration vs static default",
+                       "Table II: static vs offline oracle vs online control",
                        run_table2);
 
 }  // namespace

@@ -20,11 +20,11 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 # The pinned subset: fast, deterministic benches covering a census table,
 # two figure sweeps, an ablation, the consumer-group partition-scaling
-# sweep and the crash-recovery flush-discipline ablation — enough surface
-# to catch both timing and result regressions without the slow
-# ANN-training pipelines.
+# sweep, the crash-recovery flush-discipline ablation, and the Table II
+# static/oracle/online three-way (the one ANN-training bench worth the
+# time: it pins the online controller's oracle-recovery headline).
 SUBSET=(table1_states fig4_message_size fig6_polling ablation_semantics
-        scaling_partitions recovery_scan)
+        scaling_partitions recovery_scan table2_dynamic)
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}" --target ks_bench

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/rng.hpp"
+#include "kpi/online_controller.hpp"
 #include "testbed/calibration.hpp"
 
 namespace ks::chaos {
@@ -408,6 +409,20 @@ ChaosScenario generate_scenario(std::uint64_t chaos_seed, Profile profile) {
       sc.faults.push_back(resume);
     }
   }
+
+  // --- adaptive dimension ---------------------------------------------------
+  // A slice of the (non-benign) default/broker scenarios runs with the
+  // online controller live, so the reconfiguration path is soaked against
+  // the same fault space as everything else. The draws sit AFTER every
+  // other draw on this path, so controller-off expansions of existing
+  // seeds stay bit-identical. The benign class opts out: its zero-loss
+  // promise assumes T_o = 120 s, which the controller may legally lower.
+  if (!benign && rng.bernoulli(0.25)) {
+    sc.adaptive_enabled = true;
+    sc.adaptive_interval = millis(rng.uniform_int(200, 800));
+    sc.adaptive_cooldown = millis(rng.uniform_int(1000, 4000));
+    sc.adaptive_factory = kpi::synthetic_adaptive_factory();
+  }
   return cs;
 }
 
@@ -453,6 +468,13 @@ std::string ChaosScenario::describe() const {
         buf, sizeof(buf), "\n    disk: flush.messages=%llu flush.ms=%.0f",
         static_cast<unsigned long long>(scenario.flush_messages),
         to_millis(scenario.flush_interval));
+    out += buf;
+  }
+  if (scenario.adaptive_enabled) {
+    std::snprintf(buf, sizeof(buf),
+                  "\n    adaptive: tick=%.0fms cooldown=%.0fms",
+                  to_millis(scenario.adaptive_interval),
+                  to_millis(scenario.adaptive_cooldown));
     out += buf;
   }
   for (const auto& f : scenario.faults) {

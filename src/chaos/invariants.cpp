@@ -374,6 +374,78 @@ void check_health(const ChaosScenario& cs,
   }
 }
 
+void check_adaptive(const ChaosScenario& cs,
+                    const testbed::ExperimentResult& result,
+                    std::vector<Violation>& out) {
+  if (!cs.scenario.adaptive_enabled) {
+    // Passivity: with the controller off nothing adaptive may run — no
+    // ticks, no decisions, no reconfigure events on the timeline. This is
+    // the cheap half of the byte-identity guarantee; determinism_test
+    // pins the full canonical-JSON comparison.
+    if (result.adaptive_ticks != 0 || result.adaptive_evaluations != 0 ||
+        result.adaptive_reconfigurations != 0 ||
+        result.adaptive_suppressed != 0) {
+      out.push_back(
+          {"adaptive-passivity",
+           fmt("controller disabled but ticks=%llu evals=%llu applies=%llu",
+               static_cast<unsigned long long>(result.adaptive_ticks),
+               static_cast<unsigned long long>(result.adaptive_evaluations),
+               static_cast<unsigned long long>(
+                   result.adaptive_reconfigurations))});
+    }
+    for (const auto& e : result.report.timeline) {
+      if (e.kind == "reconfigure") {
+        out.push_back({"adaptive-passivity",
+                       "controller disabled but a reconfigure event is on "
+                       "the timeline"});
+        break;
+      }
+    }
+    return;
+  }
+
+  // Liveness: an enabled controller on a completed run must have ticked.
+  if (result.completed && result.adaptive_ticks == 0) {
+    out.push_back({"adaptive-liveness",
+                   "controller enabled on a completed run but never ticked"});
+  }
+
+  // Decision accounting: every evaluation either applied or was suppressed,
+  // and nothing was decided outside a tick.
+  if (result.adaptive_evaluations !=
+      result.adaptive_reconfigurations + result.adaptive_suppressed) {
+    out.push_back(
+        {"adaptive-accounting",
+         fmt("evals=%llu != applies=%llu + suppressed=%llu",
+             static_cast<unsigned long long>(result.adaptive_evaluations),
+             static_cast<unsigned long long>(result.adaptive_reconfigurations),
+             static_cast<unsigned long long>(result.adaptive_suppressed))});
+  }
+  if (result.adaptive_evaluations > result.adaptive_ticks) {
+    out.push_back(
+        {"adaptive-accounting",
+         fmt("more evaluations (%llu) than ticks (%llu)",
+             static_cast<unsigned long long>(result.adaptive_evaluations),
+             static_cast<unsigned long long>(result.adaptive_ticks))});
+  }
+
+  // No-thrash: the cooldown bounds applied reconfigurations by
+  // duration/cooldown + 1, whatever the network does.
+  const double cooldown_s = to_seconds(result.adaptive_cooldown);
+  if (cooldown_s > 0.0) {
+    const double bound = result.duration_s / cooldown_s + 1.0;
+    if (static_cast<double>(result.adaptive_reconfigurations) > bound) {
+      out.push_back(
+          {"adaptive-no-thrash",
+           fmt("%llu reconfigurations exceed the cooldown bound %.1f "
+               "(duration %.3fs / cooldown %.3fs + 1)",
+               static_cast<unsigned long long>(
+                   result.adaptive_reconfigurations),
+               bound, result.duration_s, cooldown_s)});
+    }
+  }
+}
+
 void check_trace_legality(const obs::RunReport& report,
                           std::vector<Violation>& out) {
   // The ring dropped entries => per-key sequences may be truncated and
@@ -413,6 +485,7 @@ std::vector<Violation> check_invariants(
   check_storage(cs, result, out);
   check_group(cs, result, out);
   check_health(cs, result, out);
+  check_adaptive(cs, result, out);
   check_trace_legality(result.report, out);
   return out;
 }

@@ -35,6 +35,10 @@
 //    discipline) the group's committed offset never passes over a record
 //    that was never delivered, whatever member crashes and rebalances
 //    occur; duplicates are the allowed price.
+//  - adaptive-passivity / adaptive-no-thrash: with the online controller
+//    off, nothing adaptive runs (no ticks, decisions or reconfigure
+//    events); with it on, applied reconfigurations are bounded by
+//    duration/cooldown + 1 and decision counters reconcile.
 //  - replay-determinism (harness-level): the same seed yields a
 //    byte-identical canonical RunReport JSON.
 #pragma once
@@ -84,6 +88,14 @@ void check_group(const ChaosScenario& cs,
 void check_health(const ChaosScenario& cs,
                   const testbed::ExperimentResult& result,
                   std::vector<Violation>& out);
+/// The online adaptive controller's contract. Controller off: strict
+/// passivity — zero ticks/decisions and no reconfigure timeline events.
+/// Controller on: it must tick on completed runs, every evaluated decision
+/// is either applied or suppressed, and applied reconfigurations respect
+/// the no-thrash cooldown bound (<= duration/cooldown + 1).
+void check_adaptive(const ChaosScenario& cs,
+                    const testbed::ExperimentResult& result,
+                    std::vector<Violation>& out);
 void check_trace_legality(const obs::RunReport& report,
                           std::vector<Violation>& out);
 

@@ -1,0 +1,56 @@
+#include "kpi/condition_estimator.hpp"
+
+#include <algorithm>
+
+namespace ks::kpi {
+
+ConditionEstimate ConditionEstimator::update(
+    TimePoint now, const testbed::AdaptiveTelemetry& telemetry) {
+  Sample s;
+  s.at = now;
+  s.data_segments = telemetry.data_segments_sent;
+  s.retransmissions = telemetry.retransmissions;
+  s.srtt = telemetry.smoothed_rtt;
+  window_.push_back(s);
+  while (!window_.empty() && window_.front().at < now - config_.horizon) {
+    window_.pop_front();
+  }
+
+  ConditionEstimate estimate;
+  const Sample& oldest = window_.front();
+  const Sample& newest = window_.back();
+  const std::uint64_t segments =
+      newest.data_segments - std::min(newest.data_segments,
+                                      oldest.data_segments);
+  const std::uint64_t retrans =
+      newest.retransmissions - std::min(newest.retransmissions,
+                                        oldest.retransmissions);
+  estimate.window_segments = segments;
+  if (segments < config_.min_segments) return estimate;  // Gated.
+  estimate.confident = true;
+
+  // Loss: each lost data segment forces (at least) one retransmission, so
+  // retransmits-per-data-segment over the window tracks the Bernoulli loss
+  // rate. Spurious retransmits add noise of a fraction of a percent; the
+  // floor clamps that to exactly 0 so clean runs stay on the normal model.
+  double loss = static_cast<double>(retrans) / static_cast<double>(segments);
+  loss = std::clamp(loss, 0.0, 0.9);
+  if (loss < config_.loss_floor) loss = 0.0;
+  estimate.loss = loss;
+
+  // Delay: the minimum SRTT over the window. SRTT inflates with
+  // queueing and retransmission timing, so the window minimum is the
+  // closest observable to the propagation RTT; whatever exceeds the
+  // healthy-path RTT is attributed to injected (symmetric) delay.
+  Duration min_srtt = 0;
+  for (const auto& sample : window_) {
+    if (sample.srtt <= 0) continue;
+    if (min_srtt == 0 || sample.srtt < min_srtt) min_srtt = sample.srtt;
+  }
+  if (min_srtt > config_.base_rtt) {
+    estimate.delay = (min_srtt - config_.base_rtt) / 2;
+  }
+  return estimate;
+}
+
+}  // namespace ks::kpi

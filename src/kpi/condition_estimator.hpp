@@ -1,0 +1,73 @@
+// Online network-condition estimation for the Section-V control loop.
+//
+// The offline configurator knows the trace; the online controller does
+// not. This estimator reconstructs the two features the predictor needs —
+// loss rate L and injected one-way delay D — from live transport
+// telemetry: the producer connection's cumulative retransmit counters
+// (loss) and its smoothed RTT (delay), differenced over a sliding
+// sim-time horizon. While the window holds too few segments to trust, the
+// estimate is confidence-gated and the controller must not act.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.hpp"
+#include "testbed/adaptive.hpp"
+
+namespace ks::kpi {
+
+struct ConditionEstimate {
+  /// Enough samples in the window to act on. False while the run warms up
+  /// or the producer is idle (no segments in the horizon).
+  bool confident = false;
+  double loss = 0.0;   ///< Estimated Bernoulli loss rate, in [0, 1).
+  Duration delay = 0;  ///< Estimated injected one-way delay (>= 0).
+  /// Data segments backing the loss estimate (the denominator).
+  std::uint64_t window_segments = 0;
+};
+
+struct ConditionEstimatorConfig {
+  /// Sliding window length (sim time). Short enough to track the
+  /// minute-scale condition changes of the Fig. 9 traces, long enough
+  /// to average out burst noise.
+  Duration horizon = seconds(8);
+  /// Confidence gate: the window must hold at least this many data
+  /// segments before loss/delay estimates are trusted.
+  std::uint64_t min_segments = 40;
+  /// Loss estimates below this are clamped to exactly 0 so clean runs
+  /// route to the predictor's normal-network model (which requires
+  /// L == 0); stray spurious retransmits otherwise misroute them.
+  double loss_floor = 0.005;
+  /// RTT attributable to the healthy path (2x base one-way LAN delay
+  /// plus transmission/ack slack); anything above it is read as
+  /// injected delay. Matches testbed::kBaseLanDelay wiring.
+  Duration base_rtt = 2 * micros(200) + millis(2);
+};
+
+class ConditionEstimator {
+ public:
+  using Config = ConditionEstimatorConfig;
+
+  explicit ConditionEstimator(Config config = {}) : config_(config) {}
+
+  const Config& config() const noexcept { return config_; }
+
+  /// Feed one cumulative-counter snapshot taken at sim time `now`;
+  /// returns the estimate over the trailing horizon.
+  ConditionEstimate update(TimePoint now,
+                           const testbed::AdaptiveTelemetry& telemetry);
+
+ private:
+  struct Sample {
+    TimePoint at = 0;
+    std::uint64_t data_segments = 0;  ///< Cumulative.
+    std::uint64_t retransmissions = 0;
+    Duration srtt = 0;  ///< Instantaneous smoothed RTT (0 = none yet).
+  };
+
+  Config config_;
+  std::deque<Sample> window_;
+};
+
+}  // namespace ks::kpi

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
 
 #include "kpi/perf_model.hpp"
 #include "net/netem.hpp"
@@ -35,7 +38,46 @@ std::size_t nearest_index(const std::array<T, N>& steps, T value) {
   return best;
 }
 
+/// Move `from` one grid index toward `to` (at most).
+std::size_t step_toward(std::size_t from, std::size_t to) {
+  if (to > from) return from + 1;
+  if (to < from) return from - 1;
+  return from;
+}
+
 }  // namespace
+
+const std::vector<int>& batch_steps() {
+  static const std::vector<int> steps(kBatchSteps.begin(), kBatchSteps.end());
+  return steps;
+}
+
+const std::vector<Duration>& poll_steps() {
+  static const std::vector<Duration> steps(kPollSteps.begin(),
+                                           kPollSteps.end());
+  return steps;
+}
+
+const std::vector<Duration>& timeout_steps() {
+  static const std::vector<Duration> steps(kTimeoutSteps.begin(),
+                                           kTimeoutSteps.end());
+  return steps;
+}
+
+DynamicParams clamp_single_step(const DynamicParams& from,
+                                const DynamicParams& target) {
+  const std::size_t bi = nearest_index(kBatchSteps, from.batch_size);
+  const std::size_t pi = nearest_index(kPollSteps, from.poll_interval);
+  const std::size_t ti = nearest_index(kTimeoutSteps, from.message_timeout);
+  const std::size_t tb = nearest_index(kBatchSteps, target.batch_size);
+  const std::size_t tp = nearest_index(kPollSteps, target.poll_interval);
+  const std::size_t tt = nearest_index(kTimeoutSteps, target.message_timeout);
+  DynamicParams out;
+  out.batch_size = kBatchSteps[step_toward(bi, tb)];
+  out.poll_interval = kPollSteps[step_toward(pi, tp)];
+  out.message_timeout = kTimeoutSteps[step_toward(ti, tt)];
+  return out;
+}
 
 double DynamicConfigurator::predicted_gamma(
     const testbed::Workload& workload, kafka::DeliverySemantics semantics,
@@ -191,7 +233,7 @@ DynamicRunResult run_dynamic_experiment(
     const net::NetworkTrace& trace, const testbed::Workload& workload,
     kafka::DeliverySemantics semantics,
     const std::vector<ScheduleEntry>* schedule, KpiWeights weights,
-    std::uint64_t seed) {
+    std::uint64_t seed, testbed::AdaptiveDriver* online) {
   namespace tb = ks::testbed;
   DynamicRunResult result;
 
@@ -264,6 +306,47 @@ DynamicRunResult run_dynamic_experiment(
       ++result.reconfigurations;
     }
   }
+
+  // Online controller: tick on sim time, sample the live connection and
+  // producer, apply what the policy decides. Mirrors the run_experiment
+  // wiring so the bench's online arm measures the same control loop chaos
+  // and the determinism tests exercise.
+  std::function<void()> online_tick = [&] {
+    if (producer.finished()) return;  // Drain phase: nothing left to tune.
+    testbed::AdaptiveTelemetry telemetry;
+    const auto& tstats = conn.client.stats();
+    telemetry.segments_sent = tstats.segments_sent;
+    telemetry.data_segments_sent = tstats.data_segments_sent;
+    telemetry.retransmissions = tstats.retransmissions;
+    telemetry.rto_events = tstats.rto_events;
+    telemetry.smoothed_rtt = conn.client.smoothed_rtt();
+    const auto& ps = producer.stats();
+    telemetry.records_acked = ps.records_acked;
+    telemetry.records_retried = ps.requests_retried;
+    telemetry.records_timed_out = ps.records_failed;
+    const auto& live = producer.config();
+    telemetry.batch_size = live.batch_size;
+    telemetry.poll_interval = live.poll_interval;
+    telemetry.message_timeout = live.message_timeout;
+    const auto decision = online->tick(sim.now(), telemetry);
+    if (std::getenv("KS_ONLINE_DEBUG") != nullptr) {
+      std::fprintf(stderr, "[online] t=%.3f %s\n", to_seconds(sim.now()),
+                   decision.note.c_str());
+    }
+    if (decision.evaluated) {
+      ++result.online_evaluations;
+      if (decision.apply) {
+        ++result.reconfigurations;
+        producer.reconfigure(decision.batch_size, live.linger,
+                             decision.poll_interval,
+                             decision.message_timeout);
+      } else {
+        ++result.online_suppressed;
+      }
+    }
+    sim.after(online->interval(), online_tick);
+  };
+  if (online != nullptr) sim.after(online->interval(), online_tick);
 
   cluster.start();
   source.start();

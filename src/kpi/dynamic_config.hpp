@@ -17,6 +17,7 @@
 #include "kpi/kpi.hpp"
 #include "kpi/predictor.hpp"
 #include "net/trace.hpp"
+#include "testbed/adaptive.hpp"
 #include "testbed/workloads.hpp"
 
 namespace ks::kpi {
@@ -34,6 +35,19 @@ struct ScheduleEntry {
   DynamicParams params;
   double predicted_gamma = 0.0;
 };
+
+/// The Section-V stepwise-search grids. The offline configurator walks
+/// them; the online controller also uses them as its move lattice.
+const std::vector<int>& batch_steps();
+const std::vector<Duration>& poll_steps();
+const std::vector<Duration>& timeout_steps();
+
+/// Clamp `target` to at most one grid step away from `from` on each axis
+/// (both snapped to their nearest grid point first) — the online
+/// controller's bounded-move rule, which makes thrashing impossible by
+/// construction.
+DynamicParams clamp_single_step(const DynamicParams& from,
+                                const DynamicParams& target);
 
 class DynamicConfigurator {
  public:
@@ -84,13 +98,22 @@ struct DynamicRunResult {
   double measured_gamma = 0.0;          ///< From measured phi/mu/R_l/R_d.
   double duration_s = 0.0;
   std::uint64_t reconfigurations = 0;
+  /// Online arm only: decisions past the confidence gate + cooldown
+  /// (applied reconfigurations land in `reconfigurations`).
+  std::uint64_t online_evaluations = 0;
+  std::uint64_t online_suppressed = 0;
   bool completed = false;
 };
 
+/// `online` (exclusive with `schedule`) attaches a live controller: the
+/// driver is ticked on sim time with real transport/producer telemetry
+/// and its applied decisions retune the producer mid-run — the paper's
+/// Section-V loop without trace foreknowledge. Pass a FRESH driver per
+/// run; controller state is part of the run.
 DynamicRunResult run_dynamic_experiment(
     const net::NetworkTrace& trace, const testbed::Workload& workload,
     kafka::DeliverySemantics semantics,
     const std::vector<ScheduleEntry>* schedule, KpiWeights weights,
-    std::uint64_t seed);
+    std::uint64_t seed, testbed::AdaptiveDriver* online = nullptr);
 
 }  // namespace ks::kpi

@@ -73,22 +73,30 @@ void ReliabilityPredictor::load(const std::string& directory) {
     if (!in) throw std::runtime_error("cannot read " + directory + "/" + name);
     return in;
   };
+  // Deserialize everything into locals first so a missing or truncated
+  // file cannot leave this predictor half-loaded but claiming trained().
+  ann::Network normal_net, abnormal_net;
+  ann::MinMaxScaler normal_scaler, abnormal_scaler;
   {
     auto in = open("normal.net");
-    normal_net_ = ann::Network::load(in);
+    normal_net = ann::Network::load(in);
   }
   {
     auto in = open("abnormal.net");
-    abnormal_net_ = ann::Network::load(in);
+    abnormal_net = ann::Network::load(in);
   }
   {
     auto in = open("normal.scaler");
-    normal_scaler_ = ann::MinMaxScaler::load(in);
+    normal_scaler = ann::MinMaxScaler::load(in);
   }
   {
     auto in = open("abnormal.scaler");
-    abnormal_scaler_ = ann::MinMaxScaler::load(in);
+    abnormal_scaler = ann::MinMaxScaler::load(in);
   }
+  normal_net_ = std::move(normal_net);
+  abnormal_net_ = std::move(abnormal_net);
+  normal_scaler_ = std::move(normal_scaler);
+  abnormal_scaler_ = std::move(abnormal_scaler);
   trained_ = true;
 }
 

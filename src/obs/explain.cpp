@@ -191,6 +191,12 @@ std::string describe_timeline_entry(const RunReport::TimelineEntry& e) {
     return fmt("health alert %s%s resolved (open %.0fms)", e.note.c_str(),
                subject.c_str(), static_cast<double>(e.a) / 1000.0);
   }
+  if (e.kind == "reconfigure") {
+    return fmt("%s: controller %s [%s] (predicted gamma %.4f)",
+               e.a != 0 ? "RECONFIGURE" : "reconfigure considered",
+               e.a != 0 ? "retuned the producer" : "held the configuration",
+               e.note.c_str(), static_cast<double>(e.b) / 1e6);
+  }
   std::string out = e.kind;
   if (!e.note.empty()) out += ": " + e.note;
   return out;

@@ -425,12 +425,18 @@ std::string render_health_text(const RunReport& report) {
                              : kLatencySketchBoundsUs.back() + 1);
         }
       }
-      std::snprintf(line, sizeof(line),
-                    "  %s: %llu samples, p50 <= %lld us, p99 <= %lld us\n",
+      const auto quantile_text = [&](double q) -> std::string {
+        const auto bound = sketch.quantile_upper_bound(q);
+        if (bound == kLatencySketchOverflowUs) {
+          return "> " + std::to_string(kLatencySketchBoundsUs.back()) +
+                 " us (overflow)";
+        }
+        return "<= " + std::to_string(bound) + " us";
+      };
+      std::snprintf(line, sizeof(line), "  %s: %llu samples, p50 %s, p99 %s\n",
                     sk.name.c_str(),
                     static_cast<unsigned long long>(sk.count),
-                    static_cast<long long>(sketch.quantile_upper_bound(0.5)),
-                    static_cast<long long>(sketch.quantile_upper_bound(0.99)));
+                    quantile_text(0.5).c_str(), quantile_text(0.99).c_str());
       out += line;
     }
   }

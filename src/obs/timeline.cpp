@@ -42,6 +42,7 @@ const char* to_string(ClusterEventKind k) noexcept {
       return "corrupt_batch_dropped";
     case ClusterEventKind::kHealthAlertOpen: return "health_alert";
     case ClusterEventKind::kHealthAlertResolved: return "health_resolve";
+    case ClusterEventKind::kReconfigure: return "reconfigure";
   }
   return "?";
 }

@@ -52,6 +52,9 @@ enum class ClusterEventKind : std::uint8_t {
   // ---- online health monitor (note = detector name) ----
   kHealthAlertOpen,      ///< a = ticks from onset to detection.
   kHealthAlertResolved,  ///< a = open duration (us).
+  // ---- online adaptive controller (note = decision summary) ----
+  kReconfigure,          ///< a = 1 applied / 0 suppressed, b = predicted
+                         ///< gamma of the chosen params, in millionths.
 };
 
 const char* to_string(ClusterEventKind k) noexcept;

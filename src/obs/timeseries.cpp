@@ -25,10 +25,10 @@ std::int64_t LatencySketch::quantile_upper_bound(double q) const noexcept {
     seen += buckets_[b];
     if (seen >= rank) {
       return b < kLatencySketchBoundsUs.size() ? kLatencySketchBoundsUs[b]
-                                               : kLatencySketchBoundsUs.back();
+                                               : kLatencySketchOverflowUs;
     }
   }
-  return kLatencySketchBoundsUs.back();
+  return kLatencySketchOverflowUs;
 }
 
 void LatencySketch::clear() noexcept {

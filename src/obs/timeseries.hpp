@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,12 @@ inline constexpr std::array<std::int64_t, 15> kLatencySketchBoundsUs = {
 inline constexpr std::size_t kLatencySketchBuckets =
     kLatencySketchBoundsUs.size() + 1;
 
+/// Saturating sentinel returned by quantile_upper_bound when the quantile
+/// lands in the +inf overflow bucket. Distinct from every finite bound so
+/// callers cannot mistake "beyond 5 s" for "exactly 5 s".
+inline constexpr std::int64_t kLatencySketchOverflowUs =
+    std::numeric_limits<std::int64_t>::max();
+
 /// Small fixed-bucket histogram for end-to-end latencies. O(buckets)
 /// memory, O(log buckets) observe, deterministic serialization.
 class LatencySketch {
@@ -46,8 +53,10 @@ class LatencySketch {
   }
 
   /// Upper bound of the bucket holding the q-th observation (q in [0,1]).
-  /// The true quantile lies in (previous bound, returned bound]; the
-  /// overflow bucket reports the largest finite bound. 0 when empty.
+  /// The true quantile lies in (previous bound, returned bound]. When the
+  /// quantile lands in the +inf overflow bucket there is no finite upper
+  /// bound, so kLatencySketchOverflowUs is returned instead of silently
+  /// capping at the largest finite bound. 0 when empty.
   std::int64_t quantile_upper_bound(double q) const noexcept;
 
   void clear() noexcept;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <functional>
 #include <map>
 #include <memory>
@@ -676,6 +677,68 @@ ExperimentResult run_experiment(const Scenario& scenario) {
   };
   if (health) sim.after(0, health_tick);
 
+  // Online adaptive controller: snapshot live transport/producer telemetry,
+  // let the policy decide, and apply the chosen parameters to every live
+  // producer. Each evaluated decision (applied or suppressed) lands on the
+  // cluster timeline as a `reconfigure` event, so ks_explain can narrate
+  // why the configuration changed (or deliberately did not). Disabled =>
+  // no driver, no tick, and the run is byte-identical to a controller-less
+  // build (the passivity invariant).
+  std::unique_ptr<AdaptiveDriver> adaptive;
+  if (scenario.adaptive_enabled && scenario.adaptive_factory) {
+    adaptive = scenario.adaptive_factory(scenario);
+  }
+  std::function<void()> adaptive_tick = [&] {
+    // The controller's job ends with the message run: once every producer
+    // has finished there is nothing left to retune, and ticking through
+    // the drain grace would break the duration/cooldown no-thrash bound.
+    for (const auto& pr : producers) {
+      if (pr->finished()) return;
+    }
+    const TimePoint t = sim.now();
+    ++result.adaptive_ticks;
+    AdaptiveTelemetry telemetry;
+    const auto& tstats = conn.client.stats();
+    telemetry.segments_sent = tstats.segments_sent;
+    telemetry.data_segments_sent = tstats.data_segments_sent;
+    telemetry.retransmissions = tstats.retransmissions;
+    telemetry.rto_events = tstats.rto_events;
+    telemetry.smoothed_rtt = conn.client.smoothed_rtt();
+    for (const auto& pr : producers) {
+      const auto& ps = pr->stats();
+      telemetry.records_acked += ps.records_acked;
+      telemetry.records_retried += ps.requests_retried;
+      telemetry.records_timed_out += ps.records_failed;
+    }
+    const auto live = producers.front()->config();
+    telemetry.batch_size = live.batch_size;
+    telemetry.poll_interval = live.poll_interval;
+    telemetry.message_timeout = live.message_timeout;
+
+    const auto decision = adaptive->tick(t, telemetry);
+    if (decision.evaluated) {
+      ++result.adaptive_evaluations;
+      if (decision.apply) {
+        ++result.adaptive_reconfigurations;
+        for (auto& pr : producers) {
+          pr->reconfigure(decision.batch_size, live.linger,
+                          decision.poll_interval, decision.message_timeout);
+        }
+      } else {
+        ++result.adaptive_suppressed;
+      }
+      sim.timeline().record(
+          t, obs::ClusterEventKind::kReconfigure, /*broker=*/-1,
+          /*partition=*/-1, decision.apply ? 1 : 0,
+          std::llround(decision.chosen_gamma * 1e6), decision.note);
+    }
+    sim.after(adaptive->interval(), adaptive_tick);
+  };
+  if (adaptive) {
+    result.adaptive_cooldown = adaptive->cooldown();
+    sim.after(adaptive->interval(), adaptive_tick);
+  }
+
   cluster.start();
   source.start();
   for (auto& pr : producers) pr->start();
@@ -1112,6 +1175,20 @@ ExperimentResult run_experiment(const Scenario& scenario) {
         static_cast<double>(result.health_alerts_resolved);
     summary["health_lag_alerts"] =
         static_cast<double>(result.health_lag_alerts);
+  }
+  // Adaptive keys only when the controller ran: adaptive_enabled = false
+  // keeps the summary (and its canonical_json) byte-identical to a build
+  // without the controller.
+  if (adaptive) {
+    summary["adaptive_ticks"] = static_cast<double>(result.adaptive_ticks);
+    summary["adaptive_evaluations"] =
+        static_cast<double>(result.adaptive_evaluations);
+    summary["adaptive_reconfigurations"] =
+        static_cast<double>(result.adaptive_reconfigurations);
+    summary["adaptive_suppressed"] =
+        static_cast<double>(result.adaptive_suppressed);
+    summary["adaptive_cooldown_ms"] =
+        to_millis(result.adaptive_cooldown);
   }
 
   // Perf metadata last, so the wall duration covers the whole run including

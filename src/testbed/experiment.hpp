@@ -132,6 +132,17 @@ struct ExperimentResult {
   /// subject: chaos scores these against the crash ground truth below.
   std::uint64_t health_lag_alerts = 0;
 
+  // Online adaptive controller (adaptive_enabled; zero otherwise).
+  std::uint64_t adaptive_ticks = 0;
+  /// Decisions that passed the confidence gate + cooldown and ran the
+  /// predictor search (applied or suppressed).
+  std::uint64_t adaptive_evaluations = 0;
+  std::uint64_t adaptive_reconfigurations = 0;  ///< Applied to the producer.
+  std::uint64_t adaptive_suppressed = 0;        ///< Hysteresis said no.
+  /// Effective cooldown the run enforced (for the no-thrash invariant:
+  /// reconfigurations <= duration/cooldown + 1).
+  Duration adaptive_cooldown = 0;
+
   /// Ground truth for detector recall, recorded straight off
   /// cluster/coordinator state — independent of the monitor under test.
   struct CrashBacklog {

@@ -13,6 +13,7 @@
 #include "kafka/partitioner.hpp"
 #include "kafka/producer.hpp"
 #include "net/loss_model.hpp"
+#include "testbed/adaptive.hpp"
 
 namespace ks::testbed {
 
@@ -175,6 +176,21 @@ struct Scenario {
   /// Health probe/evaluation tick; 0 falls back to the HealthConfig
   /// default (60 ms — see obs/health.hpp for the recall-bound rationale).
   Duration health_interval = 0;
+  /// Online adaptive reconfiguration (testbed/adaptive.hpp): a sim-time
+  /// control loop estimates network conditions from live telemetry and
+  /// retunes the producer's batch/poll/timeout knobs at runtime. Off (the
+  /// default) => no driver is constructed, no tick is ever scheduled, and
+  /// the run is byte-identical to a build without the feature (passivity).
+  bool adaptive_enabled = false;
+  /// Controller tick period; 0 falls back to the driver's interval().
+  Duration adaptive_interval = 0;
+  /// Minimum spacing between applied reconfigurations; 0 falls back to
+  /// the driver's cooldown(). Together with single-step moves this bounds
+  /// reconfigurations by duration/cooldown + 1 (the no-thrash invariant).
+  Duration adaptive_cooldown = 0;
+  /// Builds the per-run policy driver; empty + adaptive_enabled is an
+  /// error surfaced as a disabled controller (adaptive_ticks == 0).
+  AdaptiveFactory adaptive_factory;
 
   /// Feature vector for the "normal network" model of Fig. 3:
   /// {S, T_o, delta, semantics, B}. (B stays effective even without

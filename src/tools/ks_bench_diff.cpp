@@ -74,6 +74,26 @@ bool load_set(const std::string& path, std::vector<bench::Artifact>& out) {
   return true;
 }
 
+/// Parse the value of a numeric flag. Fails (returning false) when the
+/// flag is the last argument or its value is not a finite number — atof's
+/// silent 0.0 on garbage would quietly disable a CI gate.
+bool parse_value(int argc, char** argv, int& i, double& out) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "ks_bench_diff: %s needs a numeric value\n", argv[i]);
+    return false;
+  }
+  const char* text = argv[++i];
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "ks_bench_diff: %s is not a number (for %s)\n", text,
+                 argv[i - 1]);
+    return false;
+  }
+  out = v;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -83,12 +103,18 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--rel" && i + 1 < argc) {
-      options.rel_threshold = std::atof(argv[++i]);
-    } else if (arg == "--sigma" && i + 1 < argc) {
-      options.sigma = std::atof(argv[++i]);
-    } else if (arg == "--det-tol" && i + 1 < argc) {
-      options.det_rel_tolerance = std::atof(argv[++i]);
+    if (arg == "--rel") {
+      if (!parse_value(argc, argv, i, options.rel_threshold)) {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--sigma") {
+      if (!parse_value(argc, argv, i, options.sigma)) {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--det-tol") {
+      if (!parse_value(argc, argv, i, options.det_rel_tolerance)) {
+        return usage(argv[0]);
+      }
     } else if (arg == "--warn-only") {
       warn_only = true;
     } else if (arg.rfind("--", 0) == 0) {

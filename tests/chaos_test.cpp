@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "chaos/harness.hpp"
+#include "chaos/invariants.hpp"
+#include "kpi/online_controller.hpp"
 #include "obs/explain.hpp"
 #include "obs/health.hpp"
 #include "testbed/experiment.hpp"
@@ -74,6 +76,8 @@ TEST(Chaos, GeneratorCoversTheScenarioSpace) {
   int durable = 0;
   int unclean = 0;
   int custom_backoff = 0;
+  int adaptive = 0;
+  int adaptive_benign = 0;
   std::set<Kind> kinds;
   for (std::uint64_t i = 0; i < 128; ++i) {
     const auto cs = generate_scenario(scenario_seed(0xC0FFEEu, i));
@@ -83,6 +87,13 @@ TEST(Chaos, GeneratorCoversTheScenarioSpace) {
     if (cs.expect_no_acked_loss) ++durable;
     if (cs.scenario.unclean_leader_election) ++unclean;
     if (cs.scenario.retry_backoff > 0) ++custom_backoff;
+    if (cs.scenario.adaptive_enabled) {
+      ++adaptive;
+      EXPECT_NE(cs.scenario.adaptive_factory, nullptr);
+      EXPECT_GT(cs.scenario.adaptive_interval, 0);
+      EXPECT_GT(cs.scenario.adaptive_cooldown, 0);
+      if (cs.expect_no_loss) ++adaptive_benign;
+    }
     for (const auto& f : cs.scenario.faults) kinds.insert(f.kind);
   }
   EXPECT_GT(semantics_seen[0], 0) << "no at-most-once scenarios";
@@ -93,6 +104,10 @@ TEST(Chaos, GeneratorCoversTheScenarioSpace) {
   EXPECT_GT(durable, 0) << "no durable-delivery (no-acked-loss) scenarios";
   EXPECT_GT(unclean, 0) << "no unclean-election scenarios";
   EXPECT_GT(custom_backoff, 0) << "retry-backoff knobs never drawn";
+  EXPECT_GT(adaptive, 0) << "online-controller dimension never drawn";
+  EXPECT_EQ(adaptive_benign, 0)
+      << "controller may lower T_o, so benign (no-loss) scenarios must "
+         "never arm it";
   EXPECT_TRUE(kinds.count(Kind::kNetem));
   EXPECT_TRUE(kinds.count(Kind::kGilbertElliott));
   EXPECT_TRUE(kinds.count(Kind::kBandwidth));
@@ -282,6 +297,52 @@ TEST(Chaos, GroupFaultsSweepHoldsInvariants) {
       << "group_faults seeds missing from " << corpus_path();
   EXPECT_GE(report.scenarios_run, 48u);
   EXPECT_GT(report.replay_checks, 0u);
+}
+
+// Adaptive soak: every non-benign net-fault scenario with the online
+// controller force-armed (not just the generator's 25% draw), so the
+// passivity/no-thrash/accounting invariants and the controller's whole
+// estimate->choose->clamp->apply path run against the full breadth of
+// loss/delay/bandwidth schedules. KS_CHAOS_ITERS scales the sweep.
+TEST(ChaosAdaptive, NetFaultSweepHoldsInvariantsWithControllerForcedOn) {
+  std::uint64_t iterations = 48;
+  if (const char* e = std::getenv("KS_CHAOS_ITERS")) {
+    iterations = std::clamp<std::uint64_t>(std::strtoull(e, nullptr, 0) / 8,
+                                           48, 4096);
+  }
+  std::uint64_t armed = 0, ticks = 0, evaluations = 0, applied = 0;
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    auto cs = generate_scenario(scenario_seed(0xADA75EEDu, i));
+    // The benign (no-loss) class is excluded by design: the controller may
+    // legally trade T_o down and turn late deliveries into expiries.
+    if (cs.expect_no_loss) continue;
+    cs.scenario.adaptive_enabled = true;
+    if (cs.scenario.adaptive_interval == 0) {
+      cs.scenario.adaptive_interval = millis(400);
+    }
+    if (cs.scenario.adaptive_cooldown == 0) {
+      cs.scenario.adaptive_cooldown = seconds(2);
+    }
+    cs.scenario.adaptive_factory = kpi::synthetic_adaptive_factory();
+    ++armed;
+
+    const auto result = testbed::run_experiment(cs.scenario);
+    for (const auto& v : check_invariants(cs, result)) {
+      ADD_FAILURE() << "[" << v.invariant << "] " << v.detail
+                    << "\n  repro seed: 0x" << std::hex
+                    << scenario_seed(0xADA75EEDu, i);
+    }
+    ticks += result.adaptive_ticks;
+    evaluations += result.adaptive_evaluations;
+    applied += result.adaptive_reconfigurations;
+  }
+  EXPECT_GT(armed, 0u);
+  EXPECT_GT(ticks, 0u) << "controller never ticked across the sweep";
+  EXPECT_GT(evaluations, 0u)
+      << "estimator never reached confidence on any scenario";
+  // Not asserted > 0 per-scenario — calm runs legitimately hold still —
+  // but a sweep-wide zero would mean the apply path is dead.
+  EXPECT_GT(applied, 0u) << "no scenario ever applied a reconfiguration";
 }
 
 // The Table-I seed pair: one pinned fault schedule, two commit

@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "kpi/online_controller.hpp"
 #include "obs/report.hpp"
 #include "testbed/experiment.hpp"
 
@@ -208,6 +209,48 @@ TEST(Determinism, CanonicalJsonExcludesOnlyWallClockMetrics) {
   EXPECT_TRUE(obs::is_wall_clock_metric("sim_wall_time_us_total"));
   EXPECT_TRUE(obs::is_wall_clock_metric("sim_wall_us_per_sim_s"));
   EXPECT_FALSE(obs::is_wall_clock_metric("producer_records_acked_total"));
+}
+
+// The online controller's decisions are part of the canonical replay:
+// same seed, same estimates, same reconfigurations, byte-identical JSON.
+// And with the controller off the run must be byte-identical to a plain
+// scenario that never heard of the adaptive knobs (strict passivity).
+TEST(Determinism, AdaptiveRunIsCanonicalAndControllerOffIsPassive) {
+  Scenario sc = make_scenario(0xADA, kafka::DeliverySemantics::kAtLeastOnce);
+  sc.packet_loss = 0.25;  // Stormy: the controller should want to move.
+  sc.adaptive_enabled = true;
+  sc.adaptive_interval = millis(250);
+  sc.adaptive_cooldown = seconds(1);
+  sc.adaptive_factory = kpi::synthetic_adaptive_factory();
+
+  const auto first = run_experiment(sc);
+  const auto second = run_experiment(sc);
+  ASSERT_GT(first.adaptive_ticks, 0u);
+  EXPECT_EQ(first.adaptive_evaluations,
+            first.adaptive_reconfigurations + first.adaptive_suppressed);
+  EXPECT_EQ(first.report.canonical_json(), second.report.canonical_json());
+  EXPECT_EQ(first.adaptive_reconfigurations, second.adaptive_reconfigurations);
+  const auto canonical = first.report.canonical_json();
+  EXPECT_NE(canonical.find("\"adaptive_ticks\""), std::string::npos);
+  if (first.adaptive_evaluations > 0) {
+    // Every evaluated decision lands on the timeline for ks_explain.
+    EXPECT_NE(canonical.find("reconfigure"), std::string::npos);
+  }
+
+  // Passivity: controller off == a scenario that never set the knobs.
+  Scenario off = sc;
+  off.adaptive_enabled = false;
+  const Scenario plain =
+      make_scenario(0xADA, kafka::DeliverySemantics::kAtLeastOnce);
+  Scenario plain_stormy = plain;
+  plain_stormy.packet_loss = 0.25;
+  const auto dark = run_experiment(off);
+  const auto baseline = run_experiment(plain_stormy);
+  EXPECT_EQ(dark.adaptive_ticks, 0u);
+  EXPECT_EQ(dark.adaptive_reconfigurations, 0u);
+  EXPECT_EQ(dark.report.canonical_json(), baseline.report.canonical_json());
+  EXPECT_EQ(dark.report.canonical_json().find("adaptive"),
+            std::string::npos);
 }
 
 // The perf section (wall-clock, peak RSS, profiler breakdown) is host

@@ -1,9 +1,14 @@
-// KPI-layer tests: weighted KPI, performance model, ANN-backed predictor
-// and the dynamic configurator.
+// KPI-layer tests: weighted KPI, performance model, ANN-backed predictor,
+// the dynamic configurator and the online controller stack.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
+#include "kpi/condition_estimator.hpp"
 #include "kpi/dynamic_config.hpp"
 #include "kpi/kpi.hpp"
+#include "kpi/online_controller.hpp"
 #include "kpi/perf_model.hpp"
 #include "kpi/predictor.hpp"
 #include "testbed/workloads.hpp"
@@ -231,6 +236,231 @@ TEST_F(TrainedPredictor, ScheduleCoversTrace) {
     EXPECT_GE(e.predicted_gamma, 0.0);
     EXPECT_LE(e.predicted_gamma, 1.0);
   }
+}
+
+// --- Condition estimator -------------------------------------------------
+
+/// Telemetry snapshot with cumulative transport counters.
+testbed::AdaptiveTelemetry snapshot(std::uint64_t data_segments,
+                                    std::uint64_t retransmissions,
+                                    Duration srtt) {
+  testbed::AdaptiveTelemetry t;
+  t.segments_sent = data_segments + retransmissions;
+  t.data_segments_sent = data_segments;
+  t.retransmissions = retransmissions;
+  t.smoothed_rtt = srtt;
+  return t;
+}
+
+TEST(ConditionEstimator, GatesWhileTheWindowIsThin) {
+  ConditionEstimator est;  // min_segments = 40 by default.
+  const auto first = est.update(seconds(1), snapshot(0, 0, 0));
+  EXPECT_FALSE(first.confident);
+  const auto second = est.update(seconds(2), snapshot(10, 1, millis(3)));
+  EXPECT_FALSE(second.confident);  // Only 10 segments in the window.
+  EXPECT_EQ(second.window_segments, 10u);
+}
+
+TEST(ConditionEstimator, EstimatesLossFromRetransmitDeltas) {
+  ConditionEstimator est;
+  est.update(seconds(1), snapshot(0, 0, 0));
+  const auto e = est.update(seconds(2), snapshot(200, 60, millis(3)));
+  ASSERT_TRUE(e.confident);
+  EXPECT_EQ(e.window_segments, 200u);
+  EXPECT_NEAR(e.loss, 60.0 / 200.0, 1e-12);
+}
+
+TEST(ConditionEstimator, LossFloorRoutesCleanRunsToTheNormalModel) {
+  // A stray retransmit (1/1000 < loss_floor 0.005) must read as L == 0 so
+  // the predictor's normal-network model (which requires L == 0) is used.
+  ConditionEstimator est;
+  est.update(seconds(1), snapshot(0, 0, 0));
+  const auto e = est.update(seconds(2), snapshot(1000, 1, millis(3)));
+  ASSERT_TRUE(e.confident);
+  EXPECT_EQ(e.loss, 0.0);
+}
+
+TEST(ConditionEstimator, ReadsInjectedDelayOffTheSmoothedRtt) {
+  ConditionEstimator est;
+  const Duration base = est.config().base_rtt;
+  const Duration injected = millis(120);  // One-way, so RTT grows by 2x.
+  est.update(seconds(1), snapshot(0, 0, 0));
+  const auto e =
+      est.update(seconds(2), snapshot(100, 0, base + 2 * injected));
+  ASSERT_TRUE(e.confident);
+  EXPECT_EQ(e.delay, injected);
+  EXPECT_EQ(e.loss, 0.0);
+}
+
+TEST(ConditionEstimator, HorizonSlidesOldTrafficOut) {
+  ConditionEstimatorConfig cfg;
+  cfg.horizon = seconds(4);
+  ConditionEstimator est(cfg);
+  est.update(seconds(1), snapshot(0, 0, 0));
+  est.update(seconds(2), snapshot(500, 250, millis(3)));  // Stormy burst.
+  // 10 seconds later the burst has left the window: only the calm tail
+  // (the last two snapshots) backs the estimate.
+  est.update(seconds(11), snapshot(900, 250, millis(3)));
+  const auto e = est.update(seconds(12), snapshot(1000, 250, millis(3)));
+  ASSERT_TRUE(e.confident);
+  EXPECT_EQ(e.window_segments, 100u);
+  EXPECT_EQ(e.loss, 0.0);
+}
+
+// --- Single-step move clamp ----------------------------------------------
+
+TEST(DynamicConfig, ClampSingleStepMovesOneGridStepPerAxis) {
+  const DynamicParams from{1, 0, millis(1500)};
+  const DynamicParams target{10, millis(90), millis(5000)};
+  const auto clamped = clamp_single_step(from, target);
+  EXPECT_EQ(clamped.batch_size, 2);                   // 1 -> 2 on the grid.
+  EXPECT_EQ(clamped.poll_interval, millis(1));        // 0 -> 1 ms.
+  EXPECT_EQ(clamped.message_timeout, millis(2000));   // 1500 -> 2000 ms.
+}
+
+TEST(DynamicConfig, ClampSingleStepIsIdempotentAtTheTarget) {
+  const DynamicParams at{5, millis(20), millis(1000)};
+  const auto clamped = clamp_single_step(at, at);
+  EXPECT_EQ(clamped.batch_size, 5);
+  EXPECT_EQ(clamped.poll_interval, millis(20));
+  EXPECT_EQ(clamped.message_timeout, millis(1000));
+}
+
+TEST(DynamicConfig, ClampSingleStepStepsDownToo) {
+  const DynamicParams from{10, millis(90), millis(5000)};
+  const DynamicParams target{1, 0, millis(500)};
+  const auto clamped = clamp_single_step(from, target);
+  EXPECT_EQ(clamped.batch_size, 8);
+  EXPECT_EQ(clamped.poll_interval, millis(50));
+  EXPECT_EQ(clamped.message_timeout, millis(3000));
+}
+
+// --- Online controller ---------------------------------------------------
+
+/// Telemetry for a stormy network: ~30% of data segments retransmitted,
+/// SRTT showing ~100 ms of injected one-way delay.
+testbed::AdaptiveTelemetry stormy(std::uint64_t tick_no,
+                                  const ConditionEstimatorConfig& est) {
+  auto t = snapshot(200 * tick_no, 60 * tick_no,
+                    est.base_rtt + 2 * millis(100));
+  t.batch_size = 1;
+  t.poll_interval = 0;
+  t.message_timeout = millis(1500);
+  return t;
+}
+
+TEST_F(TrainedPredictor, OnlineControllerGatesThenActsWithSingleStepMoves) {
+  OnlineController::Config cfg;
+  cfg.cooldown = seconds(3);
+  OnlineController controller(predictor(), testbed::game_traffic(),
+                              kafka::DeliverySemantics::kAtLeastOnce,
+                              KpiWeights::defaults(),
+                              /*gamma_requirement=*/0.99, cfg);
+  // Tick 1: first sample, no deltas yet -> gated.
+  auto d = controller.tick(seconds(1), stormy(0, cfg.estimator));
+  EXPECT_FALSE(d.evaluated);
+  EXPECT_FALSE(d.apply);
+  // Tick 2: 200 segments at 30% retransmit -> confident, stormy network.
+  d = controller.tick(seconds(2), stormy(1, cfg.estimator));
+  ASSERT_TRUE(d.evaluated);
+  EXPECT_NEAR(d.est_loss, 0.3, 1e-9);
+  ASSERT_TRUE(d.apply);  // Batching should look much better than B=1.
+  EXPECT_GT(d.chosen_gamma, d.current_gamma);
+  // The applied move is at most one grid step from the live params.
+  EXPECT_EQ(d.batch_size, 2);
+  EXPECT_LE(d.poll_interval, millis(1));
+  EXPECT_GE(d.message_timeout, millis(1000));
+  EXPECT_LE(d.message_timeout, millis(2000));
+}
+
+TEST_F(TrainedPredictor, OnlineControllerHonorsTheCooldown) {
+  OnlineController::Config cfg;
+  cfg.cooldown = seconds(5);
+  OnlineController controller(predictor(), testbed::game_traffic(),
+                              kafka::DeliverySemantics::kAtLeastOnce,
+                              KpiWeights::defaults(), 0.99, cfg);
+  controller.tick(seconds(1), stormy(0, cfg.estimator));
+  const auto applied = controller.tick(seconds(2), stormy(1, cfg.estimator));
+  ASSERT_TRUE(applied.apply);
+  // Within the cooldown nothing is even evaluated...
+  const auto held = controller.tick(seconds(3), stormy(2, cfg.estimator));
+  EXPECT_FALSE(held.evaluated);
+  EXPECT_FALSE(held.apply);
+  EXPECT_EQ(held.note, "cooldown");
+  // ...and once it expires the controller may move again.
+  const auto later = controller.tick(seconds(8), stormy(7, cfg.estimator));
+  EXPECT_TRUE(later.evaluated);
+}
+
+TEST_F(TrainedPredictor, OnlineControllerDecisionsReplayDeterministically) {
+  OnlineController::Config cfg;
+  cfg.cooldown = seconds(3);
+  const auto run = [&](std::vector<std::string>& notes) {
+    OnlineController controller(predictor(), testbed::game_traffic(),
+                                kafka::DeliverySemantics::kAtLeastOnce,
+                                KpiWeights::defaults(), 0.99, cfg);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      notes.push_back(
+          controller.tick(seconds(1 + i), stormy(i, cfg.estimator)).note);
+    }
+  };
+  std::vector<std::string> a, b;
+  run(a);
+  run(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(OnlineController, SyntheticFactoryBuildsFreshDriversPerRun) {
+  testbed::Scenario sc;
+  sc.adaptive_interval = millis(500);
+  sc.adaptive_cooldown = seconds(2);
+  const auto factory = synthetic_adaptive_factory();
+  const auto driver_a = factory(sc);
+  const auto driver_b = factory(sc);
+  ASSERT_NE(driver_a, nullptr);
+  ASSERT_NE(driver_b, nullptr);
+  EXPECT_NE(driver_a.get(), driver_b.get());
+  EXPECT_EQ(driver_a->interval(), millis(500));
+  EXPECT_EQ(driver_a->cooldown(), seconds(2));
+}
+
+// --- Predictor persistence hardening -------------------------------------
+
+TEST(Predictor, LoadFromMissingDirectoryLeavesItUntrained) {
+  ReliabilityPredictor p;
+  EXPECT_THROW(p.load("/nonexistent/predictor/dir"), std::runtime_error);
+  EXPECT_FALSE(p.trained());
+}
+
+TEST_F(TrainedPredictor, LoadFailureIsAtomic) {
+  const std::string dir = ::testing::TempDir() + "/corrupt_predictor";
+  std::filesystem::create_directories(dir);
+  predictor().save(dir);
+  // Truncate one of the four artifacts mid-stream.
+  {
+    std::ofstream out(dir + "/abnormal.net", std::ios::trunc);
+    out << "KSNN v1\n";  // Header only: layer payload missing.
+  }
+  // A fresh predictor must refuse the half-readable set outright...
+  ReliabilityPredictor fresh;
+  EXPECT_THROW(fresh.load(dir), std::runtime_error);
+  EXPECT_FALSE(fresh.trained());
+  // ...and an already-trained one must keep its old weights (normal.net in
+  // the corrupt set parses fine — a non-atomic load would adopt it).
+  const std::string intact = ::testing::TempDir() + "/intact_predictor";
+  std::filesystem::create_directories(intact);
+  predictor().save(intact);
+  ReliabilityPredictor survivor;
+  survivor.load(intact);
+  ASSERT_TRUE(survivor.trained());
+  testbed::Scenario sc;
+  sc.packet_loss = 0.25;
+  const auto before = survivor.predict(sc);
+  EXPECT_THROW(survivor.load(dir), std::runtime_error);
+  EXPECT_TRUE(survivor.trained());
+  const auto after = survivor.predict(sc);
+  EXPECT_NEAR(before.p_loss, after.p_loss, 0.0);
+  EXPECT_NEAR(before.p_duplicate, after.p_duplicate, 0.0);
 }
 
 TEST_F(TrainedPredictor, DynamicRunSmoke) {

@@ -89,11 +89,21 @@ TEST(LatencySketch, QuantileAnswersCarryBucketUpperBounds) {
   EXPECT_LE(150, sk.quantile_upper_bound(0.5));
 }
 
-TEST(LatencySketch, OverflowBucketReportsLargestFiniteBound) {
+TEST(LatencySketch, OverflowBucketReportsSaturatingSentinel) {
   LatencySketch sk;
   sk.observe(99999999);  // Beyond every finite bound.
   EXPECT_EQ(sk.buckets().back(), 1u);
-  EXPECT_EQ(sk.quantile_upper_bound(0.5), kLatencySketchBoundsUs.back());
+  // A quantile in the +inf bucket has no finite upper bound: the sketch
+  // must say so rather than silently capping at the largest finite bound.
+  EXPECT_EQ(sk.quantile_upper_bound(0.5), kLatencySketchOverflowUs);
+  EXPECT_GT(kLatencySketchOverflowUs, kLatencySketchBoundsUs.back());
+
+  // With enough fast samples in front, finite quantiles stay finite while
+  // the tail quantile still reports overflow.
+  for (int i = 0; i < 98; ++i) sk.observe(150);
+  sk.observe(99999999);
+  EXPECT_EQ(sk.quantile_upper_bound(0.5), 200);
+  EXPECT_EQ(sk.quantile_upper_bound(0.99), kLatencySketchOverflowUs);
 }
 
 TEST(LatencySketch, BoundaryValuesLandInTheirUpperBucket) {
